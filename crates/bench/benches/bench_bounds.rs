@@ -1,0 +1,41 @@
+//! Criterion counterpart of Figure 10's mechanism: the cost and tightness
+//! of each size upper bound evaluated on real root states.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kr_bench::BenchDataset;
+use kr_core::bounds::size_upper_bound;
+use kr_core::search::SearchState;
+use kr_core::BoundKind;
+use kr_datagen::DatasetPreset;
+use std::hint::black_box;
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bounds");
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, 0.5);
+    let p = ds.instance(4, 10.0);
+    let comps = p.preprocess();
+    let Some(comp) = comps.first() else { return };
+    for bound in [
+        BoundKind::Naive,
+        BoundKind::Color,
+        BoundKind::KCore,
+        BoundKind::ColorKCore,
+        BoundKind::DoubleKCore,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("{bound:?}"), format!("component_n={}", comp.len())),
+            comp,
+            |b, comp| {
+                b.iter(|| {
+                    let mut st = SearchState::new(comp);
+                    assert!(st.prune_root());
+                    black_box(size_upper_bound(&st, bound))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Substrate micro-bench: maximal clique enumeration — the expensive heart
+//! of the Clique+ baseline (Figure 8's loser).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kr_bench::BenchDataset;
+use kr_clique::maximal_cliques_visit;
+use kr_datagen::DatasetPreset;
+use kr_similarity::build_similarity_graph;
+use std::hint::black_box;
+
+fn bench_clique(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clique");
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, 0.5);
+    // The similarity graph of the largest preprocessed component: what
+    // Clique+ actually enumerates over.
+    let p = ds.instance(4, 8.0);
+    let comps = p.preprocess();
+    if let Some(comp) = comps.first() {
+        let simgraph = build_similarity_graph(p.oracle(), &comp.local_to_global);
+        g.bench_with_input(
+            BenchmarkId::new("bron_kerbosch", format!("n={}", simgraph.num_vertices())),
+            &simgraph,
+            |b, sg| {
+                b.iter(|| {
+                    let mut count = 0u64;
+                    maximal_cliques_visit(sg, |_| count += 1);
+                    black_box(count)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion counterpart of Figures 8, 9, 11(d–f), 12(a), 13: maximal
+//! (k,r)-core enumeration across algorithm configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kr_bench::BenchDataset;
+use kr_core::{clique_based_maximal, enumerate_maximal, AlgoConfig};
+use kr_datagen::DatasetPreset;
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration");
+    g.sample_size(10);
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, 0.5);
+    let p = ds.instance(4, 8.0);
+    // Budget keeps pathological configs bounded; AdvEnum never hits it.
+    let configs = [
+        ("BasicEnum", AlgoConfig::basic_enum()),
+        ("BE+CR", AlgoConfig::be_cr()),
+        ("BE+CR+ET", AlgoConfig::be_cr_et()),
+        ("AdvEnum", AlgoConfig::adv_enum()),
+        ("AdvEnum-O", AlgoConfig::adv_enum_no_order()),
+    ];
+    for (name, cfg) in configs {
+        let cfg = cfg.with_time_limit_ms(2_000);
+        g.bench_with_input(BenchmarkId::new(name, "gowalla_k4_r8"), &p, |b, p| {
+            b.iter(|| black_box(enumerate_maximal(p, &cfg).cores.len()))
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("CliquePlus", "gowalla_k4_r8"), &p, |b, p| {
+        b.iter(|| black_box(clique_based_maximal(p).len()))
+    });
+
+    let dblp = BenchDataset::new(DatasetPreset::DblpLike, 0.5);
+    let p2 = dblp.instance(4, 5.0);
+    g.bench_with_input(BenchmarkId::new("AdvEnum", "dblp_k4_top5"), &p2, |b, p| {
+        b.iter(|| black_box(enumerate_maximal(p, &AlgoConfig::adv_enum()).cores.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Substrate micro-bench: core decomposition and k-core extraction
+//! (supports Table 3 preprocessing and every structure-pruning step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kr_datagen::DatasetPreset;
+use kr_graph::{core_decomposition, k_core};
+use std::hint::black_box;
+
+fn bench_kcore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kcore");
+    for preset in [DatasetPreset::GowallaLike, DatasetPreset::DblpLike] {
+        let d = preset.generate_scaled(0.5);
+        g.bench_with_input(
+            BenchmarkId::new("decomposition", d.name.clone()),
+            &d.graph,
+            |b, graph| b.iter(|| black_box(core_decomposition(graph).max_core)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("k_core_k4", d.name.clone()),
+            &d.graph,
+            |b, graph| b.iter(|| black_box(k_core(graph, 4).len())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kcore);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion counterpart of Figures 10, 11(a–c), 12(b), 14: maximum
+//! (k,r)-core search across bounds, orders, and branch policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kr_bench::BenchDataset;
+use kr_core::{find_maximum, AlgoConfig, BoundKind, BranchPolicy, SearchOrder};
+use kr_datagen::DatasetPreset;
+use std::hint::black_box;
+
+fn bench_maximum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maximum");
+    g.sample_size(10);
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, 0.5);
+    let p = ds.instance(4, 5.0);
+    let configs = [
+        ("BasicMax", AlgoConfig::basic_max()),
+        ("AdvMax", AlgoConfig::adv_max()),
+        ("AdvMax-Color", AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore)),
+        ("AdvMax-Degree", AlgoConfig::adv_max_no_order()),
+        (
+            "AdvMax-Shrink",
+            AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysShrink),
+        ),
+        (
+            "AdvMax-Random",
+            AlgoConfig::adv_max().with_order(SearchOrder::Random),
+        ),
+    ];
+    for (name, cfg) in configs {
+        let cfg = cfg.with_time_limit_ms(2_000);
+        g.bench_with_input(BenchmarkId::new(name, "dblp_k4_top5"), &p, |b, p| {
+            b.iter(|| black_box(find_maximum(p, &cfg).core.map_or(0, |c| c.len())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_maximum);
+criterion_main!(benches);

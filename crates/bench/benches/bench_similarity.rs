@@ -1,0 +1,66 @@
+//! Substrate micro-bench: similarity metrics and threshold calibration
+//! (the per-pair cost behind every `DP` counter in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kr_datagen::DatasetPreset;
+use kr_similarity::{top_permille_threshold, Metric, SimilarityOracle, TableOracle, Threshold};
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity");
+    let dblp = DatasetPreset::DblpLike.generate_scaled(0.5);
+    let oracle = TableOracle::new(
+        dblp.attributes.clone(),
+        Metric::WeightedJaccard,
+        Threshold::MinSimilarity(0.4),
+    );
+    let n = dblp.graph.num_vertices() as u32;
+    g.bench_function("weighted_jaccard_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for u in (0..n).step_by(37) {
+                for v in (1..n).step_by(41) {
+                    if u != v && oracle.is_similar(u, v) {
+                        acc += 1;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    let gow = DatasetPreset::GowallaLike.generate_scaled(0.5);
+    let geo = TableOracle::new(
+        gow.attributes.clone(),
+        Metric::Euclidean,
+        Threshold::MaxDistance(8.0),
+    );
+    let ng = gow.graph.num_vertices() as u32;
+    g.bench_function("euclidean_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for u in (0..ng).step_by(37) {
+                for v in (1..ng).step_by(41) {
+                    if u != v && geo.is_similar(u, v) {
+                        acc += 1;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("top_permille_calibration", |b| {
+        b.iter(|| {
+            black_box(top_permille_threshold(
+                &oracle,
+                dblp.graph.num_vertices(),
+                3.0,
+                600,
+                7,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

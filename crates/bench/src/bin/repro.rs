@@ -1,0 +1,58 @@
+//! Regenerates the paper's tables and figures on the synthetic presets.
+//!
+//! ```text
+//! repro                 # run everything
+//! repro fig9a fig10b    # run selected experiments
+//! repro --scale 0.5 --time-limit-ms 3000 all
+//! repro --list
+//! ```
+
+use kr_bench::experiments::{run_experiment, ExpOptions, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut opts = ExpOptions::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a float");
+            }
+            "--time-limit-ms" => {
+                opts.time_limit_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--time-limit-ms needs an integer");
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if ALL_EXPERIMENTS.contains(&other) => ids.push(other.to_string()),
+            other => {
+                eprintln!("unknown experiment or flag {other:?}; try --list");
+                std::process::exit(2);
+            }
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    println!(
+        "# (k,r)-core reproduction | scale={} | per-run budget={} ms (exceeded => INF)\n",
+        opts.scale, opts.time_limit_ms
+    );
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        for table in run_experiment(&id, &opts) {
+            println!("{table}");
+        }
+        println!("[{id} finished in {:.1?}]\n", t0.elapsed());
+    }
+}

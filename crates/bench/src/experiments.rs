@@ -1,0 +1,817 @@
+//! One function per table/figure of the paper's evaluation (Section 8).
+//!
+//! Each experiment returns printable [`Table`]s with the same rows/series
+//! the paper plots. Axes are rescaled to the synthetic presets (documented
+//! per experiment and in `EXPERIMENTS.md`): the geo `r` axis runs in
+//! low-kilometer neighborhood ranges instead of 10–500 km because the
+//! preset cities are ~3 km wide, and `k` sweeps run 3–7 instead of 5–18
+//! because preset sub-groups are ~16 strong.
+
+use crate::datasets::BenchDataset;
+use crate::runner::measure;
+use crate::table::Table;
+use kr_core::{
+    clique_based_maximal_budgeted, enumerate_maximal, find_maximum, AlgoConfig, BoundKind,
+    BranchPolicy, CheckOrder, SearchOrder,
+};
+use kr_datagen::DatasetPreset;
+
+/// Shared experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Dataset scale factor (1.0 = preset defaults).
+    pub scale: f64,
+    /// Per-run wall-clock budget in ms (exceeded => INF, like the paper's
+    /// one-hour cutoff).
+    pub time_limit_ms: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: 1.0,
+            time_limit_ms: 10_000,
+        }
+    }
+}
+
+/// All experiment ids, in paper order, plus two extensions (`x*`) that go
+/// beyond the paper's figures: `xscale` (cost vs dataset size) and
+/// `xbounds` (upper-bound tightness at search roots).
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table3", "fig5", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9a", "fig9b", "fig10a",
+    "fig10b", "fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f", "fig12a", "fig12b",
+    "fig13a", "fig13b", "fig14a", "fig14b", "xscale", "xbounds",
+];
+
+/// Runs an experiment by id.
+///
+/// # Panics
+/// Panics on an unknown id (the `repro` binary validates first).
+pub fn run_experiment(id: &str, opts: &ExpOptions) -> Vec<Table> {
+    match id {
+        "table3" => table3(opts),
+        "fig5" => fig5(opts),
+        "fig6" => fig6(opts),
+        "fig7a" => fig7a(opts),
+        "fig7b" => fig7b(opts),
+        "fig8a" => fig8a(opts),
+        "fig8b" => fig8b(opts),
+        "fig9a" => fig9a(opts),
+        "fig9b" => fig9b(opts),
+        "fig10a" => fig10a(opts),
+        "fig10b" => fig10b(opts),
+        "fig11a" => fig11a(opts),
+        "fig11b" => fig11b(opts),
+        "fig11c" => fig11c(opts),
+        "fig11d" => fig11d(opts),
+        "fig11e" => fig11e(opts),
+        "fig11f" => fig11f(opts),
+        "fig12a" => fig12a(opts),
+        "fig12b" => fig12b(opts),
+        "fig13a" => fig13a(opts),
+        "fig13b" => fig13b(opts),
+        "fig14a" => fig14a(opts),
+        "fig14b" => fig14b(opts),
+        "xscale" => xscale(opts),
+        "xbounds" => xbounds(opts),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+fn limited(cfg: AlgoConfig, opts: &ExpOptions) -> AlgoConfig {
+    cfg.with_time_limit_ms(opts.time_limit_ms)
+}
+
+/// Times one enumeration run; INF when the budget is exceeded.
+fn time_enum(ds: &BenchDataset, k: u32, r: f64, cfg: &AlgoConfig, opts: &ExpOptions) -> String {
+    let p = ds.instance(k, r);
+    let cfg = limited(cfg.clone(), opts);
+    let out = measure(|| enumerate_maximal(&p, &cfg).completed);
+    out.display()
+}
+
+/// Times one maximum run.
+fn time_max(ds: &BenchDataset, k: u32, r: f64, cfg: &AlgoConfig, opts: &ExpOptions) -> String {
+    let p = ds.instance(k, r);
+    let cfg = limited(cfg.clone(), opts);
+    let out = measure(|| find_maximum(&p, &cfg).completed);
+    out.display()
+}
+
+// --------------------------------------------------------------------
+// Table 3: dataset statistics.
+// --------------------------------------------------------------------
+
+fn table3(opts: &ExpOptions) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 3: statistics of datasets (synthetic presets)",
+        &["Dataset", "Nodes", "Edges", "d_avg", "d_max"],
+    );
+    for preset in DatasetPreset::all() {
+        let d = preset.generate_scaled(opts.scale);
+        let (n, m, da, dm) = d.statistics();
+        t.row(vec![
+            d.name.clone(),
+            n.to_string(),
+            m.to_string(),
+            format!("{da:.1}"),
+            dm.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------------
+// Figures 5 & 6: case studies.
+// --------------------------------------------------------------------
+
+/// DBLP case study: inside one k-core, the similarity constraint splits
+/// two research groups that share boundary authors; the maximum core is a
+/// project-team-like cluster.
+fn fig5(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let k = 5;
+    let r = 5.0; // top-5 permille
+    let p = ds.instance(k, r);
+    let res = enumerate_maximal(&p, &limited(AlgoConfig::adv_enum(), opts));
+    let mut t = Table::new(
+        format!("Figure 5(a): overlapping maximal (k,r)-cores, dblp-like, k={k}, r=top {r} permille"),
+        &["Core A", "Core B", "Shared", "A subgroups", "B subgroups"],
+    );
+    // Report overlapping core pairs (the Steven P. Wilder effect).
+    let subgroups = |core: &kr_core::KrCore| {
+        let mut sg: Vec<u32> = core
+            .vertices
+            .iter()
+            .map(|&v| ds.data.subgroup[v as usize])
+            .collect();
+        sg.sort_unstable();
+        sg.dedup();
+        format!("{sg:?}")
+    };
+    let mut reported = 0;
+    'outer: for i in 0..res.cores.len() {
+        for j in (i + 1)..res.cores.len() {
+            let a = &res.cores[i];
+            let b = &res.cores[j];
+            let shared = a
+                .vertices
+                .iter()
+                .filter(|v| b.vertices.binary_search(v).is_ok())
+                .count();
+            if shared > 0 {
+                t.row(vec![
+                    format!("{} authors", a.len()),
+                    format!("{} authors", b.len()),
+                    shared.to_string(),
+                    subgroups(a),
+                    subgroups(b),
+                ]);
+                reported += 1;
+                if reported >= 8 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let max = find_maximum(&p, &limited(AlgoConfig::adv_max(), opts));
+    let mut t2 = Table::new(
+        "Figure 5(b): maximum (k,r)-core (project-team analog)",
+        &["Size", "Subgroups", "Communities"],
+    );
+    if let Some(core) = max.core {
+        let mut sg: Vec<u32> = core
+            .vertices
+            .iter()
+            .map(|&v| ds.data.subgroup[v as usize])
+            .collect();
+        sg.sort_unstable();
+        sg.dedup();
+        let mut cm: Vec<u32> = core
+            .vertices
+            .iter()
+            .map(|&v| ds.data.community[v as usize])
+            .collect();
+        cm.sort_unstable();
+        cm.dedup();
+        t2.row(vec![
+            core.len().to_string(),
+            format!("{sg:?}"),
+            format!("{cm:?}"),
+        ]);
+    }
+    vec![t, t2]
+}
+
+/// Gowalla case study: one k-core splits into geo groups; with the hub
+/// city, the maximum core gravitates to the headquarters.
+fn fig6(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    let k = 4;
+    let r = 8.0; // km
+    let p = ds.instance(k, r);
+    let res = enumerate_maximal(&p, &limited(AlgoConfig::adv_enum(), opts));
+    let pts = match &ds.data.attributes {
+        kr_similarity::AttributeTable::Points(p) => p.clone(),
+        _ => unreachable!("gowalla preset is geo"),
+    };
+    let mut t = Table::new(
+        format!("Figure 6: maximal (k,r)-cores as geo groups, gowalla-like, k={k}, r={r} km"),
+        &["Core size", "Centroid x (km)", "Centroid y (km)", "Spread (km)"],
+    );
+    let mut cores = res.cores.clone();
+    cores.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    for core in cores.iter().take(10) {
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for &v in &core.vertices {
+            cx += pts[v as usize].0;
+            cy += pts[v as usize].1;
+        }
+        let n = core.len() as f64;
+        cx /= n;
+        cy /= n;
+        let spread = core
+            .vertices
+            .iter()
+            .map(|&v| ((pts[v as usize].0 - cx).powi(2) + (pts[v as usize].1 - cy).powi(2)).sqrt())
+            .fold(0.0f64, f64::max);
+        t.row(vec![
+            core.len().to_string(),
+            format!("{cx:.0}"),
+            format!("{cy:.0}"),
+            format!("{spread:.1}"),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------------
+// Figure 7: (k,r)-core statistics.
+// --------------------------------------------------------------------
+
+fn core_stats_sweep(
+    title: String,
+    ds: &BenchDataset,
+    points: &[(u32, f64)],
+    axis_label: &str,
+    opts: &ExpOptions,
+) -> Table {
+    let mut t = Table::new(title, &[axis_label, "#(k,r)-cores", "Max size", "Avg size"]);
+    for &(k, r) in points {
+        let p = ds.instance(k, r);
+        let res = enumerate_maximal(&p, &limited(AlgoConfig::adv_enum(), opts));
+        let (count, max, avg) = res.size_summary();
+        let label = if axis_label.starts_with('k') {
+            k.to_string()
+        } else {
+            format!("{r}")
+        };
+        t.row(vec![
+            label,
+            count.to_string(),
+            max.to_string(),
+            format!("{avg:.1}"),
+        ]);
+    }
+    t
+}
+
+fn fig7a(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    let points: Vec<(u32, f64)> = ds.default_r_sweep().iter().map(|&r| (4, r)).collect();
+    vec![core_stats_sweep(
+        format!("Figure 7(a): core statistics vs r, gowalla-like, k=4 ({})", ds.r_unit()),
+        &ds,
+        &points,
+        "r",
+        opts,
+    )]
+}
+
+fn fig7b(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let points: Vec<(u32, f64)> = [3u32, 4, 5, 6, 7].iter().map(|&k| (k, 3.0)).collect();
+    vec![core_stats_sweep(
+        "Figure 7(b): core statistics vs k, dblp-like, r=top 3 permille".to_string(),
+        &ds,
+        &points,
+        "k",
+        opts,
+    )]
+}
+
+// --------------------------------------------------------------------
+// Figure 8: Clique+ vs BasicEnum.
+// --------------------------------------------------------------------
+
+fn clique_vs_basic(
+    title: String,
+    ds: &BenchDataset,
+    points: &[(u32, f64)],
+    axis_is_k: bool,
+    opts: &ExpOptions,
+) -> Table {
+    let mut t = Table::new(title, &[if axis_is_k { "k" } else { "r" }, "Clique+", "BasicEnum"]);
+    for &(k, r) in points {
+        let p = ds.instance(k, r);
+        let cq = measure(|| clique_based_maximal_budgeted(&p, Some(opts.time_limit_ms)).1);
+        let be = time_enum(ds, k, r, &AlgoConfig::basic_enum(), opts);
+        t.row(vec![
+            if axis_is_k { k.to_string() } else { format!("{r}") },
+            cq.display(),
+            be,
+        ]);
+    }
+    t
+}
+
+fn fig8a(opts: &ExpOptions) -> Vec<Table> {
+    // 2.5x scale: the clique-based method's exponential blow-up needs
+    // components large enough for the similarity graph to get interesting.
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale * 2.5);
+    let points: Vec<(u32, f64)> = [2.0, 6.0, 10.0, 14.0, 18.0].iter().map(|&r| (4, r)).collect();
+    vec![clique_vs_basic(
+        "Figure 8(a): Clique+ vs BasicEnum vs r, gowalla-like x2.5, k=4 (km)".into(),
+        &ds,
+        &points,
+        false,
+        opts,
+    )]
+}
+
+fn fig8b(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale * 2.5);
+    let points: Vec<(u32, f64)> = [7u32, 6, 5, 4, 3].iter().map(|&k| (k, 10.0)).collect();
+    vec![clique_vs_basic(
+        "Figure 8(b): Clique+ vs BasicEnum vs k, dblp-like x2.5, r=top 10 permille".into(),
+        &ds,
+        &points,
+        true,
+        opts,
+    )]
+}
+
+// --------------------------------------------------------------------
+// Figure 9: pruning-technique ablation.
+// --------------------------------------------------------------------
+
+fn enum_ablation(
+    title: String,
+    ds: &BenchDataset,
+    points: &[(u32, f64)],
+    axis_is_k: bool,
+    opts: &ExpOptions,
+) -> Table {
+    let configs = [
+        ("BasicEnum", AlgoConfig::basic_enum()),
+        ("BE+CR", AlgoConfig::be_cr()),
+        ("BE+CR+ET", AlgoConfig::be_cr_et()),
+        ("AdvEnum", AlgoConfig::adv_enum()),
+    ];
+    let mut t = Table::new(
+        title,
+        &[
+            if axis_is_k { "k" } else { "r" },
+            "BasicEnum",
+            "BE+CR",
+            "BE+CR+ET",
+            "AdvEnum",
+        ],
+    );
+    for &(k, r) in points {
+        let mut row = vec![if axis_is_k { k.to_string() } else { format!("{r}") }];
+        for (_, cfg) in &configs {
+            row.push(time_enum(ds, k, r, cfg, opts));
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn fig9a(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    let points: Vec<(u32, f64)> = ds.default_r_sweep().iter().map(|&r| (4, r)).collect();
+    vec![enum_ablation(
+        "Figure 9(a): pruning ablation vs r, gowalla-like, k=4 (km)".into(),
+        &ds,
+        &points,
+        false,
+        opts,
+    )]
+}
+
+fn fig9b(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let points: Vec<(u32, f64)> = [3u32, 4, 5, 6, 7].iter().map(|&k| (k, 10.0)).collect();
+    vec![enum_ablation(
+        "Figure 9(b): pruning ablation vs k, dblp-like, r=top 10 permille".into(),
+        &ds,
+        &points,
+        true,
+        opts,
+    )]
+}
+
+// --------------------------------------------------------------------
+// Figure 10: upper bounds.
+// --------------------------------------------------------------------
+
+fn bound_ablation(
+    title: String,
+    ds: &BenchDataset,
+    points: &[(u32, f64)],
+    axis_is_k: bool,
+    opts: &ExpOptions,
+) -> Table {
+    let configs = [
+        ("|M|+|C|", AlgoConfig::adv_max().with_bound(BoundKind::Naive)),
+        (
+            "Color+Kcore",
+            AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore),
+        ),
+        (
+            "DoubleKcore",
+            AlgoConfig::adv_max().with_bound(BoundKind::DoubleKCore),
+        ),
+    ];
+    let mut t = Table::new(
+        title,
+        &[
+            if axis_is_k { "k" } else { "r" },
+            "|M|+|C|",
+            "Color+Kcore",
+            "DoubleKcore",
+        ],
+    );
+    for &(k, r) in points {
+        let mut row = vec![if axis_is_k { k.to_string() } else { format!("{r}") }];
+        for (_, cfg) in &configs {
+            row.push(time_max(ds, k, r, cfg, opts));
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn fig10a(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let points: Vec<(u32, f64)> = [3.0, 5.0, 8.0, 12.0, 15.0].iter().map(|&r| (4, r)).collect();
+    vec![bound_ablation(
+        "Figure 10(a): size upper bounds vs r, dblp-like, k=4 (top permille)".into(),
+        &ds,
+        &points,
+        false,
+        opts,
+    )]
+}
+
+fn fig10b(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let points: Vec<(u32, f64)> = [3u32, 4, 5, 6, 7].iter().map(|&k| (k, 10.0)).collect();
+    vec![bound_ablation(
+        "Figure 10(b): size upper bounds vs k, dblp-like, r=top 10 permille".into(),
+        &ds,
+        &points,
+        true,
+        opts,
+    )]
+}
+
+// --------------------------------------------------------------------
+// Figure 11: search orders.
+// --------------------------------------------------------------------
+
+fn fig11a(opts: &ExpOptions) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 11(a): lambda tuning for AdvMax",
+        &["lambda", "dblp-like k=4 r=10permille", "gowalla-like k=4 r=12km"],
+    );
+    let dblp = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let gow = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    for lambda in [2.0, 4.0, 5.0, 6.0, 8.0, 10.0] {
+        let cfg = AlgoConfig::adv_max().with_lambda(lambda);
+        t.row(vec![
+            format!("{lambda}"),
+            time_max(&dblp, 4, 10.0, &cfg, opts),
+            time_max(&gow, 4, 12.0, &cfg, opts),
+        ]);
+    }
+    vec![t]
+}
+
+fn fig11b(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let mut t = Table::new(
+        "Figure 11(b): branch policies for AdvMax vs k, dblp-like, r=top 10 permille",
+        &["k", "Expand", "Shrink", "AdvMax(adaptive)"],
+    );
+    for k in [3u32, 4, 5, 6, 7] {
+        t.row(vec![
+            k.to_string(),
+            time_max(&ds, k, 10.0, &AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysExpand), opts),
+            time_max(&ds, k, 10.0, &AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysShrink), opts),
+            time_max(&ds, k, 10.0, &AlgoConfig::adv_max(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+fn fig11c(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let orders = [
+        ("Random", SearchOrder::Random),
+        ("Degree", SearchOrder::Degree),
+        ("D2", SearchOrder::Delta2),
+        ("D1", SearchOrder::Delta1),
+        ("D1-then-D2", SearchOrder::Delta1ThenDelta2),
+        ("lD1-D2", SearchOrder::LambdaDelta),
+    ];
+    let mut header = vec!["k"];
+    header.extend(orders.iter().map(|(n, _)| *n));
+    let mut t = Table::new(
+        "Figure 11(c): vertex orders for AdvMax vs k, dblp-like, r=top 10 permille",
+        &header,
+    );
+    for k in [3u32, 4, 5, 6, 7] {
+        let mut row = vec![k.to_string()];
+        for (_, o) in &orders {
+            row.push(time_max(&ds, k, 10.0, &AlgoConfig::adv_max().with_order(*o), opts));
+        }
+        t.row(row);
+    }
+    vec![t]
+}
+
+fn fig11d(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    let mut t = Table::new(
+        "Figure 11(d): orders for AdvEnum vs r, gowalla-like, k=4 (km)",
+        &["r", "Random", "Degree", "D1-then-D2"],
+    );
+    for r in [2.0, 4.0, 6.0, 8.0, 10.0] {
+        t.row(vec![
+            format!("{r}"),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_order(SearchOrder::Random), opts),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_order(SearchOrder::Degree), opts),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+fn fig11e(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    let mut t = Table::new(
+        "Figure 11(e): orders for AdvEnum vs r, gowalla-like, k=4 (km)",
+        &["r", "D1", "lD1-D2", "D1-then-D2"],
+    );
+    for r in ds.default_r_sweep() {
+        t.row(vec![
+            format!("{r}"),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_order(SearchOrder::Delta1), opts),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_order(SearchOrder::LambdaDelta), opts),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+fn fig11f(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    let mut t = Table::new(
+        "Figure 11(f): orders for CheckMaximal vs r, gowalla-like, k=4 (km)",
+        &["r", "lD1-D2", "D1-then-D2", "Degree"],
+    );
+    for r in ds.default_r_sweep() {
+        t.row(vec![
+            format!("{r}"),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_check_order(CheckOrder::LambdaDelta), opts),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_check_order(CheckOrder::Delta1ThenDelta2), opts),
+            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_check_order(CheckOrder::Degree), opts),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------------
+// Figure 12: all datasets.
+// --------------------------------------------------------------------
+
+/// Per-dataset `(k, r)` used by Figures 12(a)/(b); the paper fixes k = 10
+/// and one r per dataset — we use the preset-scale equivalents.
+fn fig12_points(scale: f64) -> Vec<(BenchDataset, u32, f64)> {
+    vec![
+        (BenchDataset::new(DatasetPreset::BrightkiteLike, scale), 4, 10.0),
+        (BenchDataset::new(DatasetPreset::GowallaLike, scale), 4, 8.0),
+        (BenchDataset::new(DatasetPreset::DblpLike, scale), 4, 3.0),
+        (BenchDataset::new(DatasetPreset::PokecLike, scale), 4, 5.0),
+    ]
+}
+
+fn fig12a(opts: &ExpOptions) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 12(a): enumeration on four datasets (k=4)",
+        &["Dataset", "AdvEnum-O", "AdvEnum-P", "AdvEnum"],
+    );
+    for (ds, k, r) in fig12_points(opts.scale) {
+        t.row(vec![
+            ds.data.name.clone(),
+            time_enum(&ds, k, r, &AlgoConfig::adv_enum_no_order(), opts),
+            time_enum(&ds, k, r, &AlgoConfig::adv_enum_no_pruning(), opts),
+            time_enum(&ds, k, r, &AlgoConfig::adv_enum(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+fn fig12b(opts: &ExpOptions) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 12(b): maximum on four datasets (k=4)",
+        &["Dataset", "AdvMax-O", "AdvMax-UB", "AdvMax"],
+    );
+    for (ds, k, r) in fig12_points(opts.scale) {
+        t.row(vec![
+            ds.data.name.clone(),
+            time_max(&ds, k, r, &AlgoConfig::adv_max_no_order(), opts),
+            time_max(&ds, k, r, &AlgoConfig::adv_max_no_bound(), opts),
+            time_max(&ds, k, r, &AlgoConfig::adv_max(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+// --------------------------------------------------------------------
+// Figures 13 & 14: effect of k and r.
+// --------------------------------------------------------------------
+
+fn fig13a(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    let mut t = Table::new(
+        "Figure 13(a): enumeration vs k, gowalla-like, r=10 km",
+        &["k", "AdvEnum-O", "AdvEnum-P", "AdvEnum"],
+    );
+    for k in [3u32, 4, 5, 6, 7] {
+        t.row(vec![
+            k.to_string(),
+            time_enum(&ds, k, 10.0, &AlgoConfig::adv_enum_no_order(), opts),
+            time_enum(&ds, k, 10.0, &AlgoConfig::adv_enum_no_pruning(), opts),
+            time_enum(&ds, k, 10.0, &AlgoConfig::adv_enum(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+fn fig13b(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let mut t = Table::new(
+        "Figure 13(b): enumeration vs r, dblp-like, k=5 (top permille)",
+        &["r", "AdvEnum-O", "AdvEnum-P", "AdvEnum"],
+    );
+    for r in [1.0, 3.0, 5.0, 10.0, 15.0] {
+        t.row(vec![
+            format!("{r}"),
+            time_enum(&ds, 5, r, &AlgoConfig::adv_enum_no_order(), opts),
+            time_enum(&ds, 5, r, &AlgoConfig::adv_enum_no_pruning(), opts),
+            time_enum(&ds, 5, r, &AlgoConfig::adv_enum(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+fn fig14a(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
+    let mut t = Table::new(
+        "Figure 14(a): maximum vs k, gowalla-like, r=10 km",
+        &["k", "AdvMax-O", "AdvMax-UB", "AdvMax"],
+    );
+    for k in [3u32, 4, 5, 6, 7] {
+        t.row(vec![
+            k.to_string(),
+            time_max(&ds, k, 10.0, &AlgoConfig::adv_max_no_order(), opts),
+            time_max(&ds, k, 10.0, &AlgoConfig::adv_max_no_bound(), opts),
+            time_max(&ds, k, 10.0, &AlgoConfig::adv_max(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+fn fig14b(opts: &ExpOptions) -> Vec<Table> {
+    let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
+    let mut t = Table::new(
+        "Figure 14(b): maximum vs r, dblp-like, k=5 (top permille)",
+        &["r", "AdvMax-O", "AdvMax-UB", "AdvMax"],
+    );
+    for r in [1.0, 3.0, 5.0, 10.0, 15.0] {
+        t.row(vec![
+            format!("{r}"),
+            time_max(&ds, 5, r, &AlgoConfig::adv_max_no_order(), opts),
+            time_max(&ds, 5, r, &AlgoConfig::adv_max_no_bound(), opts),
+            time_max(&ds, 5, r, &AlgoConfig::adv_max(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            scale: 0.12,
+            time_limit_ms: 1200,
+        }
+    }
+
+    #[test]
+    fn table3_has_four_rows() {
+        let t = run_experiment("table3", &quick());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].len(), 4);
+    }
+
+    #[test]
+    fn every_experiment_runs_at_tiny_scale() {
+        for id in ALL_EXPERIMENTS {
+            let tables = run_experiment(id, &quick());
+            assert!(!tables.is_empty(), "{id} returned no tables");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_experiment_panics() {
+        run_experiment("fig99", &quick());
+    }
+}
+
+// --------------------------------------------------------------------
+// Extensions beyond the paper.
+// --------------------------------------------------------------------
+
+/// Extension: wall-clock scaling of the advanced algorithms with dataset
+/// size (the paper evaluates one size per dataset; this sweeps the
+/// generator scale on fixed (k, r)).
+fn xscale(opts: &ExpOptions) -> Vec<Table> {
+    let mut t = Table::new(
+        "Extension: AdvEnum / AdvMax scaling vs dataset size (gowalla-like, k=4, r=10 km)",
+        &["scale", "vertices", "AdvEnum", "AdvMax"],
+    );
+    for mult in [0.5, 1.0, 2.0, 4.0] {
+        let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale * mult);
+        t.row(vec![
+            format!("{mult}x"),
+            ds.data.graph.num_vertices().to_string(),
+            time_enum(&ds, 4, 10.0, &AlgoConfig::adv_enum(), opts),
+            time_max(&ds, 4, 10.0, &AlgoConfig::adv_max(), opts),
+        ]);
+    }
+    vec![t]
+}
+
+/// Extension: tightness of each size upper bound at component roots,
+/// against the true maximum core size (the mechanism behind Figure 10).
+fn xbounds(opts: &ExpOptions) -> Vec<Table> {
+    use kr_core::bounds::size_upper_bound;
+    use kr_core::search::SearchState;
+    let mut t = Table::new(
+        "Extension: root upper-bound tightness (component hosting the maximum core)",
+        &["Dataset", "n", "true max", "|M|+|C|", "Color", "KCore", "ColorKcore", "DoubleKcore"],
+    );
+    for (ds, k, r) in fig12_points(opts.scale) {
+        let p = ds.instance(k, r);
+        let comps = p.preprocess();
+        let Some(max_core) = find_maximum(&p, &limited(AlgoConfig::adv_max(), opts)).core else {
+            continue;
+        };
+        // Compare bounds on the component that actually hosts the maximum
+        // core, so "true max" and the bounds talk about the same subgraph.
+        let Some(comp) = comps.iter().find(|c| {
+            c.local_to_global.binary_search(&max_core.vertices[0]).is_ok()
+        }) else {
+            continue;
+        };
+        let mut st = SearchState::new(comp);
+        if !st.prune_root() {
+            continue;
+        }
+        let truth = max_core.len();
+        let mut row = vec![
+            ds.data.name.clone(),
+            comp.len().to_string(),
+            truth.to_string(),
+        ];
+        for bound in [
+            BoundKind::Naive,
+            BoundKind::Color,
+            BoundKind::KCore,
+            BoundKind::ColorKCore,
+            BoundKind::DoubleKCore,
+        ] {
+            row.push(size_upper_bound(&st, bound).to_string());
+        }
+        t.row(row);
+    }
+    vec![t]
+}

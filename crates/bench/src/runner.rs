@@ -1,0 +1,82 @@
+//! Timing runner with the paper's INF convention.
+//!
+//! The paper sets an algorithm's cost to INF when it exceeds one hour; we
+//! emulate that with a search-node budget plus wall-clock measurement, so
+//! pathological configurations (NaiveEnum on anything real) terminate.
+
+use std::time::{Duration, Instant};
+
+/// Outcome of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOutcome {
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Whether the run finished inside the budget.
+    pub completed: bool,
+}
+
+impl MeasureOutcome {
+    /// Seconds, or `f64::INFINITY` when the budget was exceeded (the
+    /// paper's INF bars).
+    pub fn secs_or_inf(&self) -> f64 {
+        if self.completed {
+            self.elapsed.as_secs_f64()
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Render like the paper's plots: seconds with 3 significant digits or
+    /// "INF".
+    pub fn display(&self) -> String {
+        if self.completed {
+            format_secs(self.elapsed.as_secs_f64())
+        } else {
+            "INF".to_string()
+        }
+    }
+}
+
+/// Formats seconds compactly (`1.23e-3` style for small values).
+pub fn format_secs(s: f64) -> String {
+    if s == f64::INFINITY {
+        "INF".into()
+    } else if s >= 0.1 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.2e}")
+    }
+}
+
+/// Times `f`; `completed` is the boolean the closure returns (wire it to
+/// the algorithm's own `completed` flag).
+pub fn measure(f: impl FnOnce() -> bool) -> MeasureOutcome {
+    let t = Instant::now();
+    let completed = f();
+    MeasureOutcome {
+        elapsed: t.elapsed(),
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_flags() {
+        let ok = measure(|| true);
+        assert!(ok.completed);
+        assert!(ok.secs_or_inf() < 1.0);
+        let bad = measure(|| false);
+        assert_eq!(bad.secs_or_inf(), f64::INFINITY);
+        assert_eq!(bad.display(), "INF");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_secs(1.234), "1.23");
+        assert_eq!(format_secs(f64::INFINITY), "INF");
+        assert!(format_secs(0.000123).contains('e'));
+    }
+}

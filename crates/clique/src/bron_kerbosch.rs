@@ -1,0 +1,216 @@
+//! Pivoted Bron–Kerbosch maximal clique enumeration.
+//!
+//! The recursion maintains the classic three sets: the current clique `R`,
+//! the candidates `P` (vertices adjacent to all of `R` that may extend it),
+//! and the exclusions `X` (vertices adjacent to all of `R` that were
+//! already covered). A maximal clique is reported when both `P` and `X`
+//! are empty. Pivoting on the vertex of `P ∪ X` with the most neighbors in
+//! `P` skips candidates that cannot lead to new maximal cliques; the outer
+//! loop runs in degeneracy order to bound recursion width.
+
+use kr_graph::{degeneracy_order, Graph, VertexId};
+
+/// Enumerates all maximal cliques of `g`, returning them as sorted vertex
+/// lists. Intended for graphs where the result set fits in memory; use
+/// [`maximal_cliques_visit`] to stream.
+pub fn maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    maximal_cliques_visit(g, |clique| {
+        let mut c = clique.to_vec();
+        c.sort_unstable();
+        out.push(c);
+    });
+    out
+}
+
+/// Streams all maximal cliques of `g` to `visit`. Each callback argument is
+/// a maximal clique (unsorted).
+///
+/// Isolated vertices are reported as singleton cliques, matching the
+/// convention that a single vertex is a (trivial) clique.
+pub fn maximal_cliques_visit<F: FnMut(&[VertexId])>(g: &Graph, mut visit: F) {
+    try_maximal_cliques_visit(g, |c| {
+        visit(c);
+        true
+    });
+}
+
+/// Abortable variant of [`maximal_cliques_visit`]: enumeration stops as
+/// soon as `visit` returns `false`. Returns `true` when the enumeration
+/// ran to completion. Clique counts are exponential in the worst case, so
+/// budgeted callers (the Clique+ baseline under the paper's INF cutoff)
+/// need this to bail out.
+pub fn try_maximal_cliques_visit<F: FnMut(&[VertexId]) -> bool>(g: &Graph, mut visit: F) -> bool {
+    let n = g.num_vertices();
+    if n == 0 {
+        return true;
+    }
+    let (order, _) = degeneracy_order(g);
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    let mut r: Vec<VertexId> = Vec::new();
+    for &v in &order {
+        // P = later neighbors in degeneracy order; X = earlier neighbors.
+        let mut p: Vec<VertexId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| rank[u as usize] > rank[v as usize])
+            .collect();
+        let mut x: Vec<VertexId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| rank[u as usize] < rank[v as usize])
+            .collect();
+        r.push(v);
+        let keep_going = bk_pivot(g, &mut r, &mut p, &mut x, &mut visit);
+        r.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Size of the largest clique of `g` (0 for the empty graph). Enumerates
+/// maximal cliques and tracks the maximum — adequate at the scales the
+/// baseline and tests use.
+pub fn max_clique_size(g: &Graph) -> usize {
+    let mut best = 0usize;
+    maximal_cliques_visit(g, |c| best = best.max(c.len()));
+    best
+}
+
+/// Returns false when the visitor aborted the enumeration.
+fn bk_pivot<F: FnMut(&[VertexId]) -> bool>(
+    g: &Graph,
+    r: &mut Vec<VertexId>,
+    p: &mut Vec<VertexId>,
+    x: &mut Vec<VertexId>,
+    visit: &mut F,
+) -> bool {
+    if p.is_empty() && x.is_empty() {
+        return visit(r);
+    }
+    // Pivot: vertex of P ∪ X with most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| count_common(g, u, p))
+        .expect("P ∪ X non-empty");
+    // Candidates not adjacent to the pivot.
+    let candidates: Vec<VertexId> = p
+        .iter()
+        .copied()
+        .filter(|&u| !g.has_edge(pivot, u))
+        .collect();
+    for v in candidates {
+        let new_p: Vec<VertexId> = p.iter().copied().filter(|&u| g.has_edge(v, u)).collect();
+        let new_x: Vec<VertexId> = x.iter().copied().filter(|&u| g.has_edge(v, u)).collect();
+        r.push(v);
+        let (mut np, mut nx) = (new_p, new_x);
+        let keep_going = bk_pivot(g, r, &mut np, &mut nx, visit);
+        r.pop();
+        if !keep_going {
+            return false;
+        }
+        // Move v from P to X.
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+    true
+}
+
+fn count_common(g: &Graph, u: VertexId, p: &[VertexId]) -> usize {
+    p.iter().filter(|&&w| g.has_edge(u, w)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kr_graph::GraphBuilder;
+
+    fn sorted(mut cs: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+        cs.sort();
+        cs
+    }
+
+    fn clique_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_graph_single_maximal() {
+        let g = clique_graph(5);
+        let cs = maximal_cliques(&g);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0], vec![0, 1, 2, 3, 4]);
+        assert_eq!(max_clique_size(&g), 5);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let cs = sorted(maximal_cliques(&g));
+        assert_eq!(cs, vec![vec![0, 1, 2], vec![2, 3]]);
+        assert_eq!(max_clique_size(&g), 3);
+    }
+
+    #[test]
+    fn path_cliques_are_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cs = sorted(maximal_cliques(&g));
+        assert_eq!(cs, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn isolated_vertices_singletons() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let cs = sorted(maximal_cliques(&g));
+        assert_eq!(cs, vec![vec![0, 1], vec![2]]);
+        assert_eq!(max_clique_size(&g), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert!(maximal_cliques(&g).is_empty());
+        assert_eq!(max_clique_size(&g), 0);
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        // 0-1-2 and 1-2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let cs = sorted(maximal_cliques(&g));
+        assert_eq!(cs, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn moon_moser_count() {
+        // The complete tripartite graph K(2,2,2) (octahedron) has 2^3 = 8
+        // maximal cliques (Moon–Moser bound for n = 6).
+        let mut b = GraphBuilder::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6u32 {
+                if u / 2 != v / 2 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let cs = maximal_cliques(&g);
+        assert_eq!(cs.len(), 8);
+        assert!(cs.iter().all(|c| c.len() == 3));
+    }
+}

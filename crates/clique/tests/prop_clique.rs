@@ -1,0 +1,104 @@
+//! Property tests: Bron–Kerbosch output vs a brute-force clique oracle.
+
+use kr_clique::{max_clique_size, maximal_cliques};
+use kr_graph::{Graph, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph(n_max: usize) -> impl Strategy<Value = Graph> {
+    (1..=n_max).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..=max_edges.min(40))
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+fn is_clique(g: &Graph, vs: &[VertexId]) -> bool {
+    for i in 0..vs.len() {
+        for j in (i + 1)..vs.len() {
+            if !g.has_edge(vs[i], vs[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Brute force: all maximal cliques by subset enumeration (n <= ~12).
+fn brute_maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!(n <= 14);
+    let mut cliques: Vec<u32> = Vec::new(); // bitmask per clique
+    for mask in 1u32..(1 << n) {
+        let vs: Vec<VertexId> = (0..n as VertexId).filter(|&v| mask >> v & 1 == 1).collect();
+        if is_clique(g, &vs) {
+            cliques.push(mask);
+        }
+    }
+    // Keep only maximal masks.
+    let mut out = Vec::new();
+    'outer: for &m in &cliques {
+        for &m2 in &cliques {
+            if m != m2 && m & m2 == m {
+                continue 'outer;
+            }
+        }
+        let vs: Vec<VertexId> = (0..n as VertexId).filter(|&v| m >> v & 1 == 1).collect();
+        out.push(vs);
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_brute_force(g in arb_graph(9)) {
+        let mut fast = maximal_cliques(&g);
+        fast.sort();
+        let brute = brute_maximal_cliques(&g);
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn all_outputs_are_maximal_cliques(g in arb_graph(12)) {
+        let cs = maximal_cliques(&g);
+        for c in &cs {
+            prop_assert!(is_clique(&g, c));
+            // Maximality: no vertex outside c is adjacent to all of c.
+            for v in 0..g.num_vertices() as VertexId {
+                if c.contains(&v) { continue; }
+                let extends = c.iter().all(|&u| g.has_edge(u, v));
+                prop_assert!(!extends, "clique {:?} extendable by {}", c, v);
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_cliques(g in arb_graph(12)) {
+        let mut cs = maximal_cliques(&g);
+        let total = cs.len();
+        cs.sort();
+        cs.dedup();
+        prop_assert_eq!(cs.len(), total);
+    }
+
+    #[test]
+    fn max_size_consistent(g in arb_graph(10)) {
+        let cs = maximal_cliques(&g);
+        let best = cs.iter().map(|c| c.len()).max().unwrap_or(0);
+        prop_assert_eq!(max_clique_size(&g), best);
+    }
+
+    #[test]
+    fn every_vertex_in_some_clique(g in arb_graph(12)) {
+        let cs = maximal_cliques(&g);
+        let mut covered = vec![false; g.num_vertices()];
+        for c in &cs {
+            for &v in c {
+                covered[v as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+}

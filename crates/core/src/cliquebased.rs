@@ -1,0 +1,214 @@
+//! The clique-based baseline (Clique+, Section 3).
+//!
+//! A (k,r)-core's vertex set is a clique of the similarity graph, so the
+//! baseline: (1) removes dissimilar edges and peels to the k-core, (2)
+//! *materializes* the similarity graph of each connected component — the
+//! expensive step the paper's algorithms avoid — (3) enumerates its maximal
+//! cliques with Bron–Kerbosch, (4) computes the k-core of the subgraph
+//! induced by each maximal clique and keeps its connected pieces, and (5)
+//! filters non-maximal results.
+
+use crate::component::LocalComponent;
+use crate::problem::ProblemInstance;
+use crate::result::{filter_maximal, CoreSink, KrCore};
+use kr_clique::try_maximal_cliques_visit;
+use kr_graph::VertexId;
+use kr_similarity::build_similarity_graph;
+
+/// Enumerates all maximal (k,r)-cores with the Clique+ baseline.
+pub fn clique_based_maximal(problem: &ProblemInstance) -> Vec<KrCore> {
+    clique_based_maximal_budgeted(problem, None).0
+}
+
+/// Budgeted Clique+: aborts once `time_limit_ms` elapses (maximal-clique
+/// counts are exponential in the worst case — this is the paper's Figure 8
+/// INF case). Returns the cores found so far and whether the run finished.
+pub fn clique_based_maximal_budgeted(
+    problem: &ProblemInstance,
+    time_limit_ms: Option<u64>,
+) -> (Vec<KrCore>, bool) {
+    let deadline = time_limit_ms
+        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    let comps = problem.preprocess();
+    let mut sink = CoreSink::new();
+    let mut completed = true;
+    for comp in &comps {
+        if !clique_based_component(problem, comp, &mut sink, deadline) {
+            completed = false;
+            break;
+        }
+    }
+    let mut cores = filter_maximal(sink.into_cores());
+    cores.sort_by(|a, b| a.vertices.cmp(&b.vertices));
+    (cores, completed)
+}
+
+/// The maximum (k,r)-core via the baseline (largest maximal core).
+pub fn clique_based_maximum(problem: &ProblemInstance) -> Option<KrCore> {
+    clique_based_maximal(problem)
+        .into_iter()
+        .max_by_key(|c| c.len())
+}
+
+/// Returns false when the deadline fired mid-enumeration.
+fn clique_based_component(
+    problem: &ProblemInstance,
+    comp: &LocalComponent,
+    sink: &mut CoreSink,
+    deadline: Option<std::time::Instant>,
+) -> bool {
+    // Materialize the similarity graph over the component members
+    // (renumbered 0..n in `local_to_global` order, which matches the
+    // component's own local ids) — the quadratic step the paper's search
+    // algorithms avoid.
+    let simgraph = build_similarity_graph(problem.oracle(), &comp.local_to_global);
+    let k = comp.k;
+    try_maximal_cliques_visit(&simgraph, |clique| {
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return false;
+            }
+        }
+        if clique.len() > k as usize {
+            // k-core of the structure subgraph induced by the clique.
+            let core = local_k_core(comp, clique, k);
+            for piece in local_components(comp, &core) {
+                if piece.len() > k as usize {
+                    sink.push(KrCore::new(comp.globalize(&piece)));
+                }
+            }
+        }
+        true
+    })
+}
+
+/// k-core peeling of the subgraph of `comp` induced by `subset`.
+fn local_k_core(comp: &LocalComponent, subset: &[VertexId], k: u32) -> Vec<VertexId> {
+    let n = comp.len();
+    let mut alive = vec![false; n];
+    for &v in subset {
+        alive[v as usize] = true;
+    }
+    let mut deg = vec![0u32; n];
+    for &v in subset {
+        deg[v as usize] = comp.adj[v as usize]
+            .iter()
+            .filter(|&&w| alive[w as usize])
+            .count() as u32;
+    }
+    let mut queue: Vec<VertexId> = subset
+        .iter()
+        .copied()
+        .filter(|&v| deg[v as usize] < k)
+        .collect();
+    for &v in &queue {
+        alive[v as usize] = false;
+    }
+    while let Some(v) = queue.pop() {
+        for &w in &comp.adj[v as usize] {
+            if alive[w as usize] {
+                deg[w as usize] -= 1;
+                if deg[w as usize] < k {
+                    alive[w as usize] = false;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    subset
+        .iter()
+        .copied()
+        .filter(|&v| alive[v as usize])
+        .collect()
+}
+
+/// Connected pieces of a local vertex subset.
+fn local_components(comp: &LocalComponent, subset: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let mut in_set = vec![false; comp.len()];
+    for &v in subset {
+        in_set[v as usize] = true;
+    }
+    let mut seen = vec![false; comp.len()];
+    let mut out = Vec::new();
+    for &s in subset {
+        if seen[s as usize] {
+            continue;
+        }
+        let mut piece = vec![];
+        let mut stack = vec![s];
+        seen[s as usize] = true;
+        while let Some(v) = stack.pop() {
+            piece.push(v);
+            for &w in &comp.adj[v as usize] {
+                if in_set[w as usize] && !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        piece.sort_unstable();
+        out.push(piece);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgoConfig;
+    use crate::enumerate::enumerate_maximal;
+    use kr_graph::Graph;
+    use kr_similarity::{AttributeTable, Metric, Threshold};
+
+    fn instance(r: f64) -> ProblemInstance {
+        let mut edges = vec![];
+        for group in [[0u32, 1, 2, 3], [3u32, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((group[i], group[j]));
+                }
+            }
+        }
+        let g = Graph::from_edges(7, &edges);
+        let pts = vec![
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (5.0, 0.0),
+            (10.0, 0.0),
+            (11.0, 0.0),
+            (10.0, 1.0),
+        ];
+        ProblemInstance::new(
+            g,
+            AttributeTable::points(pts),
+            Metric::Euclidean,
+            Threshold::MaxDistance(r),
+            2,
+        )
+    }
+
+    #[test]
+    fn matches_advanced_enumeration() {
+        for r in [0.5, 7.0, 100.0] {
+            let p = instance(r);
+            let fast = enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores;
+            let baseline = clique_based_maximal(&p);
+            assert_eq!(fast, baseline, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn maximum_agrees() {
+        let p = instance(7.0);
+        let m = clique_based_maximum(&p).unwrap();
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn empty_when_no_core() {
+        let p = instance(0.1);
+        assert!(clique_based_maximal(&p).is_empty());
+        assert!(clique_based_maximum(&p).is_none());
+    }
+}

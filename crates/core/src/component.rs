@@ -1,0 +1,186 @@
+//! Local search arena.
+//!
+//! After preprocessing, each connected k-core component is renumbered to
+//! `0..n` and equipped with adjacency lists plus *dissimilarity* lists (the
+//! pairs that violate the similarity constraint — exactly the pairs the
+//! paper's `DP(·)` counters range over). All search algorithms operate on
+//! this arena with dense arrays.
+
+use kr_graph::{Graph, VertexId};
+use kr_similarity::{build_dissimilarity_lists, SimilarityOracle};
+
+/// A renumbered connected component of the preprocessed k-core.
+#[derive(Debug, Clone)]
+pub struct LocalComponent {
+    /// Adjacency (local ids), sorted per vertex.
+    pub adj: Vec<Vec<VertexId>>,
+    /// Dissimilar partners (local ids), sorted per vertex.
+    pub dis: Vec<Vec<VertexId>>,
+    /// Total number of dissimilar unordered pairs.
+    pub num_dissimilar_pairs: usize,
+    /// Map back to global vertex ids.
+    pub local_to_global: Vec<VertexId>,
+    /// The degree threshold the component was built for.
+    pub k: u32,
+}
+
+impl LocalComponent {
+    /// Builds the arena for `members` (global ids) of `graph`, evaluating
+    /// the oracle on all `|members|^2 / 2` pairs once.
+    pub fn build<O: SimilarityOracle>(
+        graph: &Graph,
+        oracle: &O,
+        members: &[VertexId],
+        k: u32,
+    ) -> Self {
+        let mut local_to_global = members.to_vec();
+        local_to_global.sort_unstable();
+        let n = local_to_global.len();
+        let mut global_to_local = std::collections::HashMap::with_capacity(n);
+        for (i, &g) in local_to_global.iter().enumerate() {
+            global_to_local.insert(g, i as VertexId);
+        }
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for (i, &g) in local_to_global.iter().enumerate() {
+            for &u in graph.neighbors(g) {
+                if let Some(&lu) = global_to_local.get(&u) {
+                    adj[i].push(lu);
+                }
+            }
+            adj[i].sort_unstable();
+        }
+        let d = build_dissimilarity_lists(oracle, &local_to_global);
+        LocalComponent {
+            adj,
+            dis: d.lists,
+            num_dissimilar_pairs: d.num_pairs,
+            local_to_global,
+            k,
+        }
+    }
+
+    /// Builds a component directly from local adjacency + dissimilarity
+    /// lists (used by unit tests to craft exact scenarios).
+    pub fn from_parts(adj: Vec<Vec<VertexId>>, dis: Vec<Vec<VertexId>>, k: u32) -> Self {
+        assert_eq!(adj.len(), dis.len());
+        let n = adj.len();
+        let num_dissimilar_pairs = dis.iter().map(|l| l.len()).sum::<usize>() / 2;
+        let mut adj = adj;
+        let mut dis = dis;
+        for l in adj.iter_mut().chain(dis.iter_mut()) {
+            l.sort_unstable();
+            l.dedup();
+        }
+        LocalComponent {
+            adj,
+            dis,
+            num_dissimilar_pairs,
+            local_to_global: (0..n as VertexId).collect(),
+            k,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True iff the component is empty.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).max().unwrap_or(0)
+    }
+
+    /// Whether local vertices `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Whether local vertices `u` and `v` are dissimilar.
+    pub fn are_dissimilar(&self, u: VertexId, v: VertexId) -> bool {
+        self.dis[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Maps a local vertex set back to sorted global ids.
+    pub fn globalize(&self, locals: &[VertexId]) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = locals
+            .iter()
+            .map(|&l| self.local_to_global[l as usize])
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kr_similarity::{AttributeTable, Metric, TableOracle, Threshold};
+
+    #[test]
+    fn builds_adjacency_and_dissimilarity() {
+        // Global graph on vertices {2, 5, 7}: edges 2-5, 5-7.
+        let g = Graph::from_edges(8, &[(2, 5), (5, 7), (0, 1)]);
+        let oracle = TableOracle::new(
+            AttributeTable::points(vec![
+                (0.0, 0.0),
+                (0.0, 0.0),
+                (0.0, 0.0), // v2
+                (0.0, 0.0),
+                (0.0, 0.0),
+                (1.0, 0.0), // v5
+                (0.0, 0.0),
+                (9.0, 0.0), // v7
+            ]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(2.0),
+        );
+        let c = LocalComponent::build(&g, &oracle, &[2, 5, 7], 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.local_to_global, vec![2, 5, 7]);
+        // Local: 0=g2, 1=g5, 2=g7. Edges 0-1, 1-2.
+        assert!(c.has_edge(0, 1));
+        assert!(c.has_edge(1, 2));
+        assert!(!c.has_edge(0, 2));
+        // Distances: g2-g5 = 1 (similar), g5-g7 = 8 (dissimilar), g2-g7 = 9.
+        assert!(c.are_dissimilar(1, 2));
+        assert!(c.are_dissimilar(0, 2));
+        assert!(!c.are_dissimilar(0, 1));
+        assert_eq!(c.num_dissimilar_pairs, 2);
+        assert_eq!(c.num_edges(), 2);
+        assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn globalize_sorts() {
+        let g = Graph::from_edges(6, &[(1, 3), (3, 5)]);
+        let oracle = TableOracle::new(
+            AttributeTable::points(vec![(0.0, 0.0); 6]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(1.0),
+        );
+        let c = LocalComponent::build(&g, &oracle, &[1, 3, 5], 1);
+        assert_eq!(c.globalize(&[2, 0]), vec![1, 5]);
+    }
+
+    #[test]
+    fn from_parts_computes_pairs() {
+        let c = LocalComponent::from_parts(
+            vec![vec![1], vec![0, 2], vec![1]],
+            vec![vec![2], vec![], vec![0]],
+            1,
+        );
+        assert_eq!(c.num_dissimilar_pairs, 1);
+        assert!(c.are_dissimilar(0, 2));
+        assert!(!c.are_dissimilar(0, 1));
+    }
+}

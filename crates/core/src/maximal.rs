@@ -1,0 +1,393 @@
+//! Maximal check (Theorem 6, Algorithm 4).
+//!
+//! Given a freshly found (k,r)-core `R` and the relevant excluded set `E`
+//! (plus any co-leaf vertices outside `R`), `R` is maximal iff no non-empty
+//! subset `U` of those vertices yields a (k,r)-core `R ∪ U`. The check is
+//! itself a small expand/shrink search: candidates dissimilar to `R` are
+//! dropped up front, the rest are branched on with the degree order and
+//! expand-first policy of Section 7.4, and the search exits at the first
+//! strictly larger core found.
+
+use crate::component::LocalComponent;
+use crate::config::CheckOrder;
+use kr_graph::VertexId;
+
+/// Returns true iff `core` (local ids, a valid (k,r)-core of `comp`)
+/// cannot be extended by any subset of `candidates` into a larger
+/// (k,r)-core. `candidates` must cover every vertex that could possibly
+/// extend `core` (Theorem 6's `E`, plus co-leaf vertices when applicable).
+pub fn check_maximal(
+    comp: &LocalComponent,
+    k: u32,
+    core: &[VertexId],
+    candidates: &[VertexId],
+) -> bool {
+    check_maximal_with_order(comp, k, core, candidates, CheckOrder::Degree, 5.0)
+}
+
+/// [`check_maximal`] with an explicit candidate order — the ablation of
+/// Figure 11(f). `Degree` (the paper's pick for this sub-search) chooses
+/// the candidate with the most neighbors inside `M ∪ C`; the other two
+/// approximate the enumeration/maximum orders on the check's smaller
+/// state: `Δ1` counts a candidate's dissimilar partners among the
+/// remaining candidates, `Δ2` its degree share.
+pub fn check_maximal_with_order(
+    comp: &LocalComponent,
+    k: u32,
+    core: &[VertexId],
+    candidates: &[VertexId],
+    order: CheckOrder,
+    lambda: f64,
+) -> bool {
+    let n = comp.len();
+    let mut in_m = vec![false; n];
+    for &v in core {
+        in_m[v as usize] = true;
+    }
+    // Pre-filter: keep only candidates similar to every member of R.
+    let cand: Vec<VertexId> = candidates
+        .iter()
+        .copied()
+        .filter(|&x| !in_m[x as usize])
+        .filter(|&x| {
+            comp.dis[x as usize]
+                .iter()
+                .all(|&w| !in_m[w as usize])
+        })
+        .collect();
+    if cand.is_empty() {
+        return true;
+    }
+    let mut m_list: Vec<VertexId> = core.to_vec();
+    let r_len = core.len();
+    !extend_search(comp, k, &mut in_m, &mut m_list, r_len, cand, order, lambda)
+}
+
+/// Depth-first extension search; true iff some strictly larger core was
+/// found.
+#[allow(clippy::too_many_arguments)]
+fn extend_search(
+    comp: &LocalComponent,
+    k: u32,
+    in_m: &mut Vec<bool>,
+    m_list: &mut Vec<VertexId>,
+    r_len: usize,
+    mut cand: Vec<VertexId>,
+    order: CheckOrder,
+    lambda: f64,
+) -> bool {
+    // Pruning fixpoint: a candidate needs degree >= k inside M ∪ C to ever
+    // satisfy the constraint (Theorem 2), and must be reachable from R
+    // through M ∪ C to ever join a *connected* superset core.
+    let mut in_c = vec![false; comp.len()];
+    loop {
+        let before = cand.len();
+        for x in in_c.iter_mut() {
+            *x = false;
+        }
+        for &c in &cand {
+            in_c[c as usize] = true;
+        }
+        cand.retain(|&c| {
+            let d = comp.adj[c as usize]
+                .iter()
+                .filter(|&&w| in_m[w as usize] || in_c[w as usize])
+                .count() as u32;
+            if d < k {
+                in_c[c as usize] = false;
+                false
+            } else {
+                true
+            }
+        });
+        // Connectivity: BFS from R over M ∪ C. Unreachable candidates can
+        // never contribute; an unreachable *chosen* vertex kills the branch.
+        let mut seen = vec![false; comp.len()];
+        let mut stack = vec![m_list[0]];
+        seen[m_list[0] as usize] = true;
+        while let Some(v) = stack.pop() {
+            for &w in &comp.adj[v as usize] {
+                let wi = w as usize;
+                if !seen[wi] && (in_m[wi] || in_c[wi]) {
+                    seen[wi] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        if m_list.iter().any(|&v| !seen[v as usize]) {
+            return false;
+        }
+        cand.retain(|&c| {
+            if seen[c as usize] {
+                true
+            } else {
+                in_c[c as usize] = false;
+                false
+            }
+        });
+        if cand.len() == before {
+            break;
+        }
+    }
+    // Is the current M = R ∪ chosen a strictly larger (k,r)-core?
+    if m_list.len() > r_len
+        && chosen_satisfy_structure(comp, k, in_m, &m_list[r_len..])
+        && is_m_connected(comp, in_m, m_list)
+    {
+        return true;
+    }
+    if cand.is_empty() {
+        return false;
+    }
+    // Dead-branch cut: chosen vertices can never exceed their degree in
+    // the full M ∪ C; if one cannot reach k even there, no subset helps.
+    for &x in &m_list[r_len..] {
+        let d = comp.adj[x as usize]
+            .iter()
+            .filter(|&&w| in_m[w as usize] || in_c[w as usize])
+            .count() as u32;
+        if d < k {
+            return false;
+        }
+    }
+    // Singleton accept: one candidate alone may already extend M.
+    for &c in &cand {
+        let d = comp.adj[c as usize]
+            .iter()
+            .filter(|&&w| in_m[w as usize])
+            .count() as u32;
+        if d >= k {
+            in_m[c as usize] = true;
+            m_list.push(c);
+            let ok = chosen_satisfy_structure(comp, k, in_m, &m_list[r_len..])
+                && is_m_connected(comp, in_m, m_list);
+            m_list.pop();
+            in_m[c as usize] = false;
+            if ok {
+                return true;
+            }
+        }
+    }
+    // All-similar accept: with no dissimilar pair left among candidates,
+    // M ∪ C itself is a valid extension — the fixpoint guarantees candidate
+    // degrees and R-reachability, and chosen degrees were just verified
+    // against the full M ∪ C.
+    let any_dissimilar = cand.iter().any(|&c| {
+        comp.dis[c as usize]
+            .iter()
+            .any(|&w| in_c[w as usize])
+    });
+    if !any_dissimilar {
+        return true;
+    }
+    let deg_of = |c: VertexId| {
+        comp.adj[c as usize]
+            .iter()
+            .filter(|&&w| in_m[w as usize] || in_c[w as usize])
+            .count()
+    };
+    let dis_of = |c: VertexId| {
+        comp.dis[c as usize]
+            .iter()
+            .filter(|&&w| in_c[w as usize])
+            .count()
+    };
+    let u = match order {
+        // Highest degree within M ∪ C (Section 7.4, the winner here).
+        CheckOrder::Degree => cand
+            .iter()
+            .copied()
+            .max_by_key(|&c| deg_of(c))
+            .expect("non-empty candidates"),
+        // Enumeration-style: most dissimilar partners first, degree ties.
+        CheckOrder::Delta1ThenDelta2 => cand
+            .iter()
+            .copied()
+            .max_by_key(|&c| (dis_of(c), deg_of(c)))
+            .expect("non-empty candidates"),
+        // Maximum-style score.
+        CheckOrder::LambdaDelta => {
+            let total_dis = cand.iter().map(|&c| dis_of(c)).sum::<usize>().max(1) as f64;
+            let total_deg = cand.iter().map(|&c| deg_of(c)).sum::<usize>().max(1) as f64;
+            cand.iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let sa = lambda * dis_of(a) as f64 / total_dis - deg_of(a) as f64 / total_deg;
+                    let sb = lambda * dis_of(b) as f64 / total_dis - deg_of(b) as f64 / total_deg;
+                    sa.partial_cmp(&sb).expect("no NaN")
+                })
+                .expect("non-empty candidates")
+        }
+    };
+
+    // Expand branch first.
+    let expand_cand: Vec<VertexId> = cand
+        .iter()
+        .copied()
+        .filter(|&c| c != u && !comp.are_dissimilar(c, u))
+        .collect();
+    in_m[u as usize] = true;
+    m_list.push(u);
+    if extend_search(comp, k, in_m, m_list, r_len, expand_cand, order, lambda) {
+        // Leave state dirty — caller stops immediately on success.
+        m_list.pop();
+        in_m[u as usize] = false;
+        return true;
+    }
+    m_list.pop();
+    in_m[u as usize] = false;
+
+    // Shrink branch.
+    let shrink_cand: Vec<VertexId> = cand.iter().copied().filter(|&c| c != u).collect();
+    extend_search(comp, k, in_m, m_list, r_len, shrink_cand, order, lambda)
+}
+
+/// Chosen vertices must reach degree >= k inside M (R vertices already do,
+/// inside R).
+fn chosen_satisfy_structure(
+    comp: &LocalComponent,
+    k: u32,
+    in_m: &[bool],
+    chosen: &[VertexId],
+) -> bool {
+    chosen.iter().all(|&c| {
+        let d = comp.adj[c as usize]
+            .iter()
+            .filter(|&&w| in_m[w as usize])
+            .count() as u32;
+        d >= k
+    })
+}
+
+/// BFS connectivity of the current M.
+fn is_m_connected(comp: &LocalComponent, in_m: &[bool], m_list: &[VertexId]) -> bool {
+    if m_list.len() <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; comp.len()];
+    let mut stack = vec![m_list[0]];
+    seen[m_list[0] as usize] = true;
+    let mut count = 0usize;
+    while let Some(v) = stack.pop() {
+        count += 1;
+        for &w in &comp.adj[v as usize] {
+            if in_m[w as usize] && !seen[w as usize] {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    count == m_list.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-clique {0,1,2,3} all similar; k = 2.
+    fn clique4() -> LocalComponent {
+        LocalComponent::from_parts(
+            vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]],
+            vec![vec![]; 4],
+            2,
+        )
+    }
+
+    #[test]
+    fn sub_triangle_not_maximal() {
+        let comp = clique4();
+        assert!(!check_maximal(&comp, 2, &[0, 1, 2], &[3]));
+    }
+
+    #[test]
+    fn full_clique_maximal() {
+        let comp = clique4();
+        assert!(check_maximal(&comp, 2, &[0, 1, 2, 3], &[]));
+    }
+
+    #[test]
+    fn dissimilar_candidate_cannot_extend() {
+        // {0,1,2} triangle; 3 adjacent to all but dissimilar to 0.
+        let comp = LocalComponent::from_parts(
+            vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]],
+            vec![vec![3], vec![], vec![], vec![0]],
+            2,
+        );
+        assert!(check_maximal(&comp, 2, &[0, 1, 2], &[3]));
+    }
+
+    #[test]
+    fn low_degree_candidate_cannot_extend() {
+        // Triangle {0,1,2}; 3 attached only to 2 -> degree 1 < 2.
+        let comp = LocalComponent::from_parts(
+            vec![vec![1, 2], vec![0, 2], vec![0, 1, 3], vec![2]],
+            vec![vec![]; 4],
+            2,
+        );
+        assert!(check_maximal(&comp, 2, &[0, 1, 2], &[3]));
+    }
+
+    #[test]
+    fn pair_of_candidates_extends_together() {
+        // Example 6 pattern: neither 4 nor 5 alone extends the square
+        // {0,1,2,3} (k = 2), but together they do.
+        // Square 0-1-2-3-0; 4 adjacent to 0 and 5; 5 adjacent to 1 and 4.
+        let comp = LocalComponent::from_parts(
+            vec![
+                vec![1, 3, 4],
+                vec![0, 2, 5],
+                vec![1, 3],
+                vec![0, 2],
+                vec![0, 5],
+                vec![1, 4],
+            ],
+            vec![vec![]; 6],
+            2,
+        );
+        assert!(!check_maximal(&comp, 2, &[0, 1, 2, 3], &[4, 5]));
+        // Individually they die in the structure-prune fixpoint.
+        assert!(check_maximal(&comp, 2, &[0, 1, 2, 3], &[4]));
+        assert!(check_maximal(&comp, 2, &[0, 1, 2, 3], &[5]));
+    }
+
+    #[test]
+    fn disconnected_extension_rejected() {
+        // Triangle {0,1,2} plus a far triangle {3,4,5} with no edges
+        // between them: even though degrees work out inside {3,4,5}, the
+        // union is disconnected, so {0,1,2} stays maximal.
+        let comp = LocalComponent::from_parts(
+            vec![
+                vec![1, 2],
+                vec![0, 2],
+                vec![0, 1],
+                vec![4, 5],
+                vec![3, 5],
+                vec![3, 4],
+            ],
+            vec![vec![]; 6],
+            2,
+        );
+        assert!(check_maximal(&comp, 2, &[0, 1, 2], &[3, 4, 5]));
+    }
+
+    #[test]
+    fn mutually_dissimilar_candidates_branch() {
+        // Square {0,1,2,3}; 4 and 5 both could extend but are dissimilar
+        // to each other AND each alone has degree 2 via the square.
+        // 4 adjacent to 0,1; 5 adjacent to 2,3; dis(4,5).
+        let comp = LocalComponent::from_parts(
+            vec![
+                vec![1, 3, 4],
+                vec![0, 2, 4],
+                vec![1, 3, 5],
+                vec![0, 2, 5],
+                vec![0, 1],
+                vec![2, 3],
+            ],
+            vec![vec![], vec![], vec![], vec![], vec![5], vec![4]],
+            2,
+        );
+        // {0,1,2,3,4} is a core (4 has degree 2) -> not maximal.
+        assert!(!check_maximal(&comp, 2, &[0, 1, 2, 3], &[4, 5]));
+    }
+}

@@ -1,0 +1,168 @@
+//! Result types and the dedup sink.
+
+use kr_graph::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One (k,r)-core, as a sorted set of *global* vertex ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KrCore {
+    /// Sorted member vertices.
+    pub vertices: Vec<VertexId>,
+}
+
+impl KrCore {
+    /// Builds from any vertex list (sorted + deduped).
+    pub fn new(mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        KrCore { vertices }
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Subset test (both sorted).
+    pub fn is_subset_of(&self, other: &KrCore) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut it = other.vertices.iter();
+        'outer: for v in &self.vertices {
+            for w in it.by_ref() {
+                match w.cmp(v) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// Deduplicating collector for enumeration results.
+#[derive(Debug, Default)]
+pub struct CoreSink {
+    seen: HashSet<Vec<VertexId>>,
+    cores: Vec<KrCore>,
+}
+
+impl CoreSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        CoreSink::default()
+    }
+
+    /// Inserts a core unless an identical vertex set was seen. Returns true
+    /// if the core was new.
+    pub fn push(&mut self, core: KrCore) -> bool {
+        if self.seen.insert(core.vertices.clone()) {
+            self.cores.push(core);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of distinct cores collected.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True iff no cores collected.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Consumes the sink; returns the distinct cores.
+    pub fn into_cores(self) -> Vec<KrCore> {
+        self.cores
+    }
+
+    /// Consumes the sink; returns only the cores that are maximal within
+    /// the collected family (the naive post-filter of Algorithm 1 lines
+    /// 6–8).
+    pub fn into_maximal(self) -> Vec<KrCore> {
+        filter_maximal(self.cores)
+    }
+}
+
+/// Removes every core strictly contained in another collected core.
+pub fn filter_maximal(mut cores: Vec<KrCore>) -> Vec<KrCore> {
+    cores.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut kept: Vec<KrCore> = Vec::new();
+    'outer: for c in cores {
+        for k in &kept {
+            if c.is_subset_of(k) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    kept.sort_by(|a, b| a.vertices.cmp(&b.vertices));
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_new_sorts_and_dedups() {
+        let c = KrCore::new(vec![3, 1, 3, 2]);
+        assert_eq!(c.vertices, vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn subset_tests() {
+        let a = KrCore::new(vec![1, 2]);
+        let b = KrCore::new(vec![1, 2, 3]);
+        let c = KrCore::new(vec![2, 4]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(!c.is_subset_of(&b));
+        assert!(a.is_subset_of(&a));
+        assert!(KrCore::new(vec![]).is_subset_of(&a));
+    }
+
+    #[test]
+    fn sink_dedups() {
+        let mut s = CoreSink::new();
+        assert!(s.push(KrCore::new(vec![1, 2])));
+        assert!(!s.push(KrCore::new(vec![2, 1])));
+        assert!(s.push(KrCore::new(vec![1, 3])));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn filter_maximal_removes_contained() {
+        let cores = vec![
+            KrCore::new(vec![1, 2]),
+            KrCore::new(vec![1, 2, 3]),
+            KrCore::new(vec![4, 5]),
+            KrCore::new(vec![4, 5]),
+        ];
+        let kept = filter_maximal(cores);
+        // {1,2} contained in {1,2,3}; the duplicate {4,5} collapses (a set
+        // is a subset of its equal).
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&KrCore::new(vec![1, 2, 3])));
+        assert!(kept.contains(&KrCore::new(vec![4, 5])));
+    }
+
+    #[test]
+    fn filter_maximal_keeps_incomparable() {
+        let cores = vec![KrCore::new(vec![1, 2]), KrCore::new(vec![2, 3])];
+        assert_eq!(filter_maximal(cores).len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Independent result verification.
+//!
+//! Checks results straight against Definitions 1–4 (structure constraint,
+//! similarity constraint, connectivity, maximality) with no shared code
+//! with the search engine — used by tests as an oracle and available to
+//! users for auditing.
+
+use crate::problem::ProblemInstance;
+use crate::result::KrCore;
+use kr_graph::components::is_connected;
+use kr_graph::VertexId;
+use kr_similarity::SimilarityOracle;
+
+/// Definition 3: is `core` a (k,r)-core of the instance?
+pub fn is_kr_core(problem: &ProblemInstance, core: &KrCore) -> bool {
+    let vs = &core.vertices;
+    if vs.len() <= problem.k() as usize {
+        return false; // need degree >= k inside, so at least k+1 vertices
+    }
+    let g = problem.graph();
+    let inset: std::collections::HashSet<VertexId> = vs.iter().copied().collect();
+    // Structure constraint.
+    for &v in vs {
+        let deg = g.neighbors(v).iter().filter(|u| inset.contains(u)).count();
+        if (deg as u32) < problem.k() {
+            return false;
+        }
+    }
+    // Similarity constraint.
+    for i in 0..vs.len() {
+        for j in (i + 1)..vs.len() {
+            if !problem.oracle().is_similar(vs[i], vs[j]) {
+                return false;
+            }
+        }
+    }
+    // Connectivity.
+    is_connected(g, vs)
+}
+
+/// Definition 4: is `core` a *maximal* (k,r)-core? Checked by brute force:
+/// try to grow it by every subset of candidate vertices that are similar to
+/// all members — exponential, test-scale only (candidate pools ≤ 20).
+pub fn is_maximal_kr_core(problem: &ProblemInstance, core: &KrCore) -> bool {
+    if !is_kr_core(problem, core) {
+        return false;
+    }
+    let g = problem.graph();
+    let inset: std::collections::HashSet<VertexId> = core.vertices.iter().copied().collect();
+    // Candidates: vertices similar to every member.
+    let candidates: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|v| !inset.contains(v))
+        .filter(|&v| core.vertices.iter().all(|&u| problem.oracle().is_similar(u, v)))
+        .collect();
+    assert!(
+        candidates.len() <= 20,
+        "brute-force maximality check infeasible: {} candidates",
+        candidates.len()
+    );
+    // Any non-empty subset U of mutually-similar candidates with
+    // core ∪ U a (k,r)-core refutes maximality.
+    for mask in 1u32..(1u32 << candidates.len()) {
+        let mut vs = core.vertices.clone();
+        for (i, &c) in candidates.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                vs.push(c);
+            }
+        }
+        if is_kr_core(problem, &KrCore::new(vs)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Verifies an enumeration answer: every entry is a (k,r)-core and no entry
+/// contains another. Returns an error description on the first violation.
+pub fn verify_maximal_family(problem: &ProblemInstance, cores: &[KrCore]) -> Result<(), String> {
+    for (i, c) in cores.iter().enumerate() {
+        if !is_kr_core(problem, c) {
+            return Err(format!("entry {i} is not a (k,r)-core: {:?}", c.vertices));
+        }
+    }
+    for i in 0..cores.len() {
+        for j in 0..cores.len() {
+            if i != j && cores[i].is_subset_of(&cores[j]) {
+                return Err(format!(
+                    "entry {i} ⊆ entry {j}: {:?} ⊆ {:?}",
+                    cores[i].vertices, cores[j].vertices
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kr_graph::Graph;
+    use kr_similarity::{AttributeTable, Metric, Threshold};
+
+    fn toy() -> ProblemInstance {
+        // Two triangles joined by an edge; left triangle near origin, right
+        // far away.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+        let pts = vec![
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (100.0, 0.0),
+            (101.0, 0.0),
+            (100.0, 1.0),
+        ];
+        ProblemInstance::new(
+            g,
+            AttributeTable::points(pts),
+            Metric::Euclidean,
+            Threshold::MaxDistance(5.0),
+            2,
+        )
+    }
+
+    #[test]
+    fn triangle_is_core() {
+        let p = toy();
+        assert!(is_kr_core(&p, &KrCore::new(vec![0, 1, 2])));
+        assert!(is_kr_core(&p, &KrCore::new(vec![3, 4, 5])));
+    }
+
+    #[test]
+    fn dissimilar_union_not_core() {
+        let p = toy();
+        assert!(!is_kr_core(&p, &KrCore::new(vec![0, 1, 2, 3, 4, 5])));
+    }
+
+    #[test]
+    fn too_small_not_core() {
+        let p = toy();
+        assert!(!is_kr_core(&p, &KrCore::new(vec![0, 1])));
+    }
+
+    #[test]
+    fn disconnected_not_core() {
+        // Same attributes everywhere, two disjoint triangles.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let p = ProblemInstance::new(
+            g,
+            AttributeTable::points(vec![(0.0, 0.0); 6]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(5.0),
+            2,
+        );
+        assert!(!is_kr_core(&p, &KrCore::new(vec![0, 1, 2, 3, 4, 5])));
+        assert!(is_kr_core(&p, &KrCore::new(vec![0, 1, 2])));
+    }
+
+    #[test]
+    fn maximality_brute_force() {
+        let p = toy();
+        assert!(is_maximal_kr_core(&p, &KrCore::new(vec![0, 1, 2])));
+        // A sub-triangle of a 4-clique is not maximal.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let p4 = ProblemInstance::new(
+            g,
+            AttributeTable::points(vec![(0.0, 0.0); 4]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(5.0),
+            2,
+        );
+        assert!(!is_maximal_kr_core(&p4, &KrCore::new(vec![0, 1, 2])));
+        assert!(is_maximal_kr_core(&p4, &KrCore::new(vec![0, 1, 2, 3])));
+    }
+
+    #[test]
+    fn verify_family_detects_containment() {
+        let p = toy();
+        let fam = vec![KrCore::new(vec![0, 1, 2]), KrCore::new(vec![3, 4, 5])];
+        assert!(verify_maximal_family(&p, &fam).is_ok());
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let p4 = ProblemInstance::new(
+            g,
+            AttributeTable::points(vec![(0.0, 0.0); 4]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(5.0),
+            2,
+        );
+        let bad = vec![KrCore::new(vec![0, 1, 2, 3]), KrCore::new(vec![0, 1, 2])];
+        assert!(verify_maximal_family(&p4, &bad).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Exhaustive configuration-matrix test: every combination of toggles,
+//! orders, bounds, branch policies, and check orders must produce the same
+//! answer on a fixed non-trivial instance.
+
+use kr_core::{
+    enumerate_maximal, find_maximum, AlgoConfig, BoundKind, BranchPolicy, CheckOrder, KrCore,
+    ProblemInstance, SearchOrder,
+};
+use kr_graph::{Graph, VertexId};
+use kr_similarity::{AttributeTable, Metric, Threshold};
+
+/// A 14-vertex instance with three geo clusters, bridges, and a hub that
+/// blends two clusters — small enough to be fast, rich enough to exercise
+/// every code path (disconnected leaves, E-set evictions, maximal checks).
+fn fixture() -> ProblemInstance {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // Cluster A: 0..5 (5-clique-ish), Cluster B: 5..10, Cluster C: 10..14.
+    for base in [0u32, 5] {
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                if (i + j) % 4 != 3 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+    }
+    for i in 10..14u32 {
+        for j in (i + 1)..14 {
+            edges.push((i, j));
+        }
+    }
+    // Bridges and a blending hub.
+    edges.extend([(4, 5), (9, 10), (2, 7), (3, 12), (8, 13)]);
+    let g = Graph::from_edges(14, &edges);
+    let pts = vec![
+        (0.0, 0.0),
+        (1.0, 0.0),
+        (0.0, 1.0),
+        (1.0, 1.0),
+        (3.0, 0.5), // A, with 4 drifting toward B
+        (6.0, 0.0),
+        (7.0, 0.0),
+        (6.0, 1.0),
+        (7.0, 1.0),
+        (9.0, 0.5), // B, with 9 drifting toward C
+        (12.0, 0.0),
+        (13.0, 0.0),
+        (12.0, 1.0),
+        (13.0, 1.0),
+    ];
+    ProblemInstance::new(
+        g,
+        AttributeTable::points(pts),
+        Metric::Euclidean,
+        Threshold::MaxDistance(4.5),
+        2,
+    )
+}
+
+#[test]
+fn all_enumeration_configs_agree() {
+    let p = fixture();
+    let reference = enumerate_maximal(&p, &AlgoConfig::naive_enum()).cores;
+    assert!(
+        !reference.is_empty(),
+        "fixture should have cores; got none"
+    );
+    let mut tried = 0;
+    for retain in [false, true] {
+        for early in [false, true] {
+            for maximal in [false, true] {
+                for order in [
+                    SearchOrder::Random,
+                    SearchOrder::Degree,
+                    SearchOrder::Delta1,
+                    SearchOrder::Delta2,
+                    SearchOrder::Delta1ThenDelta2,
+                    SearchOrder::LambdaDelta,
+                ] {
+                    for check in [
+                        CheckOrder::Degree,
+                        CheckOrder::Delta1ThenDelta2,
+                        CheckOrder::LambdaDelta,
+                    ] {
+                        let mut cfg = AlgoConfig::basic_enum();
+                        cfg.retain_candidates = retain;
+                        cfg.early_termination = early;
+                        cfg.maximal_check = maximal;
+                        cfg.order = order;
+                        cfg.check_order = check;
+                        let got = enumerate_maximal(&p, &cfg);
+                        assert!(got.completed);
+                        assert_eq!(
+                            got.cores, reference,
+                            "retain={retain} early={early} maximal={maximal} order={order:?} check={check:?}"
+                        );
+                        tried += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(tried, 2 * 2 * 2 * 6 * 3);
+}
+
+#[test]
+fn all_maximum_configs_agree() {
+    let p = fixture();
+    let reference: usize = enumerate_maximal(&p, &AlgoConfig::adv_enum())
+        .cores
+        .iter()
+        .map(KrCore::len)
+        .max()
+        .unwrap();
+    for bound in [
+        BoundKind::Naive,
+        BoundKind::Color,
+        BoundKind::KCore,
+        BoundKind::ColorKCore,
+        BoundKind::DoubleKCore,
+    ] {
+        for branch in [
+            BranchPolicy::AlwaysExpand,
+            BranchPolicy::AlwaysShrink,
+            BranchPolicy::Adaptive,
+        ] {
+            for order in [
+                SearchOrder::Random,
+                SearchOrder::Degree,
+                SearchOrder::Delta1ThenDelta2,
+                SearchOrder::LambdaDelta,
+            ] {
+                for early in [false, true] {
+                    let mut cfg = AlgoConfig::adv_max();
+                    cfg.bound = bound;
+                    cfg.branch = branch;
+                    cfg.order = order;
+                    cfg.early_termination = early;
+                    let got = find_maximum(&p, &cfg);
+                    assert!(got.completed);
+                    assert_eq!(
+                        got.core.map_or(0, |c| c.len()),
+                        reference,
+                        "bound={bound:?} branch={branch:?} order={order:?} early={early}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lambda_extremes_agree() {
+    let p = fixture();
+    let reference = enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores;
+    for lambda in [0.0, 0.5, 5.0, 100.0] {
+        let got = enumerate_maximal(&p, &AlgoConfig::adv_enum().with_lambda(lambda));
+        assert_eq!(got.cores, reference, "lambda={lambda}");
+        let m = find_maximum(&p, &AlgoConfig::adv_max().with_lambda(lambda));
+        assert_eq!(
+            m.core.map_or(0, |c| c.len()),
+            reference.iter().map(KrCore::len).max().unwrap(),
+            "lambda={lambda}"
+        );
+    }
+}
+
+#[test]
+fn random_seeds_agree() {
+    let p = fixture();
+    let reference = enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores;
+    for seed in 0..8 {
+        let mut cfg = AlgoConfig::adv_enum().with_order(SearchOrder::Random);
+        cfg.seed = seed;
+        assert_eq!(enumerate_maximal(&p, &cfg).cores, reference, "seed={seed}");
+    }
+}

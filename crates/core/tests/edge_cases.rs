@@ -1,0 +1,188 @@
+//! Edge-case integration tests for the algorithm family.
+
+use kr_core::{
+    clique_based_maximal, enumerate_maximal, find_maximum, AlgoConfig, KrCore, ProblemInstance,
+};
+use kr_graph::{Graph, GraphBuilder, VertexId};
+use kr_similarity::{AttributeTable, Metric, Threshold};
+
+fn geo_instance(n: usize, edges: &[(VertexId, VertexId)], pts: Vec<(f64, f64)>, k: u32, r: f64) -> ProblemInstance {
+    ProblemInstance::new(
+        Graph::from_edges(n, edges),
+        AttributeTable::points(pts),
+        Metric::Euclidean,
+        Threshold::MaxDistance(r),
+        k,
+    )
+}
+
+#[test]
+fn empty_graph_no_cores() {
+    let p = geo_instance(0, &[], vec![], 1, 1.0);
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+    assert!(find_maximum(&p, &AlgoConfig::adv_max()).core.is_none());
+    assert!(clique_based_maximal(&p).is_empty());
+}
+
+#[test]
+fn edgeless_graph_no_cores() {
+    let p = geo_instance(5, &[], vec![(0.0, 0.0); 5], 1, 1.0);
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+}
+
+#[test]
+fn k1_single_edge() {
+    // Two similar, adjacent vertices form a (1,r)-core.
+    let p = geo_instance(2, &[(0, 1)], vec![(0.0, 0.0), (0.5, 0.0)], 1, 1.0);
+    let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+    assert_eq!(res.cores, vec![KrCore::new(vec![0, 1])]);
+    assert_eq!(find_maximum(&p, &AlgoConfig::adv_max()).core.unwrap().len(), 2);
+}
+
+#[test]
+fn k1_dissimilar_edge_is_nothing() {
+    let p = geo_instance(2, &[(0, 1)], vec![(0.0, 0.0), (100.0, 0.0)], 1, 1.0);
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+}
+
+#[test]
+fn whole_clique_when_all_similar() {
+    let mut b = GraphBuilder::new(6);
+    for u in 0..6 {
+        for v in (u + 1)..6 {
+            b.add_edge(u, v);
+        }
+    }
+    let p = ProblemInstance::new(
+        b.build(),
+        AttributeTable::points(vec![(0.0, 0.0); 6]),
+        Metric::Euclidean,
+        Threshold::MaxDistance(1.0),
+        3,
+    );
+    let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+    assert_eq!(res.cores.len(), 1);
+    assert_eq!(res.cores[0].len(), 6);
+}
+
+#[test]
+fn exact_threshold_boundary_is_similar() {
+    // Distance exactly r counts as similar (footnote 1 of the paper:
+    // "not larger than").
+    let p = geo_instance(
+        3,
+        &[(0, 1), (1, 2), (2, 0)],
+        vec![(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)],
+        2,
+        // Max pairwise distance is 5*sqrt(2); set r exactly there.
+        5.0 * std::f64::consts::SQRT_2,
+    );
+    let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+    assert_eq!(res.cores.len(), 1);
+    assert_eq!(res.cores[0].len(), 3);
+}
+
+#[test]
+fn k_larger_than_any_degree() {
+    let p = geo_instance(4, &[(0, 1), (1, 2), (2, 3)], vec![(0.0, 0.0); 4], 3, 1.0);
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+    assert!(find_maximum(&p, &AlgoConfig::adv_max()).core.is_none());
+}
+
+#[test]
+fn star_graph_never_qualifies_for_k2() {
+    // A star has min degree 1 everywhere except the hub.
+    let p = geo_instance(
+        5,
+        &[(0, 1), (0, 2), (0, 3), (0, 4)],
+        vec![(0.0, 0.0); 5],
+        2,
+        1.0,
+    );
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+}
+
+#[test]
+fn two_disjoint_cliques_two_cores() {
+    let mut edges = Vec::new();
+    for base in [0u32, 4] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    let p = geo_instance(8, &edges, vec![(0.0, 0.0); 8], 3, 1.0);
+    let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+    assert_eq!(res.cores.len(), 2);
+    // Maximum is either of the two (both size 4).
+    assert_eq!(find_maximum(&p, &AlgoConfig::adv_max()).core.unwrap().len(), 4);
+}
+
+#[test]
+fn figure1_style_overlap() {
+    // Two 4-cliques sharing two vertices; similarity splits them apart
+    // but the shared vertices appear in both maximal cores.
+    let edges = [
+        (0u32, 1),
+        (0, 2),
+        (0, 3),
+        (1, 2),
+        (1, 3),
+        (2, 3), // left clique {0,1,2,3}
+        (2, 4),
+        (2, 5),
+        (3, 4),
+        (3, 5),
+        (4, 5), // right clique {2,3,4,5}
+    ];
+    let pts = vec![
+        (0.0, 0.0),
+        (1.0, 0.0),
+        (3.0, 0.0), // shared
+        (3.0, 1.0), // shared
+        (6.0, 0.0),
+        (6.0, 1.0),
+    ];
+    let p = geo_instance(6, &edges, pts, 2, 4.0);
+    let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+    assert_eq!(res.cores.len(), 2, "{:?}", res.cores);
+    let shared: Vec<VertexId> = res.cores[0]
+        .vertices
+        .iter()
+        .copied()
+        .filter(|v| res.cores[1].vertices.contains(v))
+        .collect();
+    assert_eq!(shared, vec![2, 3]);
+}
+
+#[test]
+fn keyword_zero_weight_lists() {
+    // Vertices with empty keyword lists are similar to each other (both
+    // empty => similarity 1 by convention) but dissimilar to everyone else.
+    let p = ProblemInstance::new(
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]),
+        AttributeTable::keywords(vec![vec![], vec![], vec![(1, 1.0)], vec![(1, 1.0)]]),
+        Metric::WeightedJaccard,
+        Threshold::MinSimilarity(0.5),
+        1,
+    );
+    let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+    // {0,1} (both empty) and {2,3} (same keyword) — both adjacent pairs.
+    assert_eq!(res.cores.len(), 2);
+}
+
+#[test]
+fn stats_are_populated() {
+    let p = geo_instance(
+        6,
+        &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (50.0, 0.0), (51.0, 0.0), (50.0, 1.0)],
+        2,
+        5.0,
+    );
+    let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+    assert!(res.stats.nodes >= 1);
+    assert!(res.stats.leaves >= 1);
+    assert_eq!(res.cores.len(), 2);
+}

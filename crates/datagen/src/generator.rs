@@ -1,0 +1,433 @@
+//! Community-structured attributed graph generator.
+//!
+//! Vertices are partitioned into communities whose sizes follow a truncated
+//! power law. Edges are added in two phases:
+//!
+//! 1. **intra-community clique events** — communities accumulate "events"
+//!    (papers, meetups): each event selects a handful of members with
+//!    preferential bias and cliques them. Repeated events overlap, which
+//!    yields both the skewed degree distribution and the dense k-core
+//!    backbone that real co-author / check-in graphs exhibit (a lone
+//!    preferential-attachment tree has no k-core for k ≥ 2);
+//! 2. **cross-community noise** — each vertex adds `m_inter` edges to
+//!    uniformly random outsiders, which puts *dissimilar* pairs inside
+//!    k-cores and is what makes (k,r)-core search non-trivial.
+//!
+//! Attributes are produced by `attributes::*` with community-correlated
+//! distributions. Everything is seeded and reproducible.
+
+use crate::attributes::{self, AttributeKind};
+use kr_graph::{Graph, GraphBuilder, VertexId};
+use kr_similarity::{AttributeTable, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorParams {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Power-law exponent for community sizes (1.5–3 typical).
+    pub community_exponent: f64,
+    /// Target intra-community edges per vertex (so the intra average
+    /// degree is roughly `2 * m_intra`).
+    pub m_intra: usize,
+    /// Cross-community edges added per vertex (uniform noise).
+    pub m_inter: usize,
+    /// `(min, max)` participants of a clique event. Larger events create
+    /// deeper k-cores (an event of size `s` alone is an `(s-1)`-core).
+    pub event_size: (usize, usize),
+    /// Target sub-group size ("research groups" / "neighborhoods").
+    /// Communities split into sub-groups of roughly this many members.
+    /// Events stay inside one sub-group with high probability and
+    /// attributes are sub-group-correlated, so similarity thresholds split
+    /// k-cores along sub-group seams — the effect the paper's case studies
+    /// highlight (EBI vs Wellcome Trust inside one DBLP k-core, two cities
+    /// inside one Gowalla k-core). `0` disables sub-structure.
+    pub subgroup_size: usize,
+    /// Fraction of vertices assigned a *second* community membership,
+    /// creating overlap (the "Steven P. Wilder" effect of Figure 5).
+    pub overlap_fraction: f64,
+    /// Attribute family to generate.
+    pub attribute_kind: AttributeKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        GeneratorParams {
+            n: 1000,
+            communities: 12,
+            community_exponent: 2.0,
+            m_intra: 4,
+            m_inter: 1,
+            event_size: (3, 7),
+            subgroup_size: 18,
+            overlap_fraction: 0.05,
+            attribute_kind: AttributeKind::Keywords {
+                vocabulary: 200,
+                topic_words: 24,
+                words_per_vertex: 10,
+                zipf_exponent: 1.1,
+            },
+            seed: 42,
+        }
+    }
+}
+
+/// A generated dataset: graph + attributes + ground-truth communities.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// Human-readable name (preset name or "custom").
+    pub name: String,
+    /// The social graph.
+    pub graph: Graph,
+    /// Vertex attributes.
+    pub attributes: AttributeTable,
+    /// The natural metric for the attributes.
+    pub metric: Metric,
+    /// Ground truth: primary community of each vertex.
+    pub community: Vec<u32>,
+    /// Ground truth: global sub-group id of each vertex (sub-groups nest
+    /// inside communities).
+    pub subgroup: Vec<u32>,
+    /// Vertices with a secondary membership, as `(vertex, community)`.
+    pub overlaps: Vec<(VertexId, u32)>,
+    /// Parameters that produced the dataset.
+    pub params: GeneratorParams,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset from parameters (deterministic per seed).
+    pub fn generate(name: impl Into<String>, params: GeneratorParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let community = assign_communities(&params, &mut rng);
+        let subgroup = assign_subgroups(&params, &community);
+        let overlaps = assign_overlaps(&params, &community, &mut rng);
+        let graph = build_graph(&params, &community, &subgroup, &overlaps, &mut rng);
+        let (attributes, metric) = attributes::generate(
+            &params.attribute_kind,
+            &community,
+            &subgroup,
+            &overlaps,
+            &mut rng,
+        );
+        SyntheticDataset {
+            name: name.into(),
+            graph,
+            attributes,
+            metric,
+            community,
+            subgroup,
+            overlaps,
+            params,
+        }
+    }
+
+    /// Table-3-style statistics: `(nodes, edges, avg degree, max degree)`.
+    pub fn statistics(&self) -> (usize, usize, f64, usize) {
+        (
+            self.graph.num_vertices(),
+            self.graph.num_edges(),
+            self.graph.avg_degree(),
+            self.graph.max_degree(),
+        )
+    }
+}
+
+/// Community sizes follow a truncated power law; vertices are assigned in
+/// blocks.
+fn assign_communities(params: &GeneratorParams, rng: &mut StdRng) -> Vec<u32> {
+    let c = params.communities.max(1);
+    // Draw raw weights w_i = (i+1)^{-alpha} shuffled, normalize to n.
+    let mut weights: Vec<f64> = (0..c)
+        .map(|i| ((i + 1) as f64).powf(-params.community_exponent))
+        .collect();
+    // Random tie-break so community 0 is not always the giant one.
+    for w in weights.iter_mut() {
+        *w *= rng.random_range(0.8..1.2);
+    }
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * params.n as f64).round() as usize)
+        .collect();
+    // Fix rounding drift; every community gets at least 3 vertices.
+    for s in sizes.iter_mut() {
+        *s = (*s).max(3);
+    }
+    let mut assigned: usize = sizes.iter().sum();
+    while assigned > params.n {
+        if let Some(s) = sizes.iter_mut().filter(|s| **s > 3).max_by_key(|s| **s) {
+            *s -= 1;
+            assigned -= 1;
+        } else {
+            break;
+        }
+    }
+    let mut i = 0usize;
+    while assigned < params.n {
+        sizes[i % c] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    let mut community = Vec::with_capacity(params.n);
+    for (cid, &s) in sizes.iter().enumerate() {
+        for _ in 0..s {
+            if community.len() < params.n {
+                community.push(cid as u32);
+            }
+        }
+    }
+    community.truncate(params.n);
+    while community.len() < params.n {
+        community.push((c - 1) as u32);
+    }
+    community
+}
+
+/// Contiguous sub-group blocks inside each community: a community of size
+/// `s` gets `max(1, round(s / subgroup_size))` sub-groups, so tiny
+/// communities stay whole and big ones split into many cohesive groups.
+fn assign_subgroups(params: &GeneratorParams, community: &[u32]) -> Vec<u32> {
+    let c = params.communities.max(1);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); c];
+    for (v, &cid) in community.iter().enumerate() {
+        members[cid as usize].push(v);
+    }
+    let mut subgroup = vec![0u32; community.len()];
+    let mut next = 0u32;
+    for group in &members {
+        if group.is_empty() {
+            continue;
+        }
+        let per = if params.subgroup_size == 0 {
+            1
+        } else {
+            ((group.len() + params.subgroup_size / 2) / params.subgroup_size).max(1)
+        };
+        let chunk = group.len().div_ceil(per);
+        for (i, &v) in group.iter().enumerate() {
+            subgroup[v] = next + (i / chunk) as u32;
+        }
+        next += per as u32;
+    }
+    subgroup
+}
+
+fn assign_overlaps(
+    params: &GeneratorParams,
+    community: &[u32],
+    rng: &mut StdRng,
+) -> Vec<(VertexId, u32)> {
+    let c = params.communities.max(1) as u32;
+    let mut overlaps = Vec::new();
+    if c < 2 {
+        return overlaps;
+    }
+    for v in 0..community.len() {
+        if rng.random_bool(params.overlap_fraction.clamp(0.0, 1.0)) {
+            let mut other = rng.random_range(0..c);
+            if other == community[v] {
+                other = (other + 1) % c;
+            }
+            overlaps.push((v as VertexId, other));
+        }
+    }
+    overlaps
+}
+
+fn build_graph(
+    params: &GeneratorParams,
+    community: &[u32],
+    subgroup: &[u32],
+    overlaps: &[(VertexId, u32)],
+    rng: &mut StdRng,
+) -> Graph {
+    let n = community.len();
+    let c = params.communities.max(1);
+    // Membership lists (primary + overlap).
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); c];
+    for (v, &cid) in community.iter().enumerate() {
+        members[cid as usize].push(v as VertexId);
+    }
+    for &(v, cid) in overlaps {
+        members[cid as usize].push(v);
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, n * (params.m_intra + params.m_inter));
+    // Clique events inside each community: each event recruits around an
+    // initiator, mostly from the initiator's sub-group, preferentially by
+    // prior participation. Overlapping events build the k-core backbone,
+    // hubs, and sub-group-aligned density.
+    let (ev_lo, ev_hi) = params.event_size;
+    let ev_lo = ev_lo.max(2);
+    let ev_hi = ev_hi.max(ev_lo);
+    let mut event: Vec<VertexId> = Vec::new();
+    for group in &members {
+        if group.len() < 2 {
+            continue;
+        }
+        // Participation-weighted endpoint pools: one for the whole
+        // community, one per sub-group (seeded with each member once).
+        let mut pool: Vec<VertexId> = group.clone();
+        let mut sub_pool: std::collections::HashMap<u32, Vec<VertexId>> =
+            std::collections::HashMap::new();
+        for &v in group {
+            sub_pool.entry(subgroup[v as usize]).or_default().push(v);
+        }
+        let target_edges = group.len() * params.m_intra;
+        let mut edges_added = 0usize;
+        while edges_added < target_edges {
+            let initiator = pool[rng.random_range(0..pool.len())];
+            let sg = subgroup[initiator as usize];
+            let s = rng.random_range(ev_lo..=ev_hi).min(group.len());
+            event.clear();
+            event.push(initiator);
+            let mut attempts = 0usize;
+            while event.len() < s && attempts < 12 * s {
+                attempts += 1;
+                // 85% of recruits come from the initiator's sub-group.
+                let cand = if rng.random_bool(0.85) {
+                    let sp = &sub_pool[&sg];
+                    sp[rng.random_range(0..sp.len())]
+                } else {
+                    pool[rng.random_range(0..pool.len())]
+                };
+                if !event.contains(&cand) {
+                    event.push(cand);
+                }
+            }
+            for i in 0..event.len() {
+                for j in (i + 1)..event.len() {
+                    b.add_edge(event[i], event[j]);
+                    edges_added += 1;
+                }
+            }
+            for &u in &event {
+                for _ in 0..(event.len() - 1) {
+                    pool.push(u);
+                    sub_pool.entry(subgroup[u as usize]).or_default().push(u);
+                }
+            }
+        }
+    }
+    // Cross-community noise.
+    if n >= 2 {
+        for v in 0..n as VertexId {
+            for _ in 0..params.m_inter {
+                let u = rng.random_range(0..n as VertexId);
+                if u != v && community[u as usize] != community[v as usize] {
+                    b.add_edge(v, u);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> GeneratorParams {
+        GeneratorParams {
+            n: 300,
+            communities: 5,
+            m_intra: 3,
+            m_inter: 1,
+            event_size: (3, 6),
+            subgroup_size: 15,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticDataset::generate("a", small_params());
+        let b = SyntheticDataset::generate("b", small_params());
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.community, b.community);
+        assert_eq!(a.attributes, b.attributes);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticDataset::generate("a", small_params());
+        let mut p = small_params();
+        p.seed = 43;
+        let b = SyntheticDataset::generate("b", p);
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn sizes_and_coverage() {
+        let d = SyntheticDataset::generate("d", small_params());
+        assert_eq!(d.graph.num_vertices(), 300);
+        assert_eq!(d.community.len(), 300);
+        assert_eq!(d.attributes.len(), 300);
+        assert!(d.community.iter().all(|&c| c < 5));
+        let (n, m, avg, max) = d.statistics();
+        assert_eq!(n, 300);
+        assert!(m > 300, "graph too sparse: {m} edges");
+        assert!(avg > 2.0);
+        assert!(max >= avg as usize);
+    }
+
+    #[test]
+    fn degree_skew_present() {
+        let mut p = small_params();
+        p.n = 1000;
+        let d = SyntheticDataset::generate("d", p);
+        let max = d.graph.max_degree() as f64;
+        let avg = d.graph.avg_degree();
+        // Preferential attachment should create hubs well above average.
+        assert!(max > 2.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn intra_community_edges_dominate() {
+        let d = SyntheticDataset::generate("d", small_params());
+        let intra = d
+            .graph
+            .edges()
+            .filter(|&(u, v)| d.community[u as usize] == d.community[v as usize])
+            .count();
+        let total = d.graph.num_edges();
+        assert!(
+            intra * 2 > total,
+            "expected mostly intra-community edges: {intra}/{total}"
+        );
+    }
+
+    #[test]
+    fn single_community_no_inter_edges() {
+        let p = GeneratorParams {
+            n: 60,
+            communities: 1,
+            m_inter: 3,
+            ..small_params()
+        };
+        let d = SyntheticDataset::generate("one", p);
+        // All edges must be intra (there is only one community).
+        assert!(d
+            .graph
+            .edges()
+            .all(|(u, v)| d.community[u as usize] == d.community[v as usize]));
+    }
+
+    #[test]
+    fn overlaps_reference_other_communities() {
+        let mut p = small_params();
+        p.overlap_fraction = 0.3;
+        let d = SyntheticDataset::generate("d", p);
+        assert!(!d.overlaps.is_empty());
+        for &(v, c) in &d.overlaps {
+            assert_ne!(d.community[v as usize], c);
+        }
+    }
+}

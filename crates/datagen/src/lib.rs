@@ -1,0 +1,27 @@
+//! # kr-datagen
+//!
+//! Synthetic attributed social networks standing in for the paper's four
+//! real datasets (Brightkite, Gowalla, DBLP, Pokec), which are not
+//! redistributable/downloadable in this environment.
+//!
+//! The generator reproduces the *structural and attribute properties that
+//! drive the paper's algorithms*:
+//!
+//! * skewed (power-law-ish) degree distributions via preferential
+//!   attachment inside a planted community structure;
+//! * community-correlated attributes — geo clusters around per-community
+//!   "cities" (Brightkite/Gowalla) or weighted keyword multisets drawn from
+//!   per-community topics over a Zipf vocabulary (DBLP/Pokec);
+//! * controllable cross-community mixing, which sets the density of
+//!   dissimilar pairs inside k-cores — the quantity that makes (k,r)-core
+//!   search hard.
+//!
+//! Presets mirror the shape of Table 3 at laptop scale. Real SNAP data can
+//! be substituted through `kr-graph::io` loaders.
+
+pub mod attributes;
+pub mod generator;
+pub mod presets;
+
+pub use generator::{GeneratorParams, SyntheticDataset};
+pub use presets::DatasetPreset;

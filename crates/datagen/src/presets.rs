@@ -1,0 +1,202 @@
+//! Dataset presets mirroring the paper's Table 3 at laptop scale.
+//!
+//! | preset          | paper dataset | attributes | metric            |
+//! |-----------------|---------------|------------|-------------------|
+//! | BrightkiteLike  | Brightkite    | geo points | Euclidean (km)    |
+//! | GowallaLike     | Gowalla       | geo points (+ HQ hub) | Euclidean |
+//! | DblpLike        | DBLP          | venue keyword counts | weighted Jaccard |
+//! | PokecLike       | Pokec         | interest keywords | weighted Jaccard |
+//!
+//! Sizes are scaled down ~50–500x so that full parameter sweeps finish in
+//! seconds; average degrees track Table 3 (6.7 / 4.7 / 8.3 / 10.2). The
+//! substitution rationale is documented in `DESIGN.md`.
+
+use crate::attributes::AttributeKind;
+use crate::generator::{GeneratorParams, SyntheticDataset};
+use serde::{Deserialize, Serialize};
+
+/// Named preset configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetPreset {
+    /// Brightkite-like geo-social network (sparser, no hub).
+    BrightkiteLike,
+    /// Gowalla-like geo-social network with a headquarters hub city.
+    GowallaLike,
+    /// DBLP-like co-author network with venue keyword multisets.
+    DblpLike,
+    /// Pokec-like friendship network with interest keywords (densest).
+    PokecLike,
+}
+
+impl DatasetPreset {
+    /// All four presets in Table 3 order.
+    pub fn all() -> [DatasetPreset; 4] {
+        [
+            DatasetPreset::BrightkiteLike,
+            DatasetPreset::GowallaLike,
+            DatasetPreset::DblpLike,
+            DatasetPreset::PokecLike,
+        ]
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::BrightkiteLike => "brightkite-like",
+            DatasetPreset::GowallaLike => "gowalla-like",
+            DatasetPreset::DblpLike => "dblp-like",
+            DatasetPreset::PokecLike => "pokec-like",
+        }
+    }
+
+    /// Generator parameters at the default (bench) scale.
+    pub fn params(self) -> GeneratorParams {
+        self.params_scaled(1.0)
+    }
+
+    /// Generator parameters with vertex counts multiplied by `scale`
+    /// (use < 1 for quick tests, > 1 for stress runs).
+    pub fn params_scaled(self, scale: f64) -> GeneratorParams {
+        let n = |base: usize| ((base as f64 * scale).round() as usize).max(60);
+        match self {
+            DatasetPreset::BrightkiteLike => GeneratorParams {
+                n: n(1200),
+                communities: 24,
+                community_exponent: 1.8,
+                m_intra: 2,  // d_avg ≈ 6.7 in the paper
+                m_inter: 1,
+                event_size: (3, 6),
+                subgroup_size: 16,
+                overlap_fraction: 0.03,
+                attribute_kind: AttributeKind::Geo {
+                    world_size: 4000.0,
+                    city_sigma: 3.0,
+                    hub_fraction: 0.02,
+                },
+                seed: 0xB816,
+            },
+            DatasetPreset::GowallaLike => GeneratorParams {
+                n: n(1600),
+                communities: 32,
+                community_exponent: 1.9,
+                m_intra: 1,  // d_avg ≈ 4.7, the sparsest
+                m_inter: 1,
+                event_size: (3, 6),
+                subgroup_size: 16,
+                overlap_fraction: 0.03,
+                attribute_kind: AttributeKind::Geo {
+                    world_size: 5000.0,
+                    city_sigma: 3.0,
+                    hub_fraction: 0.08, // the Austin HQ effect
+                },
+                seed: 0x60A11A,
+            },
+            DatasetPreset::DblpLike => GeneratorParams {
+                n: n(2000),
+                communities: 40,
+                community_exponent: 2.0,
+                m_intra: 4,  // d_avg ≈ 8.3
+                m_inter: 1,
+                event_size: (3, 8),
+                subgroup_size: 16,
+                overlap_fraction: 0.05,
+                attribute_kind: AttributeKind::Keywords {
+                    vocabulary: 600, // "conferences and journals"
+                    topic_words: 12,
+                    words_per_vertex: 30,
+                    zipf_exponent: 1.1,
+                },
+                seed: 0xDB19,
+            },
+            DatasetPreset::PokecLike => GeneratorParams {
+                n: n(2000),
+                communities: 36,
+                community_exponent: 2.0,
+                m_intra: 4,  // d_avg ≈ 10.2, the densest
+                m_inter: 1,
+                event_size: (4, 9),
+                subgroup_size: 16,
+                overlap_fraction: 0.04,
+                attribute_kind: AttributeKind::Keywords {
+                    vocabulary: 400, // "personal interests"
+                    topic_words: 14,
+                    words_per_vertex: 30,
+                    zipf_exponent: 1.05,
+                },
+                seed: 0x90CEC,
+            },
+        }
+    }
+
+    /// Generates the preset dataset at default scale.
+    pub fn generate(self) -> SyntheticDataset {
+        SyntheticDataset::generate(self.name(), self.params())
+    }
+
+    /// Generates the preset dataset at a given scale factor.
+    pub fn generate_scaled(self, scale: f64) -> SyntheticDataset {
+        SyntheticDataset::generate(self.name(), self.params_scaled(scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kr_similarity::Metric;
+
+    #[test]
+    fn all_presets_generate() {
+        for p in DatasetPreset::all() {
+            let d = p.generate_scaled(0.25);
+            assert!(d.graph.num_vertices() >= 60, "{}", p.name());
+            assert!(d.graph.num_edges() > 0, "{}", p.name());
+            assert_eq!(d.attributes.len(), d.graph.num_vertices());
+        }
+    }
+
+    #[test]
+    fn metric_families_match_paper() {
+        assert_eq!(
+            DatasetPreset::BrightkiteLike.generate_scaled(0.1).metric,
+            Metric::Euclidean
+        );
+        assert_eq!(
+            DatasetPreset::GowallaLike.generate_scaled(0.1).metric,
+            Metric::Euclidean
+        );
+        assert_eq!(
+            DatasetPreset::DblpLike.generate_scaled(0.1).metric,
+            Metric::WeightedJaccard
+        );
+        assert_eq!(
+            DatasetPreset::PokecLike.generate_scaled(0.1).metric,
+            Metric::WeightedJaccard
+        );
+    }
+
+    #[test]
+    fn density_ordering_tracks_table3() {
+        // Pokec densest, Gowalla sparsest (by average degree), per Table 3.
+        let avg = |p: DatasetPreset| p.generate_scaled(0.5).graph.avg_degree();
+        let gowalla = avg(DatasetPreset::GowallaLike);
+        let brightkite = avg(DatasetPreset::BrightkiteLike);
+        let pokec = avg(DatasetPreset::PokecLike);
+        let dblp = avg(DatasetPreset::DblpLike);
+        assert!(gowalla < brightkite, "gowalla {gowalla} vs brightkite {brightkite}");
+        assert!(brightkite < pokec, "brightkite {brightkite} vs pokec {pokec}");
+        assert!(dblp < pokec, "dblp {dblp} vs pokec {pokec}");
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(DatasetPreset::DblpLike.name(), "dblp-like");
+        assert_eq!(DatasetPreset::all().len(), 4);
+    }
+
+    #[test]
+    fn scaling_changes_size() {
+        let small = DatasetPreset::DblpLike.generate_scaled(0.1);
+        let big = DatasetPreset::DblpLike.generate_scaled(0.5);
+        assert!(small.graph.num_vertices() < big.graph.num_vertices());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the synthetic dataset generator.
+
+use kr_datagen::generator::{GeneratorParams, SyntheticDataset};
+use kr_datagen::attributes::AttributeKind;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = GeneratorParams> {
+    (
+        60usize..300,
+        1usize..10,
+        1usize..4,
+        0usize..3,
+        (2usize..4, 4usize..8),
+        prop_oneof![
+            Just(AttributeKind::Geo {
+                world_size: 2000.0,
+                city_sigma: 3.0,
+                hub_fraction: 0.05,
+            }),
+            Just(AttributeKind::Keywords {
+                vocabulary: 300,
+                topic_words: 10,
+                words_per_vertex: 20,
+                zipf_exponent: 1.1,
+            }),
+        ],
+        0u64..1000,
+        0usize..30,
+    )
+        .prop_map(
+            |(n, communities, m_intra, m_inter, (lo, hi), attribute_kind, seed, subgroup_size)| {
+                GeneratorParams {
+                    n,
+                    communities,
+                    community_exponent: 2.0,
+                    m_intra,
+                    m_inter,
+                    event_size: (lo, hi),
+                    subgroup_size,
+                    overlap_fraction: 0.05,
+                    attribute_kind,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generation_is_total_and_consistent(params in arb_params()) {
+        let d = SyntheticDataset::generate("prop", params.clone());
+        prop_assert_eq!(d.graph.num_vertices(), params.n);
+        prop_assert_eq!(d.community.len(), params.n);
+        prop_assert_eq!(d.subgroup.len(), params.n);
+        prop_assert_eq!(d.attributes.len(), params.n);
+        // Communities in range.
+        prop_assert!(d.community.iter().all(|&c| (c as usize) < params.communities.max(1)));
+        // Sub-groups nest inside communities: two vertices in the same
+        // sub-group must share a community.
+        let mut sg_comm: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for v in 0..params.n {
+            let entry = sg_comm.entry(d.subgroup[v]).or_insert(d.community[v]);
+            prop_assert_eq!(*entry, d.community[v], "sub-group spans communities");
+        }
+        // Overlaps reference other communities.
+        for &(v, c) in &d.overlaps {
+            prop_assert!((v as usize) < params.n);
+            prop_assert!(d.community[v as usize] != c);
+        }
+    }
+
+    #[test]
+    fn determinism(params in arb_params()) {
+        let a = SyntheticDataset::generate("a", params.clone());
+        let b = SyntheticDataset::generate("b", params);
+        prop_assert_eq!(a.graph, b.graph);
+        prop_assert_eq!(a.attributes, b.attributes);
+        prop_assert_eq!(a.subgroup, b.subgroup);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates(params in arb_params()) {
+        let d = SyntheticDataset::generate("p", params);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in d.graph.edges() {
+            prop_assert!(u != v);
+            prop_assert!(seen.insert((u, v)), "duplicate edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn edge_budget_respected(params in arb_params()) {
+        // The generator targets ~ n*m_intra intra edges + <= n*m_inter
+        // inter edges; allow generous slack (one event can overshoot).
+        let d = SyntheticDataset::generate("p", params.clone());
+        let upper = params.n * (params.m_intra + params.m_inter)
+            + params.event_size.1 * params.event_size.1 * params.communities.max(1)
+            + params.n;
+        prop_assert!(
+            d.graph.num_edges() <= upper,
+            "edges {} exceed budget {upper}",
+            d.graph.num_edges()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Greedy graph coloring.
+//!
+//! Section 6.2 of the paper uses a color-based upper bound for the maximum
+//! (k,r)-core size: a k-clique of the similarity graph needs k colors, so
+//! the number of colors used by any proper coloring of the similarity graph
+//! bounds the clique number from above. We implement first-fit greedy
+//! coloring with pluggable vertex order; reverse degeneracy order guarantees
+//! at most `degeneracy + 1` colors.
+
+use crate::graph::{Graph, VertexId};
+use crate::order::degeneracy_order;
+
+/// Greedy first-fit coloring in reverse degeneracy order.
+///
+/// Returns `(colors, num_colors)` with `colors[v]` in `0..num_colors`.
+pub fn greedy_coloring(g: &Graph) -> (Vec<u32>, u32) {
+    let (mut order, _) = degeneracy_order(g);
+    order.reverse();
+    greedy_coloring_in_order(g, &order)
+}
+
+/// Greedy first-fit coloring in the given vertex order.
+///
+/// `order` must contain each vertex of `g` exactly once.
+pub fn greedy_coloring_in_order(g: &Graph, order: &[VertexId]) -> (Vec<u32>, u32) {
+    let n = g.num_vertices();
+    debug_assert_eq!(order.len(), n);
+    let mut colors = vec![u32::MAX; n];
+    let mut used = Vec::new(); // scratch: colors seen on neighbors
+    let mut num_colors = 0u32;
+    for &v in order {
+        used.clear();
+        for &u in g.neighbors(v) {
+            let c = colors[u as usize];
+            if c != u32::MAX {
+                used.push(c);
+            }
+        }
+        used.sort_unstable();
+        used.dedup();
+        // First gap in the sorted list of used colors.
+        let mut c = 0u32;
+        for &uc in &used {
+            if uc == c {
+                c += 1;
+            } else if uc > c {
+                break;
+            }
+        }
+        colors[v as usize] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    (colors, num_colors)
+}
+
+/// Validates that `colors` is a proper coloring of `g`.
+pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
+    g.edges().all(|(u, v)| colors[u as usize] != colors[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn clique(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_needs_n_colors() {
+        let g = clique(5);
+        let (colors, k) = greedy_coloring(&g);
+        assert_eq!(k, 5);
+        assert!(is_proper_coloring(&g, &colors));
+    }
+
+    #[test]
+    fn bipartite_needs_two() {
+        // 4-cycle is bipartite.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let (colors, k) = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &colors));
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn empty_graph_zero_colors() {
+        let g = Graph::empty(0);
+        let (_, k) = greedy_coloring(&g);
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn edgeless_graph_one_color() {
+        let g = Graph::empty(4);
+        let (colors, k) = greedy_coloring(&g);
+        assert_eq!(k, 1);
+        assert!(colors.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn coloring_bounded_by_degeneracy_plus_one() {
+        // Wheel graph W5: hub 0 connected to cycle 1-2-3-4-5. Degeneracy 3.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (2, 3), (3, 4), (4, 5), (5, 1)],
+        );
+        let (_, d) = degeneracy_order(&g);
+        let (colors, k) = greedy_coloring(&g);
+        assert!(is_proper_coloring(&g, &colors));
+        assert!(k <= d + 1);
+    }
+
+    #[test]
+    fn custom_order_still_proper() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let order: Vec<VertexId> = (0..5).rev().collect();
+        let (colors, k) = greedy_coloring_in_order(&g, &order);
+        assert!(is_proper_coloring(&g, &colors));
+        assert!(k >= 3); // contains a triangle 0-1-2? no: edges 0-1,1-2,0-2 yes triangle.
+    }
+}

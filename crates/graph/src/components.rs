@@ -1,0 +1,127 @@
+//! Connected components and connectivity checks.
+//!
+//! Algorithm 1 processes each connected subgraph of the k-core separately;
+//! (k,r)-cores are required to be connected, so leaf solutions of the search
+//! are split into components as well.
+
+use crate::graph::{Graph, VertexId};
+
+/// Component labelling of a (sub)graph.
+#[derive(Debug, Clone)]
+pub struct ComponentLabels {
+    /// `label[v]` is the component id of `v`, or `u32::MAX` if `v` is not in
+    /// the labelled vertex set.
+    pub label: Vec<u32>,
+    /// Number of components found.
+    pub count: usize,
+}
+
+impl ComponentLabels {
+    /// Groups the labelled vertices by component, each group sorted.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &l) in self.label.iter().enumerate() {
+            if l != u32::MAX {
+                out[l as usize].push(v as VertexId);
+            }
+        }
+        out
+    }
+}
+
+/// Connected components of the whole graph (isolated vertices are their own
+/// components). BFS, `O(n + m)`.
+pub fn connected_components(g: &Graph) -> ComponentLabels {
+    let all: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    connected_components_of_subset(g, &all)
+}
+
+/// Connected components of the subgraph induced by `subset`.
+pub fn connected_components_of_subset(g: &Graph, subset: &[VertexId]) -> ComponentLabels {
+    let n = g.num_vertices();
+    let mut in_set = vec![false; n];
+    for &v in subset {
+        in_set[v as usize] = true;
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue: Vec<VertexId> = Vec::new();
+    for &s in subset {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = count;
+        queue.push(s);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if in_set[u as usize] && label[u as usize] == u32::MAX {
+                    label[u as usize] = count;
+                    queue.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    ComponentLabels {
+        label,
+        count: count as usize,
+    }
+}
+
+/// True iff the subgraph induced by `subset` is connected (the empty set is
+/// vacuously connected; a singleton is connected).
+pub fn is_connected(g: &Graph, subset: &[VertexId]) -> bool {
+    if subset.len() <= 1 {
+        return true;
+    }
+    connected_components_of_subset(g, subset).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 2);
+        let groups = cc.groups();
+        assert_eq!(groups[0], vec![0, 1, 2]);
+        assert_eq!(groups[1], vec![3, 4]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = Graph::empty(3);
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 3);
+    }
+
+    #[test]
+    fn subset_components_ignore_outside_paths() {
+        // 0-1-2 path; subset {0, 2} is disconnected (1 not in subset).
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let cc = connected_components_of_subset(&g, &[0, 2]);
+        assert_eq!(cc.count, 2);
+        assert!(!is_connected(&g, &[0, 2]));
+        assert!(is_connected(&g, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn trivial_sets_connected() {
+        let g = Graph::empty(3);
+        assert!(is_connected(&g, &[]));
+        assert!(is_connected(&g, &[1]));
+        assert!(!is_connected(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn labels_outside_subset_are_max() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let cc = connected_components_of_subset(&g, &[0, 1]);
+        assert_eq!(cc.label[2], u32::MAX);
+        assert_eq!(cc.label[3], u32::MAX);
+        assert_eq!(cc.count, 1);
+    }
+}

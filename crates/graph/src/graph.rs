@@ -1,0 +1,329 @@
+//! Compact undirected simple graph.
+//!
+//! The representation is CSR-like: a flat neighbor array plus per-vertex
+//! offsets. Neighbor lists are sorted, enabling `O(log d)` adjacency tests
+//! and linear-time sorted-list intersections (used heavily by the clique
+//! baseline and the similarity machinery).
+
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. The paper's datasets have at most a few million
+/// vertices, so `u32` keeps adjacency arrays compact (half the memory
+/// traffic of `usize` on 64-bit platforms).
+pub type VertexId = u32;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Invariants:
+/// * no self loops, no parallel edges;
+/// * each undirected edge `{u, v}` is stored twice (in `u`'s and `v`'s list);
+/// * every neighbor list is strictly sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Flat, per-vertex-sorted adjacency array.
+    neighbors: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list; duplicates and self loops are
+    /// dropped. `n` is the vertex count (vertices are `0..n`).
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Adjacency test in `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        // Search in the shorter list for a tighter bound.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as VertexId).into_iter()
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree (`2m / n`), 0.0 for the empty graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Returns a copy of this graph with the given undirected edges removed.
+    ///
+    /// Used by Algorithm 1's preprocessing: *"Remove edge (u,v) from G if
+    /// sim(u,v) < r"*. Edges not present are ignored.
+    pub fn remove_edges(&self, to_remove: &[(VertexId, VertexId)]) -> Graph {
+        use std::collections::HashSet;
+        let dead: HashSet<(VertexId, VertexId)> = to_remove
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        let mut b = GraphBuilder::new(self.num_vertices());
+        for (u, v) in self.edges() {
+            if !dead.contains(&(u, v)) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Retains only edges for which `keep(u, v)` returns true.
+    pub fn filter_edges(&self, mut keep: impl FnMut(VertexId, VertexId) -> bool) -> Graph {
+        let mut b = GraphBuilder::new(self.num_vertices());
+        for (u, v) in self.edges() {
+            if keep(u, v) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Accepts edges in any order, tolerates duplicates and self loops (both are
+/// dropped), and produces sorted CSR adjacency on [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// New builder over vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Adds undirected edge `{u, v}`. Self loops are silently dropped.
+    ///
+    /// # Panics
+    /// Panics if `u >= n` or `v >= n`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.n
+        );
+        if u == v {
+            return;
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Number of vertices the builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Finalizes into an immutable [`Graph`], deduplicating edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each list was filled in increasing order of the *other* endpoint
+        // only for the (u, v) sorted pass over u; v-side insertions are also
+        // monotone because edges are sorted by (u, v) and v-side entries are
+        // the u's, which increase. Still, sort defensively: correctness over
+        // micro-optimization here; builds are not hot.
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, neighbors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(0), 0);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.num_edges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(6, &[(3, 0), (3, 5), (3, 1), (3, 4), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4, 5]);
+        assert_eq!(g.degree(3), 5);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn edges_iterator_each_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn remove_edges_works() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let g2 = g.remove_edges(&[(2, 1), (3, 3)]);
+        assert!(g2.has_edge(0, 1));
+        assert!(!g2.has_edge(1, 2));
+        assert!(g2.has_edge(2, 3));
+        assert_eq!(g2.num_edges(), 2);
+    }
+
+    #[test]
+    fn filter_edges_works() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let g2 = g.filter_edges(|u, v| u + v != 3);
+        assert_eq!(g2.num_edges(), 2);
+        assert!(g2.has_edge(0, 1));
+        assert!(!g2.has_edge(1, 2));
+        assert!(g2.has_edge(2, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn avg_degree() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+    }
+}

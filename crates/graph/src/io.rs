@@ -1,0 +1,170 @@
+//! SNAP-style edge-list I/O.
+//!
+//! The paper's Gowalla/Brightkite/Pokec graphs come from SNAP as
+//! whitespace-separated edge lists with `#` comment lines. We read and write
+//! that format so real datasets can replace the synthetic presets.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised while parsing an edge list.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line did not contain two integer endpoints.
+    Parse { line_no: usize, line: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line_no, line } => {
+                write!(f, "parse error at line {line_no}: {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Result of loading an edge list: the graph plus the mapping from original
+/// (possibly sparse) ids to dense `0..n` ids.
+#[derive(Debug)]
+pub struct LoadedGraph {
+    /// The loaded graph with densified vertex ids.
+    pub graph: Graph,
+    /// `original_ids[v]` is the id vertex `v` had in the file.
+    pub original_ids: Vec<u64>,
+}
+
+/// Reads a whitespace-separated edge list with `#` comments from any reader.
+/// Vertex ids in the file may be sparse; they are densified in first-seen
+/// order.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut id_map: HashMap<u64, VertexId> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (a, b) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(IoError::Parse {
+                    line_no,
+                    line: t.to_string(),
+                })
+            }
+        };
+        let (a, b): (u64, u64) = match (a.parse(), b.parse()) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => {
+                return Err(IoError::Parse {
+                    line_no,
+                    line: t.to_string(),
+                })
+            }
+        };
+        let mut dense = |orig: u64| -> VertexId {
+            *id_map.entry(orig).or_insert_with(|| {
+                let id = original_ids.len() as VertexId;
+                original_ids.push(orig);
+                id
+            })
+        };
+        let (u, v) = (dense(a), dense(b));
+        edges.push((u, v));
+    }
+    let mut b = GraphBuilder::with_capacity(original_ids.len(), edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(LoadedGraph {
+        graph: b.build(),
+        original_ids,
+    })
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<LoadedGraph, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as a SNAP-style edge list (each undirected edge once).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# Undirected graph: {} nodes, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_basic_edge_list() {
+        let data = "# comment\n0 1\n1 2\n\n2 0\n";
+        let loaded = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn densifies_sparse_ids() {
+        let data = "100 200\n200 300\n";
+        let loaded = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.original_ids, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn parse_error_reported_with_line() {
+        let data = "0 1\nnot numbers\n";
+        match read_edge_list(data.as_bytes()) {
+            Err(IoError::Parse { line_no, .. }) => assert_eq!(line_no, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 4);
+        assert_eq!(loaded.graph.num_vertices(), 4);
+    }
+
+    #[test]
+    fn tabs_and_duplicate_edges() {
+        let data = "0\t1\n1\t0\n0\t1\n";
+        let loaded = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # kr-graph
+//!
+//! Graph substrate for the `(k,r)`-core reproduction: a compact undirected
+//! graph representation together with the classic graph machinery the paper's
+//! algorithms depend on:
+//!
+//! * [`Graph`] — an immutable, CSR-backed undirected simple graph.
+//! * [`GraphBuilder`] — incremental construction with duplicate/self-loop
+//!   elimination.
+//! * [`kcore`] — the Batagelj–Zaversnik linear core decomposition and k-core
+//!   extraction (Algorithm 1 line 3 of the paper, Theorem 2 pruning,
+//!   and both core-based size upper bounds).
+//! * [`components`] — connected components / connectivity checks.
+//! * [`coloring`] — greedy coloring used by the color-based upper bound.
+//! * [`order`] — degeneracy ordering (used by clique enumeration and
+//!   coloring heuristics).
+//! * [`io`] — SNAP-style edge-list reading/writing so that real datasets can
+//!   be dropped in for the synthetic ones.
+//! * [`subgraph`] — induced-subgraph extraction with vertex renumbering.
+
+pub mod coloring;
+pub mod components;
+pub mod graph;
+pub mod io;
+pub mod kcore;
+pub mod order;
+pub mod subgraph;
+
+pub use coloring::{greedy_coloring, greedy_coloring_in_order};
+pub use components::{connected_components, is_connected, ComponentLabels};
+pub use graph::{Graph, GraphBuilder, VertexId};
+pub use kcore::{core_decomposition, k_core, k_core_of_subset, CoreDecomposition};
+pub use order::degeneracy_order;
+pub use subgraph::InducedSubgraph;

@@ -1,0 +1,112 @@
+//! Induced subgraphs with vertex renumbering.
+//!
+//! The (k,r)-core search operates on connected components of the
+//! preprocessed k-core; renumbering each component to `0..n_local` lets the
+//! search state use dense arrays instead of hash maps.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// An induced subgraph with a bidirectional vertex mapping back to the
+/// parent graph.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The renumbered subgraph (vertices `0..local_to_global.len()`).
+    pub graph: Graph,
+    /// `local_to_global[local]` = original vertex id.
+    pub local_to_global: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Extracts the subgraph of `g` induced by `vertices` (need not be
+    /// sorted; duplicates are not allowed).
+    pub fn new(g: &Graph, vertices: &[VertexId]) -> Self {
+        let mut local_to_global = vertices.to_vec();
+        local_to_global.sort_unstable();
+        debug_assert!(
+            local_to_global.windows(2).all(|w| w[0] < w[1]),
+            "duplicate vertices in induced subgraph"
+        );
+        let mut global_to_local = vec![u32::MAX; g.num_vertices()];
+        for (i, &v) in local_to_global.iter().enumerate() {
+            global_to_local[v as usize] = i as u32;
+        }
+        let mut b = GraphBuilder::new(local_to_global.len());
+        for (i, &v) in local_to_global.iter().enumerate() {
+            for &u in g.neighbors(v) {
+                let lu = global_to_local[u as usize];
+                if lu != u32::MAX && lu > i as u32 {
+                    b.add_edge(i as u32, lu);
+                }
+            }
+        }
+        InducedSubgraph {
+            graph: b.build(),
+            local_to_global,
+        }
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn len(&self) -> usize {
+        self.local_to_global.len()
+    }
+
+    /// True iff the subgraph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.local_to_global.is_empty()
+    }
+
+    /// Maps a local vertex id back to the parent graph.
+    #[inline]
+    pub fn to_global(&self, local: VertexId) -> VertexId {
+        self.local_to_global[local as usize]
+    }
+
+    /// Maps a set of local ids back to (sorted) global ids.
+    pub fn globalize(&self, locals: &[VertexId]) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = locals.iter().map(|&l| self.to_global(l)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induces_correct_edges() {
+        // Square with diagonal: 0-1-2-3-0 and 0-2; induce {0, 2, 3}.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let s = InducedSubgraph::new(&g, &[3, 0, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.local_to_global, vec![0, 2, 3]);
+        // Local: 0 -> global 0, 1 -> global 2, 2 -> global 3.
+        assert_eq!(s.graph.num_edges(), 3); // 0-2, 2-3, 3-0 all inside
+        assert!(s.graph.has_edge(0, 1));
+        assert!(s.graph.has_edge(1, 2));
+        assert!(s.graph.has_edge(0, 2));
+    }
+
+    #[test]
+    fn excludes_outside_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = InducedSubgraph::new(&g, &[0, 2]);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn globalize_roundtrip() {
+        let g = Graph::from_edges(5, &[(1, 3), (3, 4)]);
+        let s = InducedSubgraph::new(&g, &[1, 3, 4]);
+        assert_eq!(s.globalize(&[0, 1, 2]), vec![1, 3, 4]);
+        assert_eq!(s.to_global(1), 3);
+    }
+
+    #[test]
+    fn empty_subgraph() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let s = InducedSubgraph::new(&g, &[]);
+        assert!(s.is_empty());
+        assert_eq!(s.graph.num_vertices(), 0);
+    }
+}

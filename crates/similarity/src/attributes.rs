@@ -1,0 +1,110 @@
+//! Vertex attribute storage.
+//!
+//! Three attribute families cover the paper's datasets:
+//!
+//! * **Keywords** — weighted keyword multisets (DBLP's counted conference /
+//!   journal lists, Pokec's interests). Stored as sorted `(keyword_id,
+//!   weight)` pairs per vertex so weighted-Jaccard runs as a linear merge.
+//! * **Points** — 2-D coordinates (Gowalla / Brightkite check-in homes).
+//! * **Vectors** — dense `f64` vectors (generic embedding input for cosine
+//!   or Euclidean metrics).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-vertex attributes for a whole graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeTable {
+    /// Sorted `(keyword, weight)` lists, one per vertex. Weights must be
+    /// non-negative.
+    Keywords(Vec<Vec<(u32, f64)>>),
+    /// One 2-D point per vertex.
+    Points(Vec<(f64, f64)>),
+    /// One dense vector per vertex; all vectors must share a dimension.
+    Vectors(Vec<Vec<f64>>),
+}
+
+impl AttributeTable {
+    /// Builds a keyword table, sorting each list by keyword id and merging
+    /// duplicate ids by summing their weights.
+    pub fn keywords(mut lists: Vec<Vec<(u32, f64)>>) -> Self {
+        for list in &mut lists {
+            list.sort_unstable_by_key(|&(k, _)| k);
+            // Merge duplicates in place.
+            let mut w = 0usize;
+            for i in 0..list.len() {
+                if w > 0 && list[w - 1].0 == list[i].0 {
+                    list[w - 1].1 += list[i].1;
+                } else {
+                    list[w] = list[i];
+                    w += 1;
+                }
+            }
+            list.truncate(w);
+        }
+        AttributeTable::Keywords(lists)
+    }
+
+    /// Builds a point table.
+    pub fn points(pts: Vec<(f64, f64)>) -> Self {
+        AttributeTable::Points(pts)
+    }
+
+    /// Builds a dense-vector table.
+    ///
+    /// # Panics
+    /// Panics if the vectors do not all share one dimension.
+    pub fn vectors(vecs: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = vecs.first() {
+            let d = first.len();
+            assert!(
+                vecs.iter().all(|v| v.len() == d),
+                "all attribute vectors must have equal dimension"
+            );
+        }
+        AttributeTable::Vectors(vecs)
+    }
+
+    /// Number of vertices covered by the table.
+    pub fn len(&self) -> usize {
+        match self {
+            AttributeTable::Keywords(v) => v.len(),
+            AttributeTable::Points(v) => v.len(),
+            AttributeTable::Vectors(v) => v.len(),
+        }
+    }
+
+    /// True iff the table covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_sorted_and_merged() {
+        let t = AttributeTable::keywords(vec![vec![(3, 1.0), (1, 2.0), (3, 0.5)]]);
+        match t {
+            AttributeTable::Keywords(lists) => {
+                assert_eq!(lists[0], vec![(1, 2.0), (3, 1.5)]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn len_variants() {
+        assert_eq!(AttributeTable::points(vec![(0.0, 0.0); 3]).len(), 3);
+        assert_eq!(AttributeTable::keywords(vec![]).len(), 0);
+        assert!(AttributeTable::keywords(vec![]).is_empty());
+        assert_eq!(AttributeTable::vectors(vec![vec![1.0], vec![2.0]]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_vector_dims_panic() {
+        AttributeTable::vectors(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # kr-similarity
+//!
+//! Similarity substrate for the (k,r)-core reproduction.
+//!
+//! The paper's similarity constraint is parameterized by a metric over
+//! vertex attributes and a threshold `r`:
+//!
+//! * DBLP / Pokec use **weighted Jaccard** over keyword multisets, with `r`
+//!   calibrated as the top-x‰ quantile of the pairwise similarity
+//!   distribution;
+//! * Gowalla / Brightkite use **Euclidean distance** over geo-locations,
+//!   with `r` a distance threshold in kilometers (two users are "similar"
+//!   iff their distance is *at most* `r`).
+//!
+//! This crate provides attribute storage ([`AttributeTable`]), metrics
+//! ([`Metric`]), threshold semantics ([`Threshold`]), the pairwise-quantile
+//! calibration ([`quantile`]), and similarity/dissimilarity graph
+//! materialization over vertex subsets ([`simgraph`]).
+
+pub mod attributes;
+pub mod io;
+pub mod metrics;
+pub mod oracle;
+pub mod quantile;
+pub mod simgraph;
+
+pub use attributes::AttributeTable;
+pub use metrics::Metric;
+pub use oracle::{SimilarityOracle, TableOracle, Threshold};
+pub use io::{read_keywords, read_points, write_attributes};
+pub use quantile::{similarity_quantile_exact, similarity_quantile_sampled, top_permille_threshold};
+pub use simgraph::{build_dissimilarity_lists, build_similarity_graph, DissimilarityLists};

@@ -1,0 +1,174 @@
+//! Similarity oracle and threshold semantics.
+//!
+//! Definition 2 of the paper calls two vertices *similar* when
+//! `sim(u,v) >= r`; footnote 1 flips the comparison for distance metrics
+//! (similar iff `dist(u,v) <= r`). [`Threshold`] captures both conventions
+//! so every algorithm is metric-agnostic.
+
+use crate::attributes::AttributeTable;
+use crate::metrics::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Threshold semantics for the similarity constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Threshold {
+    /// Similar iff `sim(u,v) >= r` (Jaccard, weighted Jaccard, cosine).
+    MinSimilarity(f64),
+    /// Similar iff `dist(u,v) <= r` (Euclidean km thresholds in the paper).
+    MaxDistance(f64),
+}
+
+impl Threshold {
+    /// Applies the threshold to a raw metric value.
+    #[inline]
+    pub fn is_similar_value(self, value: f64) -> bool {
+        match self {
+            Threshold::MinSimilarity(r) => value >= r,
+            Threshold::MaxDistance(r) => value <= r,
+        }
+    }
+
+    /// The raw threshold value `r`.
+    pub fn value(self) -> f64 {
+        match self {
+            Threshold::MinSimilarity(r) | Threshold::MaxDistance(r) => r,
+        }
+    }
+}
+
+/// A pairwise similarity oracle: everything the (k,r)-core algorithms need
+/// to know about attributes.
+pub trait SimilarityOracle {
+    /// Raw metric value between `u` and `v`.
+    fn value(&self, u: u32, v: u32) -> f64;
+
+    /// Whether `u` and `v` satisfy the similarity constraint.
+    fn is_similar(&self, u: u32, v: u32) -> bool;
+}
+
+/// The standard oracle: an [`AttributeTable`], a [`Metric`], and a
+/// [`Threshold`].
+#[derive(Debug, Clone)]
+pub struct TableOracle {
+    attrs: AttributeTable,
+    metric: Metric,
+    threshold: Threshold,
+}
+
+impl TableOracle {
+    /// Creates an oracle.
+    ///
+    /// # Panics
+    /// Panics when the threshold direction contradicts the metric family
+    /// (a distance metric with `MinSimilarity`, or vice versa) — a nearly
+    /// certain configuration bug.
+    pub fn new(attrs: AttributeTable, metric: Metric, threshold: Threshold) -> Self {
+        match (metric.is_distance(), threshold) {
+            (true, Threshold::MinSimilarity(_)) => {
+                panic!("distance metric {metric:?} needs Threshold::MaxDistance")
+            }
+            (false, Threshold::MaxDistance(_)) => {
+                panic!("similarity metric {metric:?} needs Threshold::MinSimilarity")
+            }
+            _ => {}
+        }
+        TableOracle {
+            attrs,
+            metric,
+            threshold,
+        }
+    }
+
+    /// The attribute table.
+    pub fn attributes(&self) -> &AttributeTable {
+        &self.attrs
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The threshold in use.
+    pub fn threshold(&self) -> Threshold {
+        self.threshold
+    }
+
+    /// Returns a copy of this oracle with a different threshold (used by
+    /// parameter sweeps over `r`).
+    pub fn with_threshold(&self, threshold: Threshold) -> Self {
+        TableOracle::new(self.attrs.clone(), self.metric, threshold)
+    }
+}
+
+impl SimilarityOracle for TableOracle {
+    #[inline]
+    fn value(&self, u: u32, v: u32) -> f64 {
+        self.metric.evaluate(&self.attrs, u, v)
+    }
+
+    #[inline]
+    fn is_similar(&self, u: u32, v: u32) -> bool {
+        self.threshold.is_similar_value(self.value(u, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_directions() {
+        assert!(Threshold::MinSimilarity(0.5).is_similar_value(0.5));
+        assert!(Threshold::MinSimilarity(0.5).is_similar_value(0.9));
+        assert!(!Threshold::MinSimilarity(0.5).is_similar_value(0.4));
+        assert!(Threshold::MaxDistance(10.0).is_similar_value(10.0));
+        assert!(Threshold::MaxDistance(10.0).is_similar_value(3.0));
+        assert!(!Threshold::MaxDistance(10.0).is_similar_value(11.0));
+    }
+
+    #[test]
+    fn oracle_geo() {
+        let o = TableOracle::new(
+            AttributeTable::points(vec![(0.0, 0.0), (3.0, 4.0), (100.0, 0.0)]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(10.0),
+        );
+        assert!(o.is_similar(0, 1));
+        assert!(!o.is_similar(0, 2));
+        assert_eq!(o.threshold().value(), 10.0);
+    }
+
+    #[test]
+    fn oracle_keywords() {
+        let o = TableOracle::new(
+            AttributeTable::keywords(vec![vec![(1, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)]]),
+            Metric::WeightedJaccard,
+            Threshold::MinSimilarity(0.5),
+        );
+        assert!(o.is_similar(0, 1));
+        assert!(!o.is_similar(0, 2));
+    }
+
+    #[test]
+    fn with_threshold_swaps_r() {
+        let o = TableOracle::new(
+            AttributeTable::points(vec![(0.0, 0.0), (5.0, 0.0)]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(1.0),
+        );
+        assert!(!o.is_similar(0, 1));
+        let o2 = o.with_threshold(Threshold::MaxDistance(6.0));
+        assert!(o2.is_similar(0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_threshold_panics() {
+        TableOracle::new(
+            AttributeTable::points(vec![]),
+            Metric::Euclidean,
+            Threshold::MinSimilarity(0.5),
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Pairwise-similarity quantile calibration.
+//!
+//! The paper's DBLP and Pokec experiments do not sweep raw `r` values;
+//! they sweep the *top-x‰* of the pairwise similarity distribution in
+//! decreasing order ("r = top 3‰" means: pick `r` so that 3 per thousand of
+//! vertex pairs are similar). We implement an exact variant for small
+//! graphs and a reservoir-sampled variant for large ones.
+
+use crate::oracle::SimilarityOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact `q`-quantile (from the top, `0 < q <= 1`) of the pairwise metric
+/// values over all `n(n-1)/2` vertex pairs of `0..n`.
+///
+/// For similarity metrics, returns the value `r` such that a fraction `q`
+/// of pairs have `value >= r`. `O(n^2 log n)` — intended for `n` up to a
+/// few thousands.
+pub fn similarity_quantile_exact<O: SimilarityOracle>(oracle: &O, n: usize, q: f64) -> f64 {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+    let mut vals = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            vals.push(oracle.value(u, v));
+        }
+    }
+    quantile_from_top(&mut vals, q)
+}
+
+/// Sampled variant of [`similarity_quantile_exact`]: evaluates the metric on
+/// `samples` uniformly random vertex pairs (seeded, reproducible).
+pub fn similarity_quantile_sampled<O: SimilarityOracle>(
+    oracle: &O,
+    n: usize,
+    q: f64,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vals = Vec::with_capacity(samples);
+    while vals.len() < samples {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            vals.push(oracle.value(u, v));
+        }
+    }
+    quantile_from_top(&mut vals, q)
+}
+
+/// The paper's "top x‰" threshold: the similarity value at the top
+/// `permille`/1000 of the (sampled) pairwise distribution. Uses exact
+/// computation below `exact_cutoff` vertices, sampling otherwise.
+pub fn top_permille_threshold<O: SimilarityOracle>(
+    oracle: &O,
+    n: usize,
+    permille: f64,
+    exact_cutoff: usize,
+    seed: u64,
+) -> f64 {
+    let q = permille / 1000.0;
+    if n <= exact_cutoff {
+        similarity_quantile_exact(oracle, n, q)
+    } else {
+        // ~2M samples gives a per-mille resolution comfortably.
+        similarity_quantile_sampled(oracle, n, q, 2_000_000.min(n * 200), seed)
+    }
+}
+
+/// Sorts descending and picks the value at rank `ceil(q * len) - 1`
+/// (clamped), i.e. the threshold at which a `q` fraction of values is kept.
+fn quantile_from_top(vals: &mut [f64], q: f64) -> f64 {
+    assert!(!vals.is_empty());
+    vals.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN metric value"));
+    let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+    vals[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AttributeTable;
+    use crate::metrics::Metric;
+    use crate::oracle::{TableOracle, Threshold};
+
+    fn line_oracle(n: usize) -> TableOracle {
+        // Points on a line: pairwise distances are distinct-ish.
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 0.0)).collect();
+        TableOracle::new(AttributeTable::points(pts), Metric::Euclidean, Threshold::MaxDistance(1.0))
+    }
+
+    #[test]
+    fn quantile_from_top_basics() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_from_top(&mut v.clone(), 0.25), 4.0);
+        assert_eq!(quantile_from_top(&mut v.clone(), 0.5), 3.0);
+        assert_eq!(quantile_from_top(&mut v, 1.0), 1.0);
+    }
+
+    #[test]
+    fn exact_quantile_on_line() {
+        let o = line_oracle(5);
+        // Pairs distances: 1x4, 2x3, 3x2, 4x1 -> sorted desc: 4,3,3,2,2,2,1,1,1,1
+        let top10 = similarity_quantile_exact(&o, 5, 0.1);
+        assert_eq!(top10, 4.0);
+        let all = similarity_quantile_exact(&o, 5, 1.0);
+        assert_eq!(all, 1.0);
+    }
+
+    #[test]
+    fn sampled_close_to_exact() {
+        let o = line_oracle(40);
+        let exact = similarity_quantile_exact(&o, 40, 0.3);
+        let sampled = similarity_quantile_sampled(&o, 40, 0.3, 50_000, 42);
+        assert!((exact - sampled).abs() <= 2.0, "exact {exact} vs sampled {sampled}");
+    }
+
+    #[test]
+    fn sampled_is_deterministic_per_seed() {
+        let o = line_oracle(30);
+        let a = similarity_quantile_sampled(&o, 30, 0.2, 10_000, 7);
+        let b = similarity_quantile_sampled(&o, 30, 0.2, 10_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_permille_uses_exact_under_cutoff() {
+        let o = line_oracle(10);
+        let t = top_permille_threshold(&o, 10, 500.0, 100, 1); // top 50%
+        let e = similarity_quantile_exact(&o, 10, 0.5);
+        assert_eq!(t, e);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_quantile_panics() {
+        let o = line_oracle(3);
+        similarity_quantile_exact(&o, 3, 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Similarity-graph and dissimilarity-list materialization.
+//!
+//! Section 3 defines the *similarity graph* `G'`: same vertices, an edge
+//! between every similar pair. The clique-based baseline materializes `G'`
+//! per component; the advanced search instead stores only the (sparse)
+//! **dissimilar** pairs inside each candidate component, which is exactly
+//! what the `DP(·)` counters of the paper range over.
+
+use crate::oracle::SimilarityOracle;
+use kr_graph::{Graph, GraphBuilder, VertexId};
+
+/// Dissimilarity lists over a renumbered vertex set `0..n`:
+/// `lists[v]` holds the vertices dissimilar to `v` (sorted).
+#[derive(Debug, Clone)]
+pub struct DissimilarityLists {
+    /// Per-vertex sorted lists of dissimilar partners.
+    pub lists: Vec<Vec<VertexId>>,
+    /// Total number of dissimilar (unordered) pairs.
+    pub num_pairs: usize,
+}
+
+impl DissimilarityLists {
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True iff there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Whether `u` and `v` are dissimilar, via binary search.
+    pub fn are_dissimilar(&self, u: VertexId, v: VertexId) -> bool {
+        self.lists[u as usize].binary_search(&v).is_ok()
+    }
+}
+
+/// Builds the similarity graph over `members` (a set of *global* vertex
+/// ids), renumbered to `0..members.len()` in the order given.
+///
+/// `O(|members|^2)` metric evaluations — this is the cost the clique-based
+/// baseline pays and the paper's advanced algorithms avoid.
+pub fn build_similarity_graph<O: SimilarityOracle>(oracle: &O, members: &[VertexId]) -> Graph {
+    let n = members.len();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if oracle.is_similar(members[i], members[j]) {
+                b.add_edge(i as VertexId, j as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Builds dissimilarity lists over `members` (global ids), renumbered to
+/// local ids `0..members.len()` in the order given.
+pub fn build_dissimilarity_lists<O: SimilarityOracle>(
+    oracle: &O,
+    members: &[VertexId],
+) -> DissimilarityLists {
+    let n = members.len();
+    let mut lists: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut num_pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !oracle.is_similar(members[i], members[j]) {
+                lists[i].push(j as VertexId);
+                lists[j].push(i as VertexId);
+                num_pairs += 1;
+            }
+        }
+    }
+    // Lists are already sorted by construction (j increases, i increases).
+    DissimilarityLists { lists, num_pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AttributeTable;
+    use crate::metrics::Metric;
+    use crate::oracle::{TableOracle, Threshold};
+
+    fn geo_oracle() -> TableOracle {
+        TableOracle::new(
+            AttributeTable::points(vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (50.0, 0.0)]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(2.5),
+        )
+    }
+
+    #[test]
+    fn similarity_graph_edges() {
+        let o = geo_oracle();
+        let g = build_similarity_graph(&o, &[0, 1, 2, 3]);
+        // 0-1, 0-2, 1-2 similar; 3 is far from everyone.
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn dissimilarity_lists_complement() {
+        let o = geo_oracle();
+        let d = build_dissimilarity_lists(&o, &[0, 1, 2, 3]);
+        assert_eq!(d.num_pairs, 3); // 3 vs each of 0,1,2
+        assert_eq!(d.lists[3], vec![0, 1, 2]);
+        assert!(d.are_dissimilar(0, 3));
+        assert!(!d.are_dissimilar(0, 1));
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn renumbering_respects_member_order() {
+        let o = geo_oracle();
+        // Members in reversed order: local 0 = global 3.
+        let d = build_dissimilarity_lists(&o, &[3, 2, 1, 0]);
+        assert_eq!(d.lists[0], vec![1, 2, 3]);
+        assert_eq!(d.num_pairs, 3);
+    }
+
+    #[test]
+    fn simgraph_and_dissim_partition_pairs() {
+        let o = geo_oracle();
+        let members = [0, 1, 2, 3];
+        let g = build_similarity_graph(&o, &members);
+        let d = build_dissimilarity_lists(&o, &members);
+        let n = members.len();
+        assert_eq!(g.num_edges() + d.num_pairs, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn empty_members() {
+        let o = geo_oracle();
+        let g = build_similarity_graph(&o, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        let d = build_dissimilarity_lists(&o, &[]);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Co-author community discovery — the paper's Figure 5 scenario on the
+//! DBLP-like synthetic dataset.
+//!
+//! A plain k-core lumps collaborating research groups together; adding the
+//! similarity constraint splits them along research-interest seams while
+//! overlapping authors (who publish in both areas) appear in several
+//! maximal cores. We check the recovered cores against the generator's
+//! planted sub-groups.
+//!
+//! ```sh
+//! cargo run --release --example coauthor_communities
+//! ```
+
+use krcore::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let ds = krcore::datagen::DatasetPreset::DblpLike.generate_scaled(0.5);
+    println!(
+        "dblp-like: {} authors, {} co-author edges",
+        ds.graph.num_vertices(),
+        ds.graph.num_edges()
+    );
+
+    // Calibrate r as the top-5-permille pairwise similarity (the paper's
+    // convention for DBLP), then mine with k = 4.
+    let oracle = krcore::similarity::TableOracle::new(
+        ds.attributes.clone(),
+        ds.metric,
+        Threshold::MinSimilarity(0.0),
+    );
+    let r = krcore::similarity::top_permille_threshold(
+        &oracle,
+        ds.graph.num_vertices(),
+        5.0,
+        3000,
+        7,
+    );
+    let k = 4;
+    println!("calibrated similarity threshold r = {r:.3} (top 5 permille), k = {k}");
+
+    let problem = ProblemInstance::new(
+        ds.graph.clone(),
+        ds.attributes.clone(),
+        ds.metric,
+        Threshold::MinSimilarity(r),
+        k,
+    );
+    let result = enumerate_maximal(&problem, &AlgoConfig::adv_enum());
+    println!("found {} maximal (k,r)-cores", result.cores.len());
+
+    // How pure is each core w.r.t. the planted sub-groups?
+    let mut pure = 0usize;
+    let mut overlapping_members = 0usize;
+    for core in &result.cores {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &v in &core.vertices {
+            *counts.entry(ds.subgroup[v as usize]).or_insert(0) += 1;
+        }
+        if counts.len() == 1 {
+            pure += 1;
+        }
+        overlapping_members += core
+            .vertices
+            .iter()
+            .filter(|&&v| ds.overlaps.iter().any(|&(o, _)| o == v))
+            .count();
+    }
+    println!(
+        "{pure}/{} cores lie inside a single planted research group",
+        result.cores.len()
+    );
+    println!("{overlapping_members} core memberships belong to dual-affiliation authors");
+
+    // The Figure 5(a) effect: pairs of maximal cores sharing authors.
+    let mut shared_pairs = 0usize;
+    for i in 0..result.cores.len() {
+        for j in (i + 1)..result.cores.len() {
+            let a = &result.cores[i];
+            let b = &result.cores[j];
+            let shared = a
+                .vertices
+                .iter()
+                .filter(|v| b.vertices.binary_search(v).is_ok())
+                .count();
+            if shared > 0 {
+                shared_pairs += 1;
+                if shared_pairs <= 5 {
+                    println!(
+                        "cores of sizes {} and {} share {shared} author(s) — bridging researcher(s)",
+                        a.len(),
+                        b.len()
+                    );
+                }
+            }
+        }
+    }
+    println!("total overlapping core pairs: {shared_pairs}");
+
+    // Figure 5(b): the maximum core is a project-team-like cluster.
+    let max = find_maximum(&problem, &AlgoConfig::adv_max());
+    if let Some(core) = max.core {
+        let mut sg: Vec<u32> = core
+            .vertices
+            .iter()
+            .map(|&v| ds.subgroup[v as usize])
+            .collect();
+        sg.sort_unstable();
+        sg.dedup();
+        println!(
+            "maximum core: {} authors drawn from planted group(s) {:?}",
+            core.len(),
+            sg
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Command-line (k,r)-core miner for SNAP-style datasets.
+//!
+//! ```text
+//! krcore-cli enum   --edges graph.txt --points locs.tsv    --k 5 --r 10        [--out cores.txt]
+//! krcore-cli enum   --edges dblp.txt  --keywords kw.tsv    --k 5 --r 0.4
+//! krcore-cli max    --edges dblp.txt  --keywords kw.tsv    --k 5 --permille 3
+//! krcore-cli stats  --edges graph.txt --points locs.tsv    --k 5 --r 10
+//! ```
+//!
+//! * `--points FILE` selects Euclidean distance (`--r` is a max distance);
+//! * `--keywords FILE` selects weighted Jaccard (`--r` is a min similarity,
+//!   or use `--permille X` to calibrate r as the top-X‰ pairwise quantile);
+//! * `--algo` picks the configuration (`adv` default, `basic`, `naive`,
+//!   `clique`);
+//! * `--time-limit-ms` bounds the run (prints a warning when exceeded).
+
+use krcore::core::{clique_based_maximal, enumerate_maximal, find_maximum, AlgoConfig, ProblemInstance};
+use krcore::graph::io::read_edge_list_file;
+use krcore::similarity::{
+    read_keywords, read_points, top_permille_threshold, AttributeTable, Metric, TableOracle,
+    Threshold,
+};
+use std::io::Write;
+use std::process::exit;
+
+struct Args {
+    command: String,
+    edges: String,
+    points: Option<String>,
+    keywords: Option<String>,
+    k: u32,
+    r: Option<f64>,
+    permille: Option<f64>,
+    algo: String,
+    out: Option<String>,
+    time_limit_ms: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: krcore-cli <enum|max|stats> --edges FILE (--points FILE | --keywords FILE) \
+         --k K (--r R | --permille X) [--algo adv|basic|naive|clique] [--out FILE] \
+         [--time-limit-ms MS]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().unwrap_or_else(|| usage());
+    if !matches!(command.as_str(), "enum" | "max" | "stats") {
+        usage();
+    }
+    let mut args = Args {
+        command,
+        edges: String::new(),
+        points: None,
+        keywords: None,
+        k: 0,
+        r: None,
+        permille: None,
+        algo: "adv".into(),
+        out: None,
+        time_limit_ms: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--edges" => args.edges = val(),
+            "--points" => args.points = Some(val()),
+            "--keywords" => args.keywords = Some(val()),
+            "--k" => args.k = val().parse().unwrap_or_else(|_| usage()),
+            "--r" => args.r = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--permille" => args.permille = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--algo" => args.algo = val(),
+            "--out" => args.out = Some(val()),
+            "--time-limit-ms" => {
+                args.time_limit_ms = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+    if args.edges.is_empty() || args.k == 0 {
+        usage();
+    }
+    if args.points.is_some() == args.keywords.is_some() {
+        eprintln!("exactly one of --points / --keywords is required");
+        exit(2);
+    }
+    if args.r.is_some() == args.permille.is_some() {
+        eprintln!("exactly one of --r / --permille is required");
+        exit(2);
+    }
+    if args.permille.is_some() && args.points.is_some() {
+        eprintln!("--permille only applies to keyword similarity");
+        exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let loaded = match read_edge_list_file(&args.edges) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("failed to read {}: {e}", args.edges);
+            exit(1);
+        }
+    };
+    let n = loaded.graph.num_vertices();
+    eprintln!(
+        "loaded {} vertices / {} edges from {}",
+        n,
+        loaded.graph.num_edges(),
+        args.edges
+    );
+
+    let (attrs, metric): (AttributeTable, Metric) = if let Some(path) = &args.points {
+        let f = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("failed to open {path}: {e}");
+            exit(1)
+        });
+        match read_points(f, n) {
+            Ok(t) => (t, Metric::Euclidean),
+            Err(e) => {
+                eprintln!("failed to parse {path}: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        let path = args.keywords.as_ref().expect("validated");
+        let f = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("failed to open {path}: {e}");
+            exit(1)
+        });
+        match read_keywords(f, n) {
+            Ok(t) => (t, Metric::WeightedJaccard),
+            Err(e) => {
+                eprintln!("failed to parse {path}: {e}");
+                exit(1);
+            }
+        }
+    };
+
+    let threshold = match (metric, args.r, args.permille) {
+        (Metric::Euclidean, Some(r), _) => Threshold::MaxDistance(r),
+        (Metric::WeightedJaccard, Some(r), _) => Threshold::MinSimilarity(r),
+        (Metric::WeightedJaccard, None, Some(x)) => {
+            let oracle = TableOracle::new(attrs.clone(), metric, Threshold::MinSimilarity(0.0));
+            let r = top_permille_threshold(&oracle, n, x, 3000, 0x5EED);
+            eprintln!("calibrated r = {r:.4} (top {x} permille)");
+            Threshold::MinSimilarity(r)
+        }
+        _ => usage(),
+    };
+
+    let problem = ProblemInstance::new(loaded.graph, attrs, metric, threshold, args.k);
+    let mut cfg = match args.algo.as_str() {
+        "adv" => AlgoConfig::adv_enum(),
+        "basic" => AlgoConfig::basic_enum(),
+        "naive" => AlgoConfig::naive_enum(),
+        "clique" => AlgoConfig::adv_enum(), // handled separately below
+        other => {
+            eprintln!("unknown --algo {other}");
+            exit(2);
+        }
+    };
+    if let Some(ms) = args.time_limit_ms {
+        cfg = cfg.with_time_limit_ms(ms);
+    }
+
+    let t0 = std::time::Instant::now();
+    match args.command.as_str() {
+        "enum" | "stats" => {
+            let cores = if args.algo == "clique" {
+                clique_based_maximal(&problem)
+            } else {
+                let res = enumerate_maximal(&problem, &cfg);
+                if !res.completed {
+                    eprintln!("warning: time budget exceeded; results are incomplete");
+                }
+                res.cores
+            };
+            eprintln!("{} maximal (k,r)-cores in {:.2?}", cores.len(), t0.elapsed());
+            if args.command == "stats" {
+                let max = cores.iter().map(|c| c.len()).max().unwrap_or(0);
+                let avg = if cores.is_empty() {
+                    0.0
+                } else {
+                    cores.iter().map(|c| c.len()).sum::<usize>() as f64 / cores.len() as f64
+                };
+                println!("cores\t{}", cores.len());
+                println!("max_size\t{max}");
+                println!("avg_size\t{avg:.2}");
+            } else {
+                let mut out: Box<dyn Write> = match &args.out {
+                    Some(path) => Box::new(std::io::BufWriter::new(
+                        std::fs::File::create(path).unwrap_or_else(|e| {
+                            eprintln!("cannot create {path}: {e}");
+                            exit(1)
+                        }),
+                    )),
+                    None => Box::new(std::io::stdout().lock()),
+                };
+                for core in &cores {
+                    let ids: Vec<String> = core
+                        .vertices
+                        .iter()
+                        .map(|&v| loaded.original_ids[v as usize].to_string())
+                        .collect();
+                    writeln!(out, "{}", ids.join("\t")).expect("write failed");
+                }
+            }
+        }
+        "max" => {
+            let cfg = if args.algo == "basic" {
+                AlgoConfig::basic_max()
+            } else {
+                AlgoConfig::adv_max()
+            };
+            let cfg = match args.time_limit_ms {
+                Some(ms) => cfg.with_time_limit_ms(ms),
+                None => cfg,
+            };
+            let res = find_maximum(&problem, &cfg);
+            if !res.completed {
+                eprintln!("warning: time budget exceeded; result may be suboptimal");
+            }
+            match res.core {
+                Some(core) => {
+                    eprintln!("maximum core: {} vertices in {:.2?}", core.len(), t0.elapsed());
+                    let ids: Vec<String> = core
+                        .vertices
+                        .iter()
+                        .map(|&v| loaded.original_ids[v as usize].to_string())
+                        .collect();
+                    println!("{}", ids.join("\t"));
+                }
+                None => {
+                    eprintln!("no (k,r)-core exists for k={} at this threshold", args.k);
+                    exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,65 @@
+//! # krcore — Efficient (k,r)-Core Computation on Social Networks
+//!
+//! A from-scratch Rust reproduction of the VLDB 2017 paper *"When Engagement
+//! Meets Similarity: Efficient (k,r)-Core Computation on Social Networks"*
+//! (Zhang, Zhang, Qin, Zhang, Lin).
+//!
+//! A **(k,r)-core** is a connected subgraph of an attributed graph in which
+//! every vertex has at least `k` neighbors inside the subgraph (*engagement*,
+//! the k-core structure constraint) and every pair of vertices is similar
+//! with respect to a threshold `r` (*similarity constraint*). The crate
+//! provides:
+//!
+//! * enumeration of **all maximal (k,r)-cores** (`NaiveEnum`, `BasicEnum`,
+//!   `AdvEnum` of the paper),
+//! * the **maximum (k,r)-core** (`BasicMax`, `AdvMax` with the novel
+//!   (k,k')-core size upper bound),
+//! * the **clique-based baseline** of Section 3,
+//! * the supporting substrates: graph + k-core machinery ([`graph`]),
+//!   similarity metrics and thresholds ([`similarity`]), maximal-clique
+//!   enumeration ([`clique`]), and synthetic attributed social networks
+//!   ([`datagen`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use krcore::prelude::*;
+//!
+//! // A toy co-author network: two tight groups sharing one author.
+//! let graph = Graph::from_edges(7, &[
+//!     (0, 1), (0, 2), (1, 2),          // group A triangle
+//!     (4, 5), (4, 6), (5, 6),          // group B triangle
+//!     (3, 0), (3, 1), (3, 2),          // author 3 works with A...
+//!     (3, 4), (3, 5), (3, 6),          // ...and with B
+//! ]);
+//! // Keyword attributes: A writes about databases, B about biology;
+//! // author 3 writes about both.
+//! let attrs = AttributeTable::keywords(vec![
+//!     vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)],
+//!     vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+//!     vec![(2, 1.0), (3, 1.0)], vec![(2, 1.0), (3, 1.0)], vec![(2, 1.0), (3, 1.0)],
+//! ]);
+//! let problem = ProblemInstance::new(
+//!     graph, attrs, Metric::WeightedJaccard, Threshold::MinSimilarity(0.4), 2);
+//! let cores = enumerate_maximal(&problem, &AlgoConfig::adv_enum()).cores;
+//! assert_eq!(cores.len(), 2); // the two groups, each including author 3
+//! let max = find_maximum(&problem, &AlgoConfig::adv_max()).core.unwrap();
+//! assert_eq!(max.vertices.len(), 4);
+//! ```
+
+pub use kr_clique as clique;
+pub use kr_core as core;
+pub use kr_datagen as datagen;
+pub use kr_graph as graph;
+pub use kr_similarity as similarity;
+
+/// Convenient single-import surface for the common API.
+pub mod prelude {
+    pub use kr_core::{
+        enumerate_maximal, find_maximum, AlgoConfig, BoundKind, BranchPolicy, EnumResult,
+        KrCore, MaxResult, ProblemInstance, SearchOrder,
+    };
+    pub use kr_datagen::{DatasetPreset, SyntheticDataset};
+    pub use kr_graph::{Graph, GraphBuilder, VertexId};
+    pub use kr_similarity::{AttributeTable, Metric, Threshold};
+}
