@@ -26,9 +26,11 @@ fn bench_enumeration(c: &mut Criterion) {
             b.iter(|| black_box(enumerate_maximal(p, &cfg).cores.len()))
         });
     }
-    g.bench_with_input(BenchmarkId::new("CliquePlus", "gowalla_k4_r8"), &p, |b, p| {
-        b.iter(|| black_box(clique_based_maximal(p).len()))
-    });
+    g.bench_with_input(
+        BenchmarkId::new("CliquePlus", "gowalla_k4_r8"),
+        &p,
+        |b, p| b.iter(|| black_box(clique_based_maximal(p).len())),
+    );
 
     let dblp = BenchDataset::new(DatasetPreset::DblpLike, 0.5);
     let p2 = dblp.instance(4, 5.0);

@@ -15,7 +15,10 @@ fn bench_maximum(c: &mut Criterion) {
     let configs = [
         ("BasicMax", AlgoConfig::basic_max()),
         ("AdvMax", AlgoConfig::adv_max()),
-        ("AdvMax-Color", AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore)),
+        (
+            "AdvMax-Color",
+            AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore),
+        ),
         ("AdvMax-Degree", AlgoConfig::adv_max_no_order()),
         (
             "AdvMax-Shrink",

@@ -136,7 +136,9 @@ fn fig5(opts: &ExpOptions) -> Vec<Table> {
     let p = ds.instance(k, r);
     let res = enumerate_maximal(&p, &limited(AlgoConfig::adv_enum(), opts));
     let mut t = Table::new(
-        format!("Figure 5(a): overlapping maximal (k,r)-cores, dblp-like, k={k}, r=top {r} permille"),
+        format!(
+            "Figure 5(a): overlapping maximal (k,r)-cores, dblp-like, k={k}, r=top {r} permille"
+        ),
         &["Core A", "Core B", "Shared", "A subgroups", "B subgroups"],
     );
     // Report overlapping core pairs (the Steven P. Wilder effect).
@@ -218,7 +220,12 @@ fn fig6(opts: &ExpOptions) -> Vec<Table> {
     };
     let mut t = Table::new(
         format!("Figure 6: maximal (k,r)-cores as geo groups, gowalla-like, k={k}, r={r} km"),
-        &["Core size", "Centroid x (km)", "Centroid y (km)", "Spread (km)"],
+        &[
+            "Core size",
+            "Centroid x (km)",
+            "Centroid y (km)",
+            "Spread (km)",
+        ],
     );
     let mut cores = res.cores.clone();
     cores.sort_by_key(|c| std::cmp::Reverse(c.len()));
@@ -281,7 +288,10 @@ fn fig7a(opts: &ExpOptions) -> Vec<Table> {
     let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
     let points: Vec<(u32, f64)> = ds.default_r_sweep().iter().map(|&r| (4, r)).collect();
     vec![core_stats_sweep(
-        format!("Figure 7(a): core statistics vs r, gowalla-like, k=4 ({})", ds.r_unit()),
+        format!(
+            "Figure 7(a): core statistics vs r, gowalla-like, k=4 ({})",
+            ds.r_unit()
+        ),
         &ds,
         &points,
         "r",
@@ -312,13 +322,20 @@ fn clique_vs_basic(
     axis_is_k: bool,
     opts: &ExpOptions,
 ) -> Table {
-    let mut t = Table::new(title, &[if axis_is_k { "k" } else { "r" }, "Clique+", "BasicEnum"]);
+    let mut t = Table::new(
+        title,
+        &[if axis_is_k { "k" } else { "r" }, "Clique+", "BasicEnum"],
+    );
     for &(k, r) in points {
         let p = ds.instance(k, r);
         let cq = measure(|| clique_based_maximal_budgeted(&p, Some(opts.time_limit_ms)).1);
         let be = time_enum(ds, k, r, &AlgoConfig::basic_enum(), opts);
         t.row(vec![
-            if axis_is_k { k.to_string() } else { format!("{r}") },
+            if axis_is_k {
+                k.to_string()
+            } else {
+                format!("{r}")
+            },
             cq.display(),
             be,
         ]);
@@ -330,7 +347,10 @@ fn fig8a(opts: &ExpOptions) -> Vec<Table> {
     // 2.5x scale: the clique-based method's exponential blow-up needs
     // components large enough for the similarity graph to get interesting.
     let ds = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale * 2.5);
-    let points: Vec<(u32, f64)> = [2.0, 6.0, 10.0, 14.0, 18.0].iter().map(|&r| (4, r)).collect();
+    let points: Vec<(u32, f64)> = [2.0, 6.0, 10.0, 14.0, 18.0]
+        .iter()
+        .map(|&r| (4, r))
+        .collect();
     vec![clique_vs_basic(
         "Figure 8(a): Clique+ vs BasicEnum vs r, gowalla-like x2.5, k=4 (km)".into(),
         &ds,
@@ -380,7 +400,11 @@ fn enum_ablation(
         ],
     );
     for &(k, r) in points {
-        let mut row = vec![if axis_is_k { k.to_string() } else { format!("{r}") }];
+        let mut row = vec![if axis_is_k {
+            k.to_string()
+        } else {
+            format!("{r}")
+        }];
         for (_, cfg) in &configs {
             row.push(time_enum(ds, k, r, cfg, opts));
         }
@@ -425,7 +449,10 @@ fn bound_ablation(
     opts: &ExpOptions,
 ) -> Table {
     let configs = [
-        ("|M|+|C|", AlgoConfig::adv_max().with_bound(BoundKind::Naive)),
+        (
+            "|M|+|C|",
+            AlgoConfig::adv_max().with_bound(BoundKind::Naive),
+        ),
         (
             "Color+Kcore",
             AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore),
@@ -445,7 +472,11 @@ fn bound_ablation(
         ],
     );
     for &(k, r) in points {
-        let mut row = vec![if axis_is_k { k.to_string() } else { format!("{r}") }];
+        let mut row = vec![if axis_is_k {
+            k.to_string()
+        } else {
+            format!("{r}")
+        }];
         for (_, cfg) in &configs {
             row.push(time_max(ds, k, r, cfg, opts));
         }
@@ -456,7 +487,10 @@ fn bound_ablation(
 
 fn fig10a(opts: &ExpOptions) -> Vec<Table> {
     let ds = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
-    let points: Vec<(u32, f64)> = [3.0, 5.0, 8.0, 12.0, 15.0].iter().map(|&r| (4, r)).collect();
+    let points: Vec<(u32, f64)> = [3.0, 5.0, 8.0, 12.0, 15.0]
+        .iter()
+        .map(|&r| (4, r))
+        .collect();
     vec![bound_ablation(
         "Figure 10(a): size upper bounds vs r, dblp-like, k=4 (top permille)".into(),
         &ds,
@@ -485,7 +519,11 @@ fn fig10b(opts: &ExpOptions) -> Vec<Table> {
 fn fig11a(opts: &ExpOptions) -> Vec<Table> {
     let mut t = Table::new(
         "Figure 11(a): lambda tuning for AdvMax",
-        &["lambda", "dblp-like k=4 r=10permille", "gowalla-like k=4 r=12km"],
+        &[
+            "lambda",
+            "dblp-like k=4 r=10permille",
+            "gowalla-like k=4 r=12km",
+        ],
     );
     let dblp = BenchDataset::new(DatasetPreset::DblpLike, opts.scale);
     let gow = BenchDataset::new(DatasetPreset::GowallaLike, opts.scale);
@@ -509,8 +547,20 @@ fn fig11b(opts: &ExpOptions) -> Vec<Table> {
     for k in [3u32, 4, 5, 6, 7] {
         t.row(vec![
             k.to_string(),
-            time_max(&ds, k, 10.0, &AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysExpand), opts),
-            time_max(&ds, k, 10.0, &AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysShrink), opts),
+            time_max(
+                &ds,
+                k,
+                10.0,
+                &AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysExpand),
+                opts,
+            ),
+            time_max(
+                &ds,
+                k,
+                10.0,
+                &AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysShrink),
+                opts,
+            ),
             time_max(&ds, k, 10.0, &AlgoConfig::adv_max(), opts),
         ]);
     }
@@ -536,7 +586,13 @@ fn fig11c(opts: &ExpOptions) -> Vec<Table> {
     for k in [3u32, 4, 5, 6, 7] {
         let mut row = vec![k.to_string()];
         for (_, o) in &orders {
-            row.push(time_max(&ds, k, 10.0, &AlgoConfig::adv_max().with_order(*o), opts));
+            row.push(time_max(
+                &ds,
+                k,
+                10.0,
+                &AlgoConfig::adv_max().with_order(*o),
+                opts,
+            ));
         }
         t.row(row);
     }
@@ -552,8 +608,20 @@ fn fig11d(opts: &ExpOptions) -> Vec<Table> {
     for r in [2.0, 4.0, 6.0, 8.0, 10.0] {
         t.row(vec![
             format!("{r}"),
-            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_order(SearchOrder::Random), opts),
-            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_order(SearchOrder::Degree), opts),
+            time_enum(
+                &ds,
+                4,
+                r,
+                &AlgoConfig::adv_enum().with_order(SearchOrder::Random),
+                opts,
+            ),
+            time_enum(
+                &ds,
+                4,
+                r,
+                &AlgoConfig::adv_enum().with_order(SearchOrder::Degree),
+                opts,
+            ),
             time_enum(&ds, 4, r, &AlgoConfig::adv_enum(), opts),
         ]);
     }
@@ -569,8 +637,20 @@ fn fig11e(opts: &ExpOptions) -> Vec<Table> {
     for r in ds.default_r_sweep() {
         t.row(vec![
             format!("{r}"),
-            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_order(SearchOrder::Delta1), opts),
-            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_order(SearchOrder::LambdaDelta), opts),
+            time_enum(
+                &ds,
+                4,
+                r,
+                &AlgoConfig::adv_enum().with_order(SearchOrder::Delta1),
+                opts,
+            ),
+            time_enum(
+                &ds,
+                4,
+                r,
+                &AlgoConfig::adv_enum().with_order(SearchOrder::LambdaDelta),
+                opts,
+            ),
             time_enum(&ds, 4, r, &AlgoConfig::adv_enum(), opts),
         ]);
     }
@@ -586,9 +666,27 @@ fn fig11f(opts: &ExpOptions) -> Vec<Table> {
     for r in ds.default_r_sweep() {
         t.row(vec![
             format!("{r}"),
-            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_check_order(CheckOrder::LambdaDelta), opts),
-            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_check_order(CheckOrder::Delta1ThenDelta2), opts),
-            time_enum(&ds, 4, r, &AlgoConfig::adv_enum().with_check_order(CheckOrder::Degree), opts),
+            time_enum(
+                &ds,
+                4,
+                r,
+                &AlgoConfig::adv_enum().with_check_order(CheckOrder::LambdaDelta),
+                opts,
+            ),
+            time_enum(
+                &ds,
+                4,
+                r,
+                &AlgoConfig::adv_enum().with_check_order(CheckOrder::Delta1ThenDelta2),
+                opts,
+            ),
+            time_enum(
+                &ds,
+                4,
+                r,
+                &AlgoConfig::adv_enum().with_check_order(CheckOrder::Degree),
+                opts,
+            ),
         ]);
     }
     vec![t]
@@ -602,7 +700,11 @@ fn fig11f(opts: &ExpOptions) -> Vec<Table> {
 /// and one r per dataset — we use the preset-scale equivalents.
 fn fig12_points(scale: f64) -> Vec<(BenchDataset, u32, f64)> {
     vec![
-        (BenchDataset::new(DatasetPreset::BrightkiteLike, scale), 4, 10.0),
+        (
+            BenchDataset::new(DatasetPreset::BrightkiteLike, scale),
+            4,
+            10.0,
+        ),
         (BenchDataset::new(DatasetPreset::GowallaLike, scale), 4, 8.0),
         (BenchDataset::new(DatasetPreset::DblpLike, scale), 4, 3.0),
         (BenchDataset::new(DatasetPreset::PokecLike, scale), 4, 5.0),
@@ -713,39 +815,6 @@ fn fig14b(opts: &ExpOptions) -> Vec<Table> {
     vec![t]
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn quick() -> ExpOptions {
-        ExpOptions {
-            scale: 0.12,
-            time_limit_ms: 1200,
-        }
-    }
-
-    #[test]
-    fn table3_has_four_rows() {
-        let t = run_experiment("table3", &quick());
-        assert_eq!(t.len(), 1);
-        assert_eq!(t[0].len(), 4);
-    }
-
-    #[test]
-    fn every_experiment_runs_at_tiny_scale() {
-        for id in ALL_EXPERIMENTS {
-            let tables = run_experiment(id, &quick());
-            assert!(!tables.is_empty(), "{id} returned no tables");
-        }
-    }
-
-    #[test]
-    #[should_panic]
-    fn unknown_experiment_panics() {
-        run_experiment("fig99", &quick());
-    }
-}
-
 // --------------------------------------------------------------------
 // Extensions beyond the paper.
 // --------------------------------------------------------------------
@@ -777,7 +846,16 @@ fn xbounds(opts: &ExpOptions) -> Vec<Table> {
     use kr_core::search::SearchState;
     let mut t = Table::new(
         "Extension: root upper-bound tightness (component hosting the maximum core)",
-        &["Dataset", "n", "true max", "|M|+|C|", "Color", "KCore", "ColorKcore", "DoubleKcore"],
+        &[
+            "Dataset",
+            "n",
+            "true max",
+            "|M|+|C|",
+            "Color",
+            "KCore",
+            "ColorKcore",
+            "DoubleKcore",
+        ],
     );
     for (ds, k, r) in fig12_points(opts.scale) {
         let p = ds.instance(k, r);
@@ -788,7 +866,9 @@ fn xbounds(opts: &ExpOptions) -> Vec<Table> {
         // Compare bounds on the component that actually hosts the maximum
         // core, so "true max" and the bounds talk about the same subgraph.
         let Some(comp) = comps.iter().find(|c| {
-            c.local_to_global.binary_search(&max_core.vertices[0]).is_ok()
+            c.local_to_global
+                .binary_search(&max_core.vertices[0])
+                .is_ok()
         }) else {
             continue;
         };
@@ -814,4 +894,37 @@ fn xbounds(opts: &ExpOptions) -> Vec<Table> {
         t.row(row);
     }
     vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            scale: 0.12,
+            time_limit_ms: 1200,
+        }
+    }
+
+    #[test]
+    fn table3_has_four_rows() {
+        let t = run_experiment("table3", &quick());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].len(), 4);
+    }
+
+    #[test]
+    fn every_experiment_runs_at_tiny_scale() {
+        for id in ALL_EXPERIMENTS {
+            let tables = run_experiment(id, &quick());
+            assert!(!tables.is_empty(), "{id} returned no tables");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_experiment_panics() {
+        run_experiment("fig99", &quick());
+    }
 }

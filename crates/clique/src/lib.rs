@@ -11,4 +11,6 @@
 
 pub mod bron_kerbosch;
 
-pub use bron_kerbosch::{max_clique_size, maximal_cliques, maximal_cliques_visit, try_maximal_cliques_visit};
+pub use bron_kerbosch::{
+    max_clique_size, maximal_cliques, maximal_cliques_visit, try_maximal_cliques_visit,
+};

@@ -168,8 +168,8 @@ fn peel_bound(st: &SearchState<'_>, enforce_structure: bool) -> u32 {
     // search always passes a k-core, but callers on raw components may
     // not.)
     if enforce_structure {
-        for i in 0..n {
-            if deg[i] < st.k {
+        for (i, &d) in deg.iter().enumerate() {
+            if d < st.k {
                 dead_stack.push(i as u32);
             }
         }
@@ -284,14 +284,7 @@ mod tests {
         // J' (Figure 4b): complete graph minus edges (1,3) and (2,5)...
         // Chosen so that: color bound = 5, sim-kcore bound = 5 (kmax = 4),
         // and the (3,k')-core bound = 4, matching Example 7 with k = 3.
-        let dis = vec![
-            vec![],
-            vec![3],
-            vec![5],
-            vec![1],
-            vec![],
-            vec![2],
-        ];
+        let dis = vec![vec![], vec![3], vec![5], vec![1], vec![], vec![2]];
         LocalComponent::from_parts(adj, dis, 3)
     }
 

@@ -27,8 +27,8 @@ pub fn clique_based_maximal_budgeted(
     problem: &ProblemInstance,
     time_limit_ms: Option<u64>,
 ) -> (Vec<KrCore>, bool) {
-    let deadline = time_limit_ms
-        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    let deadline =
+        time_limit_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
     let comps = problem.preprocess();
     let mut sink = CoreSink::new();
     let mut completed = true;

@@ -98,8 +98,17 @@ pub struct AlgoConfig {
     /// every search node; the run reports `completed = false` when
     /// exceeded — the harness renders that as the paper's INF.
     pub time_limit_ms: Option<u64>,
-    /// Process components in parallel with crossbeam scoped threads.
+    /// Process components in parallel with scoped threads (one thread per
+    /// component; coarse-grained). Superseded by [`Self::threads`], which
+    /// also splits *within* components; kept for the ablation harness.
     pub parallel_components: bool,
+    /// Worker threads for the work-stealing engine ([`crate::parallel`]).
+    /// `1` = run the sequential engine (default); `0` = use all available
+    /// cores; `n > 1` = exactly `n` workers. Parallel runs produce results
+    /// identical to the sequential engine (see the module docs of
+    /// [`crate::parallel`] for why that holds even for the maximum
+    /// search's tie-breaking).
+    pub threads: usize,
 }
 
 impl Default for AlgoConfig {
@@ -126,6 +135,7 @@ impl AlgoConfig {
             node_limit: None,
             time_limit_ms: None,
             parallel_components: false,
+            threads: 1,
         }
     }
 
@@ -195,6 +205,7 @@ impl AlgoConfig {
             node_limit: None,
             time_limit_ms: None,
             parallel_components: false,
+            threads: 1,
         }
     }
 
@@ -219,6 +230,27 @@ impl AlgoConfig {
     /// BasicMax).
     pub fn adv_max_no_bound() -> Self {
         AlgoConfig::basic_max()
+    }
+
+    /// AdvEnum on the work-stealing parallel engine, using all available
+    /// cores (tune with [`Self::with_threads`]). Output is identical to
+    /// [`AlgoConfig::adv_enum`].
+    pub fn adv_enum_parallel() -> Self {
+        AlgoConfig {
+            threads: 0,
+            ..AlgoConfig::adv_enum()
+        }
+    }
+
+    /// AdvMax on the work-stealing parallel engine, using all available
+    /// cores (tune with [`Self::with_threads`]). The shared incumbent
+    /// bound is propagated across workers through an atomic; the returned
+    /// core is identical to [`AlgoConfig::adv_max`]'s.
+    pub fn adv_max_parallel() -> Self {
+        AlgoConfig {
+            threads: 0,
+            ..AlgoConfig::adv_max()
+        }
     }
 
     /// Builder-style override of the search order.
@@ -262,6 +294,13 @@ impl AlgoConfig {
         self.check_order = order;
         self
     }
+
+    /// Builder-style override of the worker-thread count (`0` = all
+    /// available cores, `1` = sequential engine).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +327,17 @@ mod tests {
         assert_eq!(AlgoConfig::adv_max().bound, BoundKind::DoubleKCore);
         assert_eq!(AlgoConfig::adv_max().order, SearchOrder::LambdaDelta);
         assert_eq!(AlgoConfig::adv_max_no_order().order, SearchOrder::Degree);
+    }
+
+    #[test]
+    fn parallel_configs() {
+        let e = AlgoConfig::adv_enum_parallel();
+        assert_eq!(e.threads, 0);
+        assert_eq!(AlgoConfig::adv_enum(), AlgoConfig { threads: 1, ..e });
+        let m = AlgoConfig::adv_max_parallel();
+        assert_eq!(m.threads, 0);
+        assert_eq!(AlgoConfig::adv_max(), AlgoConfig { threads: 1, ..m });
+        assert_eq!(AlgoConfig::adv_max_parallel().with_threads(4).threads, 4);
     }
 
     #[test]

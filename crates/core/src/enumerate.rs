@@ -23,7 +23,7 @@ use crate::maximal::check_maximal_with_order;
 use crate::order::Chooser;
 use crate::problem::ProblemInstance;
 use crate::result::{CoreSink, KrCore};
-use crate::search::{SearchState, SearchStats, Status};
+use crate::search::{Decision, SearchState, SearchStats, Status};
 use kr_graph::VertexId;
 
 /// Result of an enumeration run.
@@ -53,7 +53,16 @@ impl EnumResult {
 }
 
 /// Enumerates all maximal (k,r)-cores of `problem` under `cfg`.
+///
+/// With [`AlgoConfig::threads`] ≠ 1 (and candidate pruning on — NaiveEnum
+/// has no safe split points), the run is dispatched to the work-stealing
+/// engine of [`crate::parallel`], which returns the identical core family.
+/// Node-limited runs stay sequential: a per-worker node budget would
+/// change what "limit reached" means and break that equivalence.
 pub fn enumerate_maximal(problem: &ProblemInstance, cfg: &AlgoConfig) -> EnumResult {
+    if cfg.threads != 1 && cfg.prune_candidates && cfg.node_limit.is_none() {
+        return crate::parallel::enumerate_parallel(problem, cfg);
+    }
     let comps = problem.preprocess();
     let mut stats = SearchStats::default();
     let mut completed = true;
@@ -70,19 +79,19 @@ pub fn enumerate_maximal(problem: &ProblemInstance, cfg: &AlgoConfig) -> EnumRes
     };
 
     if cfg.parallel_components && comps.len() > 1 {
-        let results = parking_lot::Mutex::new(Vec::new());
-        crossbeam::scope(|scope| {
-            for comp in &comps {
-                let results = &results;
-                let run_one = &run_one;
-                scope.spawn(move |_| {
-                    let r = run_one(comp);
-                    results.lock().push(r);
-                });
-            }
-        })
-        .expect("component worker panicked");
-        for (s, st, ok) in results.into_inner() {
+        // One scoped thread per component; join order preserves component
+        // order, so the merged result is deterministic.
+        let results: Vec<(CoreSink, SearchStats, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comps
+                .iter()
+                .map(|comp| scope.spawn(|| run_one(comp)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("component worker panicked"))
+                .collect()
+        });
+        for (s, st, ok) in results {
             for c in s.into_cores() {
                 sink.push(c);
             }
@@ -115,7 +124,7 @@ pub fn enumerate_maximal(problem: &ProblemInstance, cfg: &AlgoConfig) -> EnumRes
     }
 }
 
-fn merge_stats(into: &mut SearchStats, from: SearchStats) {
+pub(crate) fn merge_stats(into: &mut SearchStats, from: SearchStats) {
     into.nodes += from.nodes;
     into.leaves += from.leaves;
     into.early_terminations += from.early_terminations;
@@ -123,14 +132,16 @@ fn merge_stats(into: &mut SearchStats, from: SearchStats) {
     into.maximal_checks += from.maximal_checks;
 }
 
-/// Per-component enumeration driver.
-struct Driver<'a> {
+/// Per-component enumeration driver. `pub(crate)` so the parallel engine
+/// ([`crate::parallel`]) can drive frontier generation and subtask replay
+/// through the exact same per-node logic.
+pub(crate) struct Driver<'a> {
     comp: &'a LocalComponent,
     cfg: &'a AlgoConfig,
     chooser: Chooser,
-    sink: CoreSink,
-    stats: SearchStats,
-    aborted: bool,
+    pub(crate) sink: CoreSink,
+    pub(crate) stats: SearchStats,
+    pub(crate) aborted: bool,
     deadline: Option<std::time::Instant>,
     /// Leaf pieces already resolved (emitted or rejected as non-maximal):
     /// the same piece reappears at many leaves, and its maximality verdict
@@ -139,7 +150,7 @@ struct Driver<'a> {
 }
 
 impl<'a> Driver<'a> {
-    fn new(
+    pub(crate) fn new(
         comp: &'a LocalComponent,
         cfg: &'a AlgoConfig,
         deadline: Option<std::time::Instant>,
@@ -166,6 +177,93 @@ impl<'a> Driver<'a> {
         } else {
             self.naive_rec(&mut st);
         }
+    }
+
+    /// Depth-limited AdvEnum descent for the parallel engine: processes
+    /// nodes exactly like [`Self::advanced_rec`], but instead of recursing
+    /// past `depth` levels it records the decision path as a subtask
+    /// prefix. Leaves, terminations, and prunes above the split depth are
+    /// handled (and emitted into this driver's sink) right here, so
+    /// `frontier ∪ shallow leaves` covers the whole tree exactly once.
+    pub(crate) fn collect_frontier(&mut self, depth: usize) -> Vec<Vec<Decision>> {
+        let mut out = Vec::new();
+        let mut st = SearchState::new(self.comp);
+        if !st.prune_root() {
+            return out;
+        }
+        let mut path = Vec::new();
+        self.frontier_rec(&mut st, depth, &mut path, &mut out);
+        out
+    }
+
+    fn frontier_rec(
+        &mut self,
+        st: &mut SearchState<'a>,
+        depth_left: usize,
+        path: &mut Vec<Decision>,
+        out: &mut Vec<Vec<Decision>>,
+    ) {
+        if depth_left == 0 {
+            out.push(path.clone());
+            return;
+        }
+        self.stats.nodes += 1;
+        if self.budget_exceeded() {
+            return;
+        }
+        if self.cfg.retain_candidates {
+            promote_free_candidates(st);
+        }
+        if self.cfg.early_termination && can_terminate(st) {
+            self.stats.early_terminations += 1;
+            return;
+        }
+        let leaf = if self.cfg.retain_candidates {
+            st.all_candidates_similarity_free()
+        } else {
+            st.sizes().1 == 0
+        };
+        if leaf {
+            self.stats.leaves += 1;
+            self.emit_leaf(st);
+            return;
+        }
+        let include_sf = !self.cfg.retain_candidates;
+        let Some((u, _)) = self.chooser.choose(st, include_sf) else {
+            return;
+        };
+        let m = st.mark();
+        if st.expand(u) {
+            path.push((u, true));
+            self.frontier_rec(st, depth_left - 1, path, out);
+            path.pop();
+        }
+        st.rollback(m);
+        if st.shrink(u) {
+            path.push((u, false));
+            self.frontier_rec(st, depth_left - 1, path, out);
+            path.pop();
+        }
+        st.rollback(m);
+    }
+
+    /// Replays a frontier prefix on a fresh state and runs the full
+    /// search below it. Replay applies the same node-entry promotions the
+    /// frontier generator applied, so the reconstructed state is
+    /// bit-identical to the generator's state at that node.
+    pub(crate) fn run_prefix(&mut self, prefix: &[Decision]) {
+        let mut st = SearchState::new(self.comp);
+        if !st.prune_root() {
+            return;
+        }
+        for &(u, expand) in prefix {
+            if self.cfg.retain_candidates {
+                promote_free_candidates(&mut st);
+            }
+            let ok = if expand { st.expand(u) } else { st.shrink(u) };
+            debug_assert!(ok, "prefix replay cannot fail");
+        }
+        self.advanced_rec(&mut st);
     }
 
     fn budget_exceeded(&mut self) -> bool {
@@ -235,10 +333,7 @@ impl<'a> Driver<'a> {
         }
         // DP(M) = 0.
         for &u in &m_members {
-            if self.comp.dis[u as usize]
-                .iter()
-                .any(|&w| in_m[w as usize])
-            {
+            if self.comp.dis[u as usize].iter().any(|&w| in_m[w as usize]) {
                 return;
             }
         }
@@ -341,9 +436,8 @@ impl<'a> Driver<'a> {
 /// vertex and cannot fail structurally (no `M ∪ C` vertex is removed).
 pub(crate) fn promote_free_candidates(st: &mut SearchState<'_>) {
     loop {
-        let u = (0..st.comp.len() as VertexId).find(|&v| {
-            st.status(v) == Status::Cand && st.dp_c(v) == 0 && st.deg_m(v) >= st.k
-        });
+        let u = (0..st.comp.len() as VertexId)
+            .find(|&v| st.status(v) == Status::Cand && st.dp_c(v) == 0 && st.deg_m(v) >= st.k);
         match u {
             Some(u) => {
                 let ok = st.expand(u);
@@ -407,7 +501,7 @@ mod tests {
             (0.0, 0.0),
             (1.0, 0.0),
             (0.0, 1.0),
-            (5.0, 0.0),  // shared vertex, close enough to both sides
+            (5.0, 0.0), // shared vertex, close enough to both sides
             (10.0, 0.0),
             (11.0, 0.0),
             (10.0, 1.0),

@@ -30,6 +30,7 @@ pub mod enumerate;
 pub mod maximal;
 pub mod maximum;
 pub mod order;
+pub mod parallel;
 pub mod problem;
 pub mod result;
 pub mod search;

@@ -49,11 +49,7 @@ pub fn check_maximal_with_order(
         .iter()
         .copied()
         .filter(|&x| !in_m[x as usize])
-        .filter(|&x| {
-            comp.dis[x as usize]
-                .iter()
-                .all(|&w| !in_m[w as usize])
-        })
+        .filter(|&x| comp.dis[x as usize].iter().all(|&w| !in_m[w as usize]))
         .collect();
     if cand.is_empty() {
         return true;
@@ -172,11 +168,9 @@ fn extend_search(
     // M ∪ C itself is a valid extension — the fixpoint guarantees candidate
     // degrees and R-reachability, and chosen degrees were just verified
     // against the full M ∪ C.
-    let any_dissimilar = cand.iter().any(|&c| {
-        comp.dis[c as usize]
-            .iter()
-            .any(|&w| in_c[w as usize])
-    });
+    let any_dissimilar = cand
+        .iter()
+        .any(|&c| comp.dis[c as usize].iter().any(|&w| in_c[w as usize]));
     if !any_dissimilar {
         return true;
     }

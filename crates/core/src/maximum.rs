@@ -14,10 +14,12 @@ use crate::bounds::size_upper_bound;
 use crate::component::LocalComponent;
 use crate::config::{AlgoConfig, BoundKind, BranchPolicy};
 use crate::early_term::can_terminate;
+use crate::enumerate::promote_free_candidates;
 use crate::order::{Chooser, FirstBranch};
 use crate::problem::ProblemInstance;
 use crate::result::KrCore;
-use crate::search::{SearchState, SearchStats};
+use crate::search::{Decision, SearchState, SearchStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of a maximum search.
 #[derive(Debug, Clone)]
@@ -31,7 +33,17 @@ pub struct MaxResult {
 }
 
 /// Finds the maximum (k,r)-core of `problem` under `cfg`.
+///
+/// With [`AlgoConfig::threads`] ≠ 1 the run is dispatched to the
+/// work-stealing engine of [`crate::parallel`], which shares the incumbent
+/// size across workers through an atomic and — for deterministic search
+/// orders — returns the identical core. Node-limited runs stay
+/// sequential: a per-worker node budget would change what "limit reached"
+/// means and break that equivalence.
 pub fn find_maximum(problem: &ProblemInstance, cfg: &AlgoConfig) -> MaxResult {
+    if cfg.threads != 1 && cfg.node_limit.is_none() {
+        return crate::parallel::find_maximum_parallel(problem, cfg);
+    }
     let comps = problem.preprocess();
     let mut stats = SearchStats::default();
     let mut completed = true;
@@ -50,16 +62,7 @@ pub fn find_maximum(problem: &ProblemInstance, cfg: &AlgoConfig) -> MaxResult {
             stats.bound_prunes += 1;
             continue;
         }
-        let mut driver = MaxDriver {
-            comp,
-            cfg,
-            chooser: Chooser::new(cfg, comp.len()),
-            stats: SearchStats::default(),
-            aborted: false,
-            best_local: Vec::new(),
-            best_len,
-            deadline,
-        };
+        let mut driver = MaxDriver::new(comp, cfg, deadline, best_len, None);
         let mut st = SearchState::new(comp);
         if st.prune_root() {
             driver.rec(&mut st);
@@ -85,48 +88,114 @@ fn merge(into: &mut SearchStats, from: SearchStats) {
     into.maximal_checks += from.maximal_checks;
 }
 
-struct MaxDriver<'a> {
+/// One DFS-ordered event produced by the maximum search's frontier
+/// generation (see [`crate::parallel`] for the merge protocol that keeps
+/// parallel results identical to sequential ones).
+#[derive(Debug, Clone)]
+pub(crate) enum MaxEvent {
+    /// A suspended subtree, to be replayed and searched by a worker. The
+    /// attached incumbent is the generator's best size when the task was
+    /// created — i.e. exactly the DFS-prefix knowledge a sequential run
+    /// would have had — so workers never prune on information from
+    /// DFS-later parts of the tree except through the *strict* shared
+    /// atomic bound, which provably cannot prune the final winner.
+    Task {
+        /// Decision path from the component root to the subtree.
+        prefix: Vec<Decision>,
+        /// Generator incumbent (best size) at task creation.
+        start_incumbent: usize,
+    },
+    /// A (k,r)-core found above the split depth that improved the
+    /// generator's incumbent.
+    Found {
+        /// Size of the piece.
+        size: usize,
+        /// Members (component-local ids).
+        piece: Vec<kr_graph::VertexId>,
+    },
+}
+
+pub(crate) struct MaxDriver<'a> {
     comp: &'a LocalComponent,
     cfg: &'a AlgoConfig,
     chooser: Chooser,
-    stats: SearchStats,
-    aborted: bool,
+    pub(crate) stats: SearchStats,
+    pub(crate) aborted: bool,
     /// Best core found in this component (local ids); empty = none yet.
-    best_local: Vec<kr_graph::VertexId>,
-    /// Size to beat (max of global incumbent and local best).
-    best_len: usize,
+    pub(crate) best_local: Vec<kr_graph::VertexId>,
+    /// Size to beat (max of start incumbent and local best).
+    pub(crate) best_len: usize,
     deadline: Option<std::time::Instant>,
+    /// Shared incumbent size, published by every worker of a parallel
+    /// run. Only consulted with a *strict* comparison (`ub < global`):
+    /// unlike `best_len`, this value may stem from DFS-later subtrees, and
+    /// pruning `ub == global` there could cut the tie-breaking core the
+    /// sequential run would have returned.
+    global: Option<&'a AtomicUsize>,
 }
 
 impl<'a> MaxDriver<'a> {
-    fn rec(&mut self, st: &mut SearchState<'a>) {
-        self.stats.nodes += 1;
+    pub(crate) fn new(
+        comp: &'a LocalComponent,
+        cfg: &'a AlgoConfig,
+        deadline: Option<std::time::Instant>,
+        best_len: usize,
+        global: Option<&'a AtomicUsize>,
+    ) -> Self {
+        MaxDriver {
+            comp,
+            cfg,
+            chooser: Chooser::new(cfg, comp.len()),
+            stats: SearchStats::default(),
+            aborted: false,
+            best_local: Vec::new(),
+            best_len,
+            deadline,
+            global,
+        }
+    }
+
+    fn budget_exceeded(&mut self) -> bool {
         if let Some(limit) = self.cfg.node_limit {
             if self.stats.nodes >= limit {
                 self.aborted = true;
-                return;
+                return true;
             }
         }
         if let Some(deadline) = self.deadline {
             if std::time::Instant::now() >= deadline {
                 self.aborted = true;
-                return;
+                return true;
             }
         }
+        false
+    }
+
+    /// Algorithm 5 line 2 pruning: local incumbent with `<=`, shared
+    /// atomic incumbent with `<` (see the `global` field docs).
+    fn bound_cut(&self, ub: usize) -> bool {
+        ub <= self.best_len || self.global.is_some_and(|g| ub < g.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn rec(&mut self, st: &mut SearchState<'a>) {
+        self.stats.nodes += 1;
+        if self.budget_exceeded() {
+            return;
+        }
         if self.cfg.retain_candidates {
-            crate::enumerate::promote_free_candidates(st);
+            promote_free_candidates(st);
         }
         if self.cfg.early_termination && can_terminate(st) {
             self.stats.early_terminations += 1;
             return;
         }
         // Upper-bound pruning (Algorithm 5 line 2). Cheap bound first.
-        if (st.mc_len() as usize) <= self.best_len {
+        if self.bound_cut(st.mc_len() as usize) {
             self.stats.bound_prunes += 1;
             return;
         }
         if self.cfg.bound != BoundKind::Naive
-            && (size_upper_bound(st, self.cfg.bound) as usize) <= self.best_len
+            && self.bound_cut(size_upper_bound(st, self.cfg.bound) as usize)
         {
             self.stats.bound_prunes += 1;
             return;
@@ -170,14 +239,122 @@ impl<'a> MaxDriver<'a> {
     }
 
     /// Every connected piece of a Theorem 4 leaf is a (k,r)-core; keep the
-    /// largest.
+    /// largest and publish its size to the shared bound.
     fn record_leaf(&mut self, st: &SearchState<'a>) {
         for piece in st.mc_components() {
             if piece.len() > self.best_len && piece.len() > self.comp.k as usize {
                 self.best_len = piece.len();
                 self.best_local = piece;
+                if let Some(g) = self.global {
+                    g.fetch_max(self.best_len, Ordering::Relaxed);
+                }
             }
         }
+    }
+
+    /// Depth-limited descent for the parallel engine: identical per-node
+    /// logic to [`Self::rec`], but subtrees below `depth` become
+    /// [`MaxEvent::Task`]s and shallow finds become [`MaxEvent::Found`]s,
+    /// in DFS order (respecting the branch policy).
+    pub(crate) fn collect_frontier(&mut self, depth: usize) -> Vec<MaxEvent> {
+        let mut out = Vec::new();
+        let mut st = SearchState::new(self.comp);
+        if !st.prune_root() {
+            return out;
+        }
+        let mut path = Vec::new();
+        self.frontier_rec(&mut st, depth, &mut path, &mut out);
+        out
+    }
+
+    fn frontier_rec(
+        &mut self,
+        st: &mut SearchState<'a>,
+        depth_left: usize,
+        path: &mut Vec<Decision>,
+        out: &mut Vec<MaxEvent>,
+    ) {
+        if depth_left == 0 {
+            out.push(MaxEvent::Task {
+                prefix: path.clone(),
+                start_incumbent: self.best_len,
+            });
+            return;
+        }
+        self.stats.nodes += 1;
+        if self.budget_exceeded() {
+            return;
+        }
+        if self.cfg.retain_candidates {
+            promote_free_candidates(st);
+        }
+        if self.cfg.early_termination && can_terminate(st) {
+            self.stats.early_terminations += 1;
+            return;
+        }
+        if self.bound_cut(st.mc_len() as usize) {
+            self.stats.bound_prunes += 1;
+            return;
+        }
+        if self.cfg.bound != BoundKind::Naive
+            && self.bound_cut(size_upper_bound(st, self.cfg.bound) as usize)
+        {
+            self.stats.bound_prunes += 1;
+            return;
+        }
+        if st.all_candidates_similarity_free() {
+            self.stats.leaves += 1;
+            for piece in st.mc_components() {
+                if piece.len() > self.best_len && piece.len() > self.comp.k as usize {
+                    self.best_len = piece.len();
+                    self.best_local = piece.clone();
+                    out.push(MaxEvent::Found {
+                        size: piece.len(),
+                        piece,
+                    });
+                }
+            }
+            return;
+        }
+        let Some((u, preferred)) = self.chooser.choose(st, false) else {
+            return;
+        };
+        let first = match self.cfg.branch {
+            BranchPolicy::AlwaysExpand => FirstBranch::Expand,
+            BranchPolicy::AlwaysShrink => FirstBranch::Shrink,
+            BranchPolicy::Adaptive => preferred,
+        };
+        let m = st.mark();
+        let branches = match first {
+            FirstBranch::Expand => [true, false],
+            FirstBranch::Shrink => [false, true],
+        };
+        for expand in branches {
+            let ok = if expand { st.expand(u) } else { st.shrink(u) };
+            if ok {
+                path.push((u, expand));
+                self.frontier_rec(st, depth_left - 1, path, out);
+                path.pop();
+            }
+            st.rollback(m);
+        }
+    }
+
+    /// Replays a frontier prefix on a fresh state and searches the
+    /// subtree below it (see [`crate::enumerate::Driver::run_prefix`]).
+    pub(crate) fn run_prefix(&mut self, prefix: &[Decision]) {
+        let mut st = SearchState::new(self.comp);
+        if !st.prune_root() {
+            return;
+        }
+        for &(u, expand) in prefix {
+            if self.cfg.retain_candidates {
+                promote_free_candidates(&mut st);
+            }
+            let ok = if expand { st.expand(u) } else { st.shrink(u) };
+            debug_assert!(ok, "prefix replay cannot fail");
+        }
+        self.rec(&mut st);
     }
 }
 
@@ -229,9 +406,18 @@ mod tests {
         vec![
             ("basic_max", AlgoConfig::basic_max()),
             ("adv_max", AlgoConfig::adv_max()),
-            ("adv_max_color", AlgoConfig::adv_max().with_bound(BoundKind::Color)),
-            ("adv_max_kcore", AlgoConfig::adv_max().with_bound(BoundKind::KCore)),
-            ("adv_max_ck", AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore)),
+            (
+                "adv_max_color",
+                AlgoConfig::adv_max().with_bound(BoundKind::Color),
+            ),
+            (
+                "adv_max_kcore",
+                AlgoConfig::adv_max().with_bound(BoundKind::KCore),
+            ),
+            (
+                "adv_max_ck",
+                AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore),
+            ),
             ("adv_max_deg", AlgoConfig::adv_max_no_order()),
             (
                 "adv_max_shrinkfirst",

@@ -78,11 +78,13 @@ impl Chooser {
     /// when `include_sf` — used by configurations without Theorem 4).
     /// Returns the vertex and the preferred branch under the
     /// `λΔ1 − Δ2` policy (callers with fixed policies ignore it).
-    pub fn choose(&mut self, st: &SearchState<'_>, include_sf: bool) -> Option<(VertexId, FirstBranch)> {
+    pub fn choose(
+        &mut self,
+        st: &SearchState<'_>,
+        include_sf: bool,
+    ) -> Option<(VertexId, FirstBranch)> {
         let candidates: Vec<VertexId> = (0..st.comp.len() as VertexId)
-            .filter(|&v| {
-                st.status(v) == Status::Cand && (include_sf || st.dp_c(v) > 0)
-            })
+            .filter(|&v| st.status(v) == Status::Cand && (include_sf || st.dp_c(v) > 0))
             .collect();
         if candidates.is_empty() {
             return None;
@@ -99,9 +101,9 @@ impl Chooser {
                     .expect("non-empty");
                 Some((v, FirstBranch::Expand))
             }
-            SearchOrder::Delta1 => self.choose_scored(st, candidates, |e| {
-                (e.expand.delta1 + e.shrink.delta1, 0.0)
-            }),
+            SearchOrder::Delta1 => {
+                self.choose_scored(st, candidates, |e| (e.expand.delta1 + e.shrink.delta1, 0.0))
+            }
             SearchOrder::Delta2 => self.choose_scored(st, candidates, |e| {
                 (-(e.expand.delta2 + e.shrink.delta2), 0.0)
             }),
@@ -218,9 +220,7 @@ impl Chooser {
         for &d in first {
             for &w in &st.comp.adj[d as usize] {
                 let wi = w as usize;
-                if self.stamp[wi] != gen
-                    && matches!(st.status(w), Status::Cand)
-                {
+                if self.stamp[wi] != gen && matches!(st.status(w), Status::Cand) {
                     if self.drop[wi] == 0 {
                         touched.push(w);
                     }
@@ -324,7 +324,10 @@ mod tests {
         let mut a = Chooser::new(&cfg, comp.len());
         let mut b = Chooser::new(&cfg, comp.len());
         for _ in 0..5 {
-            assert_eq!(a.choose(&st, true).unwrap().0, b.choose(&st, true).unwrap().0);
+            assert_eq!(
+                a.choose(&st, true).unwrap().0,
+                b.choose(&st, true).unwrap().0
+            );
         }
     }
 

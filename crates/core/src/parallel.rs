@@ -1,0 +1,391 @@
+//! Work-stealing parallel engine for the (k,r)-core searches.
+//!
+//! Both searches walk a binary expand/shrink tree per
+//! [`crate::component::LocalComponent`]. This module splits the **top
+//! `d` levels** of every
+//! component's tree into independent subtasks and schedules them on a
+//! rayon work-stealing pool:
+//!
+//! 1. **Frontier generation** (sequential, cheap — at most `2^d` shallow
+//!    nodes per component): a depth-limited run of the normal driver.
+//!    Nodes that close above the split depth (leaves, early terminations,
+//!    bound prunes) are handled right there; every surviving depth-`d`
+//!    node becomes a subtask identified by its decision prefix.
+//! 2. **Subtask execution**: workers replay a subtask's prefix on a fresh
+//!    [`crate::search::SearchState`] (replay is linear in the prefix
+//!    length since every expand/shrink is trail-logged) and run the
+//!    ordinary recursive search below it. Rayon's work stealing load-
+//!    balances the wildly uneven subtree sizes.
+//! 3. **Merge**: subtask results are combined in deterministic DFS order.
+//!
+//! ### Result equivalence with the sequential engine
+//!
+//! *Enumeration* emits a set of cores that is a function of the problem
+//! alone (every maximal core is found on every traversal order), so
+//! concatenating subtask sinks, deduplicating, and sorting reproduces the
+//! sequential output exactly.
+//!
+//! *Maximum search* prunes with an incumbent, so naive sharing would
+//! change which of several equally-sized maximum cores survives. Two rules
+//! keep the returned core identical to the sequential run's:
+//!
+//! * a subtask starts its local incumbent at the generator's best size
+//!   **at task creation** (exactly the DFS-prefix knowledge the
+//!   sequential run would have had there) and prunes against it with
+//!   `ub <= incumbent`, mirroring sequential semantics;
+//! * the cross-worker [`AtomicUsize`] incumbent — the engine's speed
+//!   lever — is only consulted **strictly** (`ub < global`). A strict cut
+//!   can never prune the subtree holding the DFS-first core of the final
+//!   maximum size `S`: that subtree's bound is at least `S`, and the
+//!   global incumbent never exceeds `S`.
+//!
+//! The merge then scans events (shallow finds and subtasks) in DFS order
+//! carrying the incumbent forward, which selects precisely the core the
+//! sequential run returns. (With [`SearchOrder::Random`] the chooser RNG
+//! stream differs between the two engines, so tie-breaking — and only
+//! tie-breaking — may differ; all shipped parallel presets use
+//! deterministic orders.)
+//!
+//! [`SearchOrder::Random`]: crate::config::SearchOrder::Random
+
+use crate::config::AlgoConfig;
+use crate::enumerate::{merge_stats, Driver, EnumResult};
+use crate::maximum::{MaxDriver, MaxEvent, MaxResult};
+use crate::problem::ProblemInstance;
+use crate::result::{CoreSink, KrCore};
+use crate::search::{Decision, SearchStats};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
+
+/// Resolves the config knob: `0` = all available cores.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    }
+}
+
+/// Split depth: deep enough that the frontier (≤ `2^d` subtasks per
+/// component) keeps every worker busy despite uneven subtree sizes.
+fn split_depth(threads: usize) -> usize {
+    let target = (threads * 8).max(2) - 1;
+    (usize::BITS - target.leading_zeros()) as usize
+}
+
+fn make_pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+}
+
+/// Runs `f` over `items` on `pool`'s workers, returning the outputs in
+/// item order. The association between an item and its output is by
+/// index, so callers never correlate results positionally themselves.
+pub(crate) fn ordered_pool_map<'env, T, U, F>(
+    pool: &rayon::ThreadPool,
+    items: &'env [T],
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'env T) -> U + Sync,
+{
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    pool.scope(|s| {
+        for (item, slot) in items.iter().zip(&slots) {
+            let f = &f;
+            s.spawn(move |_| {
+                *slot.lock().expect("slot lock") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("worker completed")
+        })
+        .collect()
+}
+
+fn deadline_of(cfg: &AlgoConfig) -> Option<std::time::Instant> {
+    cfg.time_limit_ms
+        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms))
+}
+
+/// Parallel [`crate::enumerate_maximal`]. Requires `cfg.prune_candidates`
+/// (callers dispatch NaiveEnum to the sequential engine).
+pub(crate) fn enumerate_parallel(problem: &ProblemInstance, cfg: &AlgoConfig) -> EnumResult {
+    let threads = resolve_threads(cfg.threads);
+    let comps = problem.preprocess_parallel(threads);
+    let deadline = deadline_of(cfg);
+    let depth = split_depth(threads);
+
+    // Phase 1: frontier generation, one generator driver per component.
+    let mut stats = SearchStats::default();
+    let mut completed = true;
+    let mut sink = CoreSink::new();
+    let mut tasks: Vec<(usize, Vec<Decision>)> = Vec::new();
+    let mut generators: Vec<Driver<'_>> = Vec::new();
+    for (ci, comp) in comps.iter().enumerate() {
+        let mut driver = Driver::new(comp, cfg, deadline);
+        for prefix in driver.collect_frontier(depth) {
+            tasks.push((ci, prefix));
+        }
+        generators.push(driver);
+    }
+
+    // Phase 2: run subtasks on the pool.
+    let pool = make_pool(threads);
+    let task_results = ordered_pool_map(&pool, &tasks, |(ci, prefix)| {
+        let mut driver = Driver::new(&comps[*ci], cfg, deadline);
+        driver.run_prefix(prefix);
+        (driver.sink, driver.stats, driver.aborted)
+    });
+
+    // Phase 3: merge. Cross-task duplicates are possible (the same leaf
+    // piece is reachable in several subtrees); the sink dedups them.
+    for driver in generators {
+        for core in driver.sink.into_cores() {
+            sink.push(core);
+        }
+        merge_stats(&mut stats, driver.stats);
+        completed &= !driver.aborted;
+    }
+    for (task_sink, task_stats, aborted) in task_results {
+        for core in task_sink.into_cores() {
+            sink.push(core);
+        }
+        merge_stats(&mut stats, task_stats);
+        completed &= !aborted;
+    }
+    let mut cores = if cfg.maximal_check {
+        sink.into_cores()
+    } else {
+        sink.into_maximal()
+    };
+    cores.sort_by(|a, b| a.vertices.cmp(&b.vertices));
+    EnumResult {
+        cores,
+        stats,
+        completed,
+    }
+}
+
+/// Parallel [`crate::find_maximum`] (see the module docs for the
+/// equivalence argument).
+pub(crate) fn find_maximum_parallel(problem: &ProblemInstance, cfg: &AlgoConfig) -> MaxResult {
+    let threads = resolve_threads(cfg.threads);
+    let comps = problem.preprocess_parallel(threads);
+    let deadline = deadline_of(cfg);
+    let depth = split_depth(threads);
+
+    // Phase 1: frontier generation in component order, carrying the
+    // generator incumbent across components (sequential-prefix knowledge
+    // only, so components skipped here would be skipped sequentially too).
+    // The DFS-ordered merge plan: shallow finds inline, subtasks by index
+    // into `tasks`/`task_slots` (structural association — both phases
+    // address a task by the same index).
+    enum Step {
+        Found {
+            ci: usize,
+            size: usize,
+            piece: Vec<kr_graph::VertexId>,
+        },
+        Task(usize),
+    }
+    struct Task {
+        ci: usize,
+        prefix: Vec<crate::search::Decision>,
+        start_incumbent: usize,
+    }
+    let mut stats = SearchStats::default();
+    let mut completed = true;
+    let mut steps: Vec<Step> = Vec::new();
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut gen_incumbent = 0usize;
+    for (ci, comp) in comps.iter().enumerate() {
+        if comp.len() <= gen_incumbent {
+            stats.bound_prunes += 1;
+            continue;
+        }
+        let mut driver = MaxDriver::new(comp, cfg, deadline, gen_incumbent, None);
+        let evs = driver.collect_frontier(depth);
+        gen_incumbent = gen_incumbent.max(driver.best_len);
+        merge_stats(&mut stats, driver.stats);
+        completed &= !driver.aborted;
+        for event in evs {
+            match event {
+                MaxEvent::Found { size, piece } => steps.push(Step::Found { ci, size, piece }),
+                MaxEvent::Task {
+                    prefix,
+                    start_incumbent,
+                } => {
+                    steps.push(Step::Task(tasks.len()));
+                    tasks.push(Task {
+                        ci,
+                        prefix,
+                        start_incumbent,
+                    });
+                }
+            }
+        }
+    }
+
+    // Phase 2: run subtasks, sharing the incumbent through an atomic.
+    struct TaskResult {
+        best_local: Vec<kr_graph::VertexId>,
+        stats: SearchStats,
+        aborted: bool,
+    }
+    let global = AtomicUsize::new(gen_incumbent);
+    let pool = make_pool(threads);
+    let task_results = ordered_pool_map(&pool, &tasks, |task| {
+        let mut driver = MaxDriver::new(
+            &comps[task.ci],
+            cfg,
+            deadline,
+            task.start_incumbent,
+            Some(&global),
+        );
+        driver.run_prefix(&task.prefix);
+        TaskResult {
+            best_local: driver.best_local,
+            stats: driver.stats,
+            aborted: driver.aborted,
+        }
+    });
+
+    // Phase 3: merge in DFS step order with a carried incumbent.
+    let mut best: Option<KrCore> = None;
+    let mut incumbent = 0usize;
+    let mut task_results = task_results.into_iter().map(Some).collect::<Vec<_>>();
+    for step in steps {
+        let (ci, size, piece) = match step {
+            Step::Found { ci, size, piece } => (ci, size, piece),
+            Step::Task(i) => {
+                let result = task_results[i].take().expect("each task merged once");
+                merge_stats(&mut stats, result.stats);
+                completed &= !result.aborted;
+                (tasks[i].ci, result.best_local.len(), result.best_local)
+            }
+        };
+        if size > incumbent && !piece.is_empty() {
+            incumbent = size;
+            best = Some(KrCore::new(comps[ci].globalize(&piece)));
+        }
+    }
+    MaxResult {
+        core: best,
+        stats,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_maximal;
+    use crate::maximum::find_maximum;
+    use kr_graph::Graph;
+    use kr_similarity::{AttributeTable, Metric, Threshold};
+
+    /// Three bridged cliques, mixed similarity (same shape the sequential
+    /// engines are tested on).
+    fn instance(r: f64) -> ProblemInstance {
+        let mut edges = vec![];
+        for group in [[0u32, 1, 2, 3], [3u32, 4, 5, 6], [3u32, 7, 8, 9]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((group[i], group[j]));
+                }
+            }
+        }
+        for v in [3u32, 7, 8, 9] {
+            edges.push((v, 10));
+        }
+        let g = Graph::from_edges(11, &edges);
+        let pts = vec![
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (5.0, 0.0),
+            (10.0, 0.0),
+            (11.0, 0.0),
+            (10.0, 1.0),
+            (5.0, 4.0),
+            (6.0, 4.0),
+            (5.0, 5.0),
+            (6.0, 5.0),
+        ];
+        ProblemInstance::new(
+            g,
+            AttributeTable::points(pts),
+            Metric::Euclidean,
+            Threshold::MaxDistance(r),
+            2,
+        )
+    }
+
+    #[test]
+    fn parallel_enum_identical_to_sequential() {
+        for r in [0.5, 7.0, 9.0, 100.0] {
+            let p = instance(r);
+            let seq = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+            for threads in [2, 4, 8] {
+                let par =
+                    enumerate_maximal(&p, &AlgoConfig::adv_enum_parallel().with_threads(threads));
+                assert!(par.completed);
+                assert_eq!(par.cores, seq.cores, "r={r} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_max_identical_to_sequential() {
+        for r in [0.5, 7.0, 9.0, 100.0] {
+            let p = instance(r);
+            let seq = find_maximum(&p, &AlgoConfig::adv_max());
+            for threads in [2, 4, 8] {
+                let par = find_maximum(&p, &AlgoConfig::adv_max_parallel().with_threads(threads));
+                assert!(par.completed);
+                assert_eq!(
+                    par.core.as_ref().map(|c| &c.vertices),
+                    seq.core.as_ref().map(|c| &c.vertices),
+                    "r={r} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_knob_one_uses_sequential_engine() {
+        let p = instance(7.0);
+        let cfg = AlgoConfig::adv_enum_parallel().with_threads(1);
+        // threads == 1 must route to the sequential engine and still agree.
+        let a = enumerate_maximal(&p, &cfg);
+        let b = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+        assert_eq!(a.cores, b.cores);
+    }
+
+    #[test]
+    fn split_depth_scales() {
+        assert_eq!(split_depth(1), 3); // 8 tasks
+        assert_eq!(split_depth(4), 5); // 32 tasks
+        assert!(split_depth(64) <= 10);
+    }
+
+    #[test]
+    fn basic_enum_parallel_matches_without_maximal_check() {
+        // No Theorem 6 check: the parallel merge must fall back to the
+        // global subset post-filter and still agree with sequential.
+        let p = instance(7.0);
+        let seq = enumerate_maximal(&p, &AlgoConfig::basic_enum());
+        let par = enumerate_maximal(&p, &AlgoConfig::basic_enum().with_threads(4));
+        assert_eq!(par.cores, seq.cores);
+    }
+}

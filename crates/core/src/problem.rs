@@ -91,12 +91,27 @@ impl ProblemInstance {
     /// the paper's "start from the subgraph holding the highest-degree
     /// vertex" strategy for the maximum search.
     pub fn preprocess(&self) -> Vec<LocalComponent> {
+        self.preprocess_impl(1)
+    }
+
+    /// [`Self::preprocess`] on `threads` workers (`0` = all cores): the
+    /// k-core peel runs level-synchronously in parallel and the per-group
+    /// arenas (whose dissimilarity lists cost `O(|group|²)` oracle calls)
+    /// are materialized concurrently. The returned components are
+    /// identical to the sequential ones, in the same order.
+    pub fn preprocess_parallel(&self, threads: usize) -> Vec<LocalComponent> {
+        self.preprocess_impl(threads)
+    }
+
+    fn preprocess_impl(&self, threads: usize) -> Vec<LocalComponent> {
         // 1. Remove edges between dissimilar endpoints.
-        let filtered = self
-            .graph
-            .filter_edges(|u, v| self.oracle.is_similar(u, v));
+        let filtered = self.graph.filter_edges(|u, v| self.oracle.is_similar(u, v));
         // 2. k-core of the filtered graph.
-        let core_vertices = k_core(&filtered, self.k);
+        let core_vertices = if threads == 1 {
+            k_core(&filtered, self.k)
+        } else {
+            kr_graph::k_core_parallel(&filtered, self.k, threads)
+        };
         if core_vertices.is_empty() {
             return Vec::new();
         }
@@ -105,11 +120,26 @@ impl ProblemInstance {
         let groups = labels.groups();
         // 4. Local components (skips any group smaller than k + 1, which
         //    cannot host a (k,r)-core).
-        let mut comps: Vec<LocalComponent> = groups
+        let groups: Vec<Vec<VertexId>> = groups
             .into_iter()
             .filter(|g| g.len() > self.k as usize)
-            .map(|g| LocalComponent::build(&filtered, &self.oracle, &g, self.k))
             .collect();
+        let mut comps: Vec<LocalComponent> = if threads == 1 || groups.len() <= 1 {
+            groups
+                .into_iter()
+                .map(|g| LocalComponent::build(&filtered, &self.oracle, &g, self.k))
+                .collect()
+        } else {
+            // Build each arena concurrently; outputs come back in group
+            // order so the result matches the sequential path exactly.
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            crate::parallel::ordered_pool_map(&pool, &groups, |group| {
+                LocalComponent::build(&filtered, &self.oracle, group, self.k)
+            })
+        };
         // Put the component with the highest-degree vertex first; order the
         // rest by size descending.
         let best_seed = comps
@@ -127,9 +157,7 @@ impl ProblemInstance {
     /// Convenience wrapper exposing the preprocessed k-core vertex set in
     /// global ids (used by tests and the clique baseline).
     pub fn preprocessed_core(&self) -> Vec<VertexId> {
-        let filtered = self
-            .graph
-            .filter_edges(|u, v| self.oracle.is_similar(u, v));
+        let filtered = self.graph.filter_edges(|u, v| self.oracle.is_similar(u, v));
         k_core(&filtered, self.k)
     }
 }

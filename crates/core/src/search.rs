@@ -25,6 +25,13 @@
 use crate::component::LocalComponent;
 use kr_graph::VertexId;
 
+/// One branch decision along a search-tree path: the chosen vertex and
+/// whether it was expanded (`true`) or shrunk (`false`). A sequence of
+/// decisions from the root identifies a search-tree node; the parallel
+/// engine ships these prefixes to workers, which replay them on a fresh
+/// [`SearchState`] (see [`crate::parallel`]).
+pub type Decision = (VertexId, bool);
+
 /// Where a vertex currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {

@@ -50,7 +50,11 @@ pub fn is_maximal_kr_core(problem: &ProblemInstance, core: &KrCore) -> bool {
     // Candidates: vertices similar to every member.
     let candidates: Vec<VertexId> = (0..g.num_vertices() as VertexId)
         .filter(|v| !inset.contains(v))
-        .filter(|&v| core.vertices.iter().all(|&u| problem.oracle().is_similar(u, v)))
+        .filter(|&v| {
+            core.vertices
+                .iter()
+                .all(|&u| problem.oracle().is_similar(u, v))
+        })
         .collect();
     assert!(
         candidates.len() <= 20,

@@ -61,10 +61,7 @@ fn fixture() -> ProblemInstance {
 fn all_enumeration_configs_agree() {
     let p = fixture();
     let reference = enumerate_maximal(&p, &AlgoConfig::naive_enum()).cores;
-    assert!(
-        !reference.is_empty(),
-        "fixture should have cores; got none"
-    );
+    assert!(!reference.is_empty(), "fixture should have cores; got none");
     let mut tried = 0;
     for retain in [false, true] {
         for early in [false, true] {

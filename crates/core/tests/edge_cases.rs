@@ -6,7 +6,13 @@ use kr_core::{
 use kr_graph::{Graph, GraphBuilder, VertexId};
 use kr_similarity::{AttributeTable, Metric, Threshold};
 
-fn geo_instance(n: usize, edges: &[(VertexId, VertexId)], pts: Vec<(f64, f64)>, k: u32, r: f64) -> ProblemInstance {
+fn geo_instance(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+    pts: Vec<(f64, f64)>,
+    k: u32,
+    r: f64,
+) -> ProblemInstance {
     ProblemInstance::new(
         Graph::from_edges(n, edges),
         AttributeTable::points(pts),
@@ -19,7 +25,9 @@ fn geo_instance(n: usize, edges: &[(VertexId, VertexId)], pts: Vec<(f64, f64)>, 
 #[test]
 fn empty_graph_no_cores() {
     let p = geo_instance(0, &[], vec![], 1, 1.0);
-    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum())
+        .cores
+        .is_empty());
     assert!(find_maximum(&p, &AlgoConfig::adv_max()).core.is_none());
     assert!(clique_based_maximal(&p).is_empty());
 }
@@ -27,7 +35,9 @@ fn empty_graph_no_cores() {
 #[test]
 fn edgeless_graph_no_cores() {
     let p = geo_instance(5, &[], vec![(0.0, 0.0); 5], 1, 1.0);
-    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum())
+        .cores
+        .is_empty());
 }
 
 #[test]
@@ -36,13 +46,18 @@ fn k1_single_edge() {
     let p = geo_instance(2, &[(0, 1)], vec![(0.0, 0.0), (0.5, 0.0)], 1, 1.0);
     let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
     assert_eq!(res.cores, vec![KrCore::new(vec![0, 1])]);
-    assert_eq!(find_maximum(&p, &AlgoConfig::adv_max()).core.unwrap().len(), 2);
+    assert_eq!(
+        find_maximum(&p, &AlgoConfig::adv_max()).core.unwrap().len(),
+        2
+    );
 }
 
 #[test]
 fn k1_dissimilar_edge_is_nothing() {
     let p = geo_instance(2, &[(0, 1)], vec![(0.0, 0.0), (100.0, 0.0)], 1, 1.0);
-    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum())
+        .cores
+        .is_empty());
 }
 
 #[test]
@@ -85,7 +100,9 @@ fn exact_threshold_boundary_is_similar() {
 #[test]
 fn k_larger_than_any_degree() {
     let p = geo_instance(4, &[(0, 1), (1, 2), (2, 3)], vec![(0.0, 0.0); 4], 3, 1.0);
-    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum())
+        .cores
+        .is_empty());
     assert!(find_maximum(&p, &AlgoConfig::adv_max()).core.is_none());
 }
 
@@ -99,7 +116,9 @@ fn star_graph_never_qualifies_for_k2() {
         2,
         1.0,
     );
-    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores.is_empty());
+    assert!(enumerate_maximal(&p, &AlgoConfig::adv_enum())
+        .cores
+        .is_empty());
 }
 
 #[test]
@@ -116,7 +135,10 @@ fn two_disjoint_cliques_two_cores() {
     let res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
     assert_eq!(res.cores.len(), 2);
     // Maximum is either of the two (both size 4).
-    assert_eq!(find_maximum(&p, &AlgoConfig::adv_max()).core.unwrap().len(), 4);
+    assert_eq!(
+        find_maximum(&p, &AlgoConfig::adv_max()).core.unwrap().len(),
+        4
+    );
 }
 
 #[test]
@@ -177,7 +199,14 @@ fn stats_are_populated() {
     let p = geo_instance(
         6,
         &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (50.0, 0.0), (51.0, 0.0), (50.0, 1.0)],
+        vec![
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (50.0, 0.0),
+            (51.0, 0.0),
+            (50.0, 1.0),
+        ],
         2,
         5.0,
     );

@@ -16,10 +16,7 @@ fn arb_instance(n_max: usize) -> impl Strategy<Value = ProblemInstance> {
     (4..=n_max).prop_flat_map(|n| {
         let max_edges = n * (n - 1) / 2;
         (
-            proptest::collection::vec(
-                (0..n as VertexId, 0..n as VertexId),
-                0..=max_edges.min(36),
-            ),
+            proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..=max_edges.min(36)),
             proptest::collection::vec(0.0f64..10.0, n),
             1u32..=3,
             1.0f64..9.0,
@@ -70,10 +67,22 @@ fn enum_configs() -> Vec<(&'static str, AlgoConfig)> {
         ("be_cr_et", AlgoConfig::be_cr_et()),
         ("adv", AlgoConfig::adv_enum()),
         ("adv_degree", AlgoConfig::adv_enum_no_order()),
-        ("adv_random", AlgoConfig::adv_enum().with_order(SearchOrder::Random)),
-        ("adv_d1", AlgoConfig::adv_enum().with_order(SearchOrder::Delta1)),
-        ("adv_d2", AlgoConfig::adv_enum().with_order(SearchOrder::Delta2)),
-        ("adv_lambda", AlgoConfig::adv_enum().with_order(SearchOrder::LambdaDelta)),
+        (
+            "adv_random",
+            AlgoConfig::adv_enum().with_order(SearchOrder::Random),
+        ),
+        (
+            "adv_d1",
+            AlgoConfig::adv_enum().with_order(SearchOrder::Delta1),
+        ),
+        (
+            "adv_d2",
+            AlgoConfig::adv_enum().with_order(SearchOrder::Delta2),
+        ),
+        (
+            "adv_lambda",
+            AlgoConfig::adv_enum().with_order(SearchOrder::LambdaDelta),
+        ),
     ]
 }
 
@@ -81,13 +90,31 @@ fn max_configs() -> Vec<(&'static str, AlgoConfig)> {
     vec![
         ("basic_max", AlgoConfig::basic_max()),
         ("adv_max", AlgoConfig::adv_max()),
-        ("max_color", AlgoConfig::adv_max().with_bound(BoundKind::Color)),
-        ("max_kcore", AlgoConfig::adv_max().with_bound(BoundKind::KCore)),
-        ("max_ck", AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore)),
-        ("max_expand", AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysExpand)),
-        ("max_shrink", AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysShrink)),
+        (
+            "max_color",
+            AlgoConfig::adv_max().with_bound(BoundKind::Color),
+        ),
+        (
+            "max_kcore",
+            AlgoConfig::adv_max().with_bound(BoundKind::KCore),
+        ),
+        (
+            "max_ck",
+            AlgoConfig::adv_max().with_bound(BoundKind::ColorKCore),
+        ),
+        (
+            "max_expand",
+            AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysExpand),
+        ),
+        (
+            "max_shrink",
+            AlgoConfig::adv_max().with_branch(BranchPolicy::AlwaysShrink),
+        ),
         ("max_degree", AlgoConfig::adv_max_no_order()),
-        ("max_random", AlgoConfig::adv_max().with_order(SearchOrder::Random)),
+        (
+            "max_random",
+            AlgoConfig::adv_max().with_order(SearchOrder::Random),
+        ),
     ]
 }
 

@@ -63,7 +63,11 @@ pub fn generate(
             city_sigma,
             hub_fraction,
         } => {
-            let ncomm = community.iter().copied().max().map_or(1, |c| c as usize + 1);
+            let ncomm = community
+                .iter()
+                .copied()
+                .max()
+                .map_or(1, |c| c as usize + 1);
             let nsub = subgroup.iter().copied().max().map_or(1, |s| s as usize + 1);
             let centers: Vec<(f64, f64)> = (0..ncomm)
                 .map(|_| {
@@ -109,7 +113,11 @@ pub fn generate(
             words_per_vertex,
             zipf_exponent,
         } => {
-            let ncomm = community.iter().copied().max().map_or(1, |c| c as usize + 1);
+            let ncomm = community
+                .iter()
+                .copied()
+                .max()
+                .map_or(1, |c| c as usize + 1);
             let nsub = subgroup.iter().copied().max().map_or(1, |s| s as usize + 1);
             let mut draw_topic = |count: usize| {
                 let mut words: Vec<u32> = Vec::with_capacity(count);
@@ -123,8 +131,9 @@ pub fn generate(
             };
             // Community topics plus narrower per-sub-group sub-topics.
             let topics: Vec<Vec<u32>> = (0..ncomm).map(|_| draw_topic(topic_words)).collect();
-            let subtopics: Vec<Vec<u32>> =
-                (0..nsub).map(|_| draw_topic((topic_words / 2).max(2))).collect();
+            let subtopics: Vec<Vec<u32>> = (0..nsub)
+                .map(|_| draw_topic((topic_words / 2).max(2)))
+                .collect();
             // Secondary community lookup for overlapping vertices.
             let mut second: Vec<Option<u32>> = vec![None; community.len()];
             for &(v, c) in overlaps {
@@ -284,7 +293,8 @@ mod tests {
             AttributeTable::Keywords(l) => l,
             _ => unreachable!(),
         };
-        let sim = |a: usize, b: usize| kr_similarity::metrics::weighted_jaccard(&lists[a], &lists[b]);
+        let sim =
+            |a: usize, b: usize| kr_similarity::metrics::weighted_jaccard(&lists[a], &lists[b]);
         let mut intra = Vec::new();
         let mut inter = Vec::new();
         for i in 0..40 {
@@ -315,7 +325,10 @@ mod tests {
     #[test]
     fn overlap_vertices_mix_topics() {
         let mut rng = StdRng::seed_from_u64(5);
-        let community = vec![0u32; 50].into_iter().chain(vec![1u32; 50]).collect::<Vec<_>>();
+        let community = vec![0u32; 50]
+            .into_iter()
+            .chain(vec![1u32; 50])
+            .collect::<Vec<_>>();
         let overlaps = vec![(0 as VertexId, 1u32)];
         let (table, _) = generate(
             &AttributeKind::Keywords {
@@ -334,10 +347,14 @@ mod tests {
             _ => unreachable!(),
         };
         // Vertex 0 should be at least somewhat similar to both camps.
-        let sim = |a: usize, b: usize| kr_similarity::metrics::weighted_jaccard(&lists[a], &lists[b]);
+        let sim =
+            |a: usize, b: usize| kr_similarity::metrics::weighted_jaccard(&lists[a], &lists[b]);
         let to_own: f64 = (1..30).map(|j| sim(0, j)).sum::<f64>() / 29.0;
         let to_other: f64 = (50..80).map(|j| sim(0, j)).sum::<f64>() / 30.0;
         assert!(to_own > 0.0);
-        assert!(to_other > 0.0, "overlap vertex should share words with second topic");
+        assert!(
+            to_other > 0.0,
+            "overlap vertex should share words with second topic"
+        );
     }
 }

@@ -205,11 +205,10 @@ fn assign_subgroups(params: &GeneratorParams, community: &[u32]) -> Vec<u32> {
         if group.is_empty() {
             continue;
         }
-        let per = if params.subgroup_size == 0 {
-            1
-        } else {
-            ((group.len() + params.subgroup_size / 2) / params.subgroup_size).max(1)
-        };
+        let per = (group.len() + params.subgroup_size / 2)
+            .checked_div(params.subgroup_size)
+            .unwrap_or(1)
+            .max(1);
         let chunk = group.len().div_ceil(per);
         for (i, &v) in group.iter().enumerate() {
             subgroup[v] = next + (i / chunk) as u32;
@@ -229,10 +228,10 @@ fn assign_overlaps(
     if c < 2 {
         return overlaps;
     }
-    for v in 0..community.len() {
+    for (v, &own) in community.iter().enumerate() {
         if rng.random_bool(params.overlap_fraction.clamp(0.0, 1.0)) {
             let mut other = rng.random_range(0..c);
-            if other == community[v] {
+            if other == own {
                 other = (other + 1) % c;
             }
             overlaps.push((v as VertexId, other));

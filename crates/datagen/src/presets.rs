@@ -63,7 +63,7 @@ impl DatasetPreset {
                 n: n(1200),
                 communities: 24,
                 community_exponent: 1.8,
-                m_intra: 2,  // d_avg ≈ 6.7 in the paper
+                m_intra: 2, // d_avg ≈ 6.7 in the paper
                 m_inter: 1,
                 event_size: (3, 6),
                 subgroup_size: 16,
@@ -79,7 +79,7 @@ impl DatasetPreset {
                 n: n(1600),
                 communities: 32,
                 community_exponent: 1.9,
-                m_intra: 1,  // d_avg ≈ 4.7, the sparsest
+                m_intra: 1, // d_avg ≈ 4.7, the sparsest
                 m_inter: 1,
                 event_size: (3, 6),
                 subgroup_size: 16,
@@ -95,7 +95,7 @@ impl DatasetPreset {
                 n: n(2000),
                 communities: 40,
                 community_exponent: 2.0,
-                m_intra: 4,  // d_avg ≈ 8.3
+                m_intra: 4, // d_avg ≈ 8.3
                 m_inter: 1,
                 event_size: (3, 8),
                 subgroup_size: 16,
@@ -112,7 +112,7 @@ impl DatasetPreset {
                 n: n(2000),
                 communities: 36,
                 community_exponent: 2.0,
-                m_intra: 4,  // d_avg ≈ 10.2, the densest
+                m_intra: 4, // d_avg ≈ 10.2, the densest
                 m_inter: 1,
                 event_size: (4, 9),
                 subgroup_size: 16,
@@ -182,8 +182,14 @@ mod tests {
         let brightkite = avg(DatasetPreset::BrightkiteLike);
         let pokec = avg(DatasetPreset::PokecLike);
         let dblp = avg(DatasetPreset::DblpLike);
-        assert!(gowalla < brightkite, "gowalla {gowalla} vs brightkite {brightkite}");
-        assert!(brightkite < pokec, "brightkite {brightkite} vs pokec {pokec}");
+        assert!(
+            gowalla < brightkite,
+            "gowalla {gowalla} vs brightkite {brightkite}"
+        );
+        assert!(
+            brightkite < pokec,
+            "brightkite {brightkite} vs pokec {pokec}"
+        );
         assert!(dblp < pokec, "dblp {dblp} vs pokec {pokec}");
     }
 

@@ -1,7 +1,7 @@
 //! Property tests for the synthetic dataset generator.
 
-use kr_datagen::generator::{GeneratorParams, SyntheticDataset};
 use kr_datagen::attributes::AttributeKind;
+use kr_datagen::generator::{GeneratorParams, SyntheticDataset};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = GeneratorParams> {

@@ -55,7 +55,8 @@ pub fn greedy_coloring_in_order(g: &Graph, order: &[VertexId]) -> (Vec<u32>, u32
 
 /// Validates that `colors` is a proper coloring of `g`.
 pub fn is_proper_coloring(g: &Graph, colors: &[u32]) -> bool {
-    g.edges().all(|(u, v)| colors[u as usize] != colors[v as usize])
+    g.edges()
+        .all(|(u, v)| colors[u as usize] != colors[v as usize])
 }
 
 #[cfg(test)]
@@ -110,7 +111,18 @@ mod tests {
         // Wheel graph W5: hub 0 connected to cycle 1-2-3-4-5. Degeneracy 3.
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (2, 3), (3, 4), (4, 5), (5, 1)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 1),
+            ],
         );
         let (_, d) = degeneracy_order(&g);
         let (colors, k) = greedy_coloring(&g);

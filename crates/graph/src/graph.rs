@@ -88,7 +88,7 @@ impl Graph {
 
     /// Iterator over all vertices.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices() as VertexId).into_iter()
+        0..self.num_vertices() as VertexId
     }
 
     /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.

@@ -115,7 +115,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<LoadedGraph, IoErro
 /// Writes the graph as a SNAP-style edge list (each undirected edge once).
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# Undirected graph: {} nodes, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# Undirected graph: {} nodes, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u}\t{v}")?;
     }

@@ -154,8 +154,109 @@ fn k_core_peel(g: &Graph, k: u32, mut alive: Vec<bool>) -> Vec<VertexId> {
             }
         }
     }
+    (0..n as VertexId).filter(|&v| alive[v as usize]).collect()
+}
+
+/// Vertices of the k-core of `g`, computed by parallel level-synchronous
+/// peeling on `threads` workers (`0` = all available cores).
+///
+/// Returns exactly the same vertex set as [`k_core`] (the k-core is
+/// unique), in the same ascending order. The algorithm keeps one atomic
+/// degree counter per vertex; each peeling round removes the current
+/// sub-`k` frontier in parallel, and the worker whose decrement drops a
+/// neighbor from `k` to `k - 1` claims it for the next frontier, so every
+/// vertex is peeled exactly once. Small graphs (or `threads == 1`) fall
+/// back to the sequential peel, which is faster below ~100k edges.
+pub fn k_core_parallel(g: &Graph, k: u32, threads: usize) -> Vec<VertexId> {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Mutex;
+
+    let n = g.num_vertices();
+    let threads = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    if threads <= 1 || n < 2048 {
+        return k_core(g, k);
+    }
+    if k == 0 {
+        return (0..n as VertexId).collect();
+    }
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let deg: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let chunk = n.div_ceil(threads).max(1);
+
+    // Initial degrees and sub-k frontier, chunked over the vertex range.
+    let frontier = Mutex::new(Vec::new());
+    pool.scope(|s| {
+        for lo in (0..n).step_by(chunk) {
+            let deg = &deg;
+            let frontier = &frontier;
+            s.spawn(move |_| {
+                let hi = (lo + chunk).min(n);
+                let mut local = Vec::new();
+                for (v, slot) in (lo..hi).zip(&deg[lo..hi]) {
+                    let d = g.degree(v as VertexId) as u32;
+                    slot.store(d, Ordering::Relaxed);
+                    if d < k {
+                        local.push(v as VertexId);
+                    }
+                }
+                frontier.lock().expect("frontier lock").extend(local);
+            });
+        }
+    });
+    let mut frontier = frontier.into_inner().expect("frontier lock");
+
+    // Peeling rounds: remove the frontier, claim neighbors crossing k.
+    // Small rounds (deep cascades usually shrink to a handful of
+    // vertices) are processed inline — spawning a scope per tiny round
+    // would cost more in thread churn than the round itself.
+    while !frontier.is_empty() {
+        if frontier.len() < 512 {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &u in g.neighbors(v) {
+                    if deg[u as usize].fetch_sub(1, Ordering::AcqRel) == k {
+                        next.push(u);
+                    }
+                }
+            }
+            frontier = next;
+            continue;
+        }
+        let round_chunk = frontier.len().div_ceil(threads).max(1);
+        let next = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for piece in frontier.chunks(round_chunk) {
+                let deg = &deg;
+                let next = &next;
+                s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for &v in piece {
+                        for &u in g.neighbors(v) {
+                            // fetch_sub returns the previous value; only
+                            // the decrement that crosses the threshold
+                            // claims u, so each vertex is claimed once.
+                            if deg[u as usize].fetch_sub(1, Ordering::AcqRel) == k {
+                                local.push(u);
+                            }
+                        }
+                    }
+                    next.lock().expect("next lock").extend(local);
+                });
+            }
+        });
+        frontier = next.into_inner().expect("next lock");
+    }
+
     (0..n as VertexId)
-        .filter(|&v| alive[v as usize])
+        .filter(|&v| deg[v as usize].load(Ordering::Relaxed) >= k)
         .collect()
 }
 
@@ -183,9 +284,7 @@ pub fn k_core_naive(g: &Graph, k: u32) -> Vec<VertexId> {
             break;
         }
     }
-    (0..n as VertexId)
-        .filter(|&v| alive[v as usize])
-        .collect()
+    (0..n as VertexId).filter(|&v| alive[v as usize]).collect()
 }
 
 #[cfg(test)]
@@ -277,11 +376,63 @@ mod tests {
         }
     }
 
+    /// Deterministic pseudo-random graph big enough (n ≥ 2048) to take the
+    /// genuinely parallel path in [`k_core_parallel`].
+    fn large_graph() -> Graph {
+        let n = 3000usize;
+        let mut edges = Vec::new();
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        // Ring + random chords: varied degrees, deep peeling cascades.
+        for v in 0..n as VertexId {
+            edges.push((v, (v + 1) % n as VertexId));
+        }
+        for _ in 0..4 * n {
+            let u = (next() % n as u64) as VertexId;
+            let v = (next() % n as u64) as VertexId;
+            edges.push((u, v));
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_large_graph() {
+        let g = large_graph();
+        for k in [0, 1, 2, 3, 4, 6, 10] {
+            let seq = k_core(&g, k);
+            for threads in [2, 4] {
+                assert_eq!(k_core_parallel(&g, k, threads), seq, "k={k} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_falls_back_on_small_graphs() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(k_core_parallel(&g, 2, 8), k_core(&g, 2));
+        assert_eq!(k_core_parallel(&g, 2, 0), k_core(&g, 2));
+    }
+
     #[test]
     fn core_numbers_consistent_with_kcore() {
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
         );
         let d = core_decomposition(&g);
         for k in 0..=d.max_core + 1 {

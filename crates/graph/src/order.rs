@@ -90,7 +90,16 @@ mod tests {
     fn order_property_on_mixed_graph() {
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
         );
         let (order, d) = degeneracy_order(&g);
         assert_eq!(d, 2);
@@ -115,7 +124,10 @@ mod tests {
                 .iter()
                 .filter(|&&u| !removed[u as usize])
                 .count();
-            assert!(deg_rem as u32 <= d, "vertex {v} removed at degree {deg_rem} > {d}");
+            assert!(
+                deg_rem as u32 <= d,
+                "vertex {v} removed at degree {deg_rem} > {d}"
+            );
             removed[v as usize] = true;
         }
         assert!(removed.iter().all(|&r| r));

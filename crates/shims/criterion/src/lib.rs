@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion`: a wall-clock sampling harness with the
+//! API subset the bench targets use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `sample_size`). No statistical analysis, HTML reports, or baseline
+//! comparison — each benchmark prints one line with mean/min/max over the
+//! configured samples. A positional CLI argument filters benchmarks by
+//! substring, mirroring `cargo bench -- <filter>`.
+//!
+//! See `crates/shims/README.md` for the shim policy.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench files can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies `cargo bench -- <args>`: the first non-flag argument is a
+    /// substring filter; flags (e.g. `--bench`) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a closure under `id` (ungrouped).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&self.filter, &id, 20, f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.matches(&full) {
+            run_benchmark(&None, &full, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Benchmarks a closure that receives `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.matches(&full) {
+            run_benchmark(&None, &full, self.sample_size, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier composed of a function name and a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `sample_size` timed samples. Fast
+    /// closures (< ~50µs) are batched so a sample stays measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+                        // Calibrate a batch size targeting ≥ 50µs per sample.
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed();
+        let batch = if once < Duration::from_micros(50) {
+            (Duration::from_micros(50).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000)
+                as usize
+        } else {
+            1
+        };
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    filter: &Option<String>,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    if let Some(flt) = filter {
+        if !id.contains(flt.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<60} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().expect("non-empty");
+    let max = *b.samples.iter().max().expect("non-empty");
+    println!(
+        "{id:<60} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::thread::sleep(Duration::from_micros(60));
+            })
+        });
+        g.finish();
+        assert!(ran >= 4); // warm-up + probe + 3 samples
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

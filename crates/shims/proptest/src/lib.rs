@@ -1,0 +1,168 @@
+//! Offline stand-in for `proptest`: deterministic random property testing
+//! with the macro/strategy subset this workspace uses.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its case index and seed so
+//!   it can be replayed (`PROPTEST_SEED=<seed>`), but is not minimized;
+//! * strategies are generators only (`generate` from a seeded RNG);
+//! * the supported surface is exactly: range strategies over primitive
+//!   ints/floats, tuples, [`strategy::Just`], `prop_oneof!`,
+//!   [`collection::vec`], `prop_map` / `prop_flat_map` / `prop_filter`,
+//!   the [`proptest!`] macro with an optional
+//!   `#![proptest_config(..)]` header, and the `prop_assert*` /
+//!   `prop_assume!` macros.
+//!
+//! Determinism: every test function derives its per-case seeds from a
+//! fixed base (overridable via the `PROPTEST_SEED` env var), so CI runs
+//! are reproducible. See `crates/shims/README.md` for the shim policy.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{
+        Config as ProptestConfig, TestCaseError, TestCaseResult, TestRunner,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run_named(stringify!($name), |__krprop_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __krprop_rng);)+
+                    let __krprop_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    __krprop_case()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__krprop_l, __krprop_r) => {
+                if !(*__krprop_l == *__krprop_r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right), __krprop_l, __krprop_r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__krprop_l, __krprop_r) => {
+                if !(*__krprop_l == *__krprop_r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            ::std::format!($($fmt)+), __krprop_l, __krprop_r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__krprop_l, __krprop_r) => {
+                if *__krprop_l == *__krprop_r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{}` != `{}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __krprop_l,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (does not count toward the case budget)
+/// unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::string::String::from(concat!("assumption failed: ", stringify!($cond))),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

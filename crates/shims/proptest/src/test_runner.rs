@@ -1,0 +1,217 @@
+//! Case runner: deterministic seeds, reject accounting, failure reporting.
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Give up after this many rejects (via `prop_assume!`).
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// Discard — the generated inputs don't satisfy an assumption.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Assertion-failure constructor.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Discard constructor.
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias matching real proptest.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives one property over many generated cases.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Builds a runner.
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `case` until `config.cases` accepted cases pass, panicking on
+    /// the first failure with replay information.
+    ///
+    /// The per-case RNG seed is `base ⊕ f(case index)`, where `base` comes
+    /// from the `PROPTEST_SEED` env var (default: a hash of `name`), so
+    /// failures are reproducible.
+    pub fn run_named(
+        &mut self,
+        name: &str,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let base = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut index = 0u64;
+        while accepted < self.config.cases {
+            let seed = base ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+            let mut rng = TestRng::from_seed(seed);
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "property {name}: too many rejects ({rejected}) after {accepted} \
+                             accepted cases"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property {name} failed at case {index} (base seed {base}, case seed \
+                         {seed}; replay with PROPTEST_SEED={base}):\n{msg}"
+                    );
+                }
+            }
+            index += 1;
+        }
+    }
+}
+
+/// FNV-1a, for deriving a stable per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut runner = TestRunner::new(Config::with_cases(10));
+        let mut n = 0;
+        runner.run_named("count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut runner = TestRunner::new(Config::with_cases(5));
+        let mut accepted = 0;
+        let mut tick = 0u32;
+        runner.run_named("rejects", |_| {
+            tick += 1;
+            if tick.is_multiple_of(2) {
+                return Err(TestCaseError::reject("odd".to_string()));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property boom failed")]
+    fn failure_panics_with_replay_info() {
+        let mut runner = TestRunner::new(Config::with_cases(5));
+        runner.run_named("boom", |_| Err(TestCaseError::fail("nope".to_string())));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(Config::with_cases(5));
+            runner.run_named("det", |rng| {
+                out.push(rng.next_u64());
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

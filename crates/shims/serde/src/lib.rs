@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: marker traits plus re-exported no-op derive
+//! macros, enough for `#[derive(Serialize, Deserialize)]` annotations to
+//! compile. No serialization format ships in this environment, so nothing
+//! consumes the impls. See `crates/shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

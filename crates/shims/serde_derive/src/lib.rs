@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the derive macros expand to nothing,
+//! so `#[derive(Serialize, Deserialize)]` annotations compile without
+//! generating any impls. See `crates/shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -25,8 +25,10 @@ pub mod quantile;
 pub mod simgraph;
 
 pub use attributes::AttributeTable;
+pub use io::{read_keywords, read_points, write_attributes};
 pub use metrics::Metric;
 pub use oracle::{SimilarityOracle, TableOracle, Threshold};
-pub use io::{read_keywords, read_points, write_attributes};
-pub use quantile::{similarity_quantile_exact, similarity_quantile_sampled, top_permille_threshold};
+pub use quantile::{
+    similarity_quantile_exact, similarity_quantile_sampled, top_permille_threshold,
+};
 pub use simgraph::{build_dissimilarity_lists, build_similarity_graph, DissimilarityLists};

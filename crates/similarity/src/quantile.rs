@@ -89,7 +89,11 @@ mod tests {
     fn line_oracle(n: usize) -> TableOracle {
         // Points on a line: pairwise distances are distinct-ish.
         let pts: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 0.0)).collect();
-        TableOracle::new(AttributeTable::points(pts), Metric::Euclidean, Threshold::MaxDistance(1.0))
+        TableOracle::new(
+            AttributeTable::points(pts),
+            Metric::Euclidean,
+            Threshold::MaxDistance(1.0),
+        )
     }
 
     #[test]
@@ -115,7 +119,10 @@ mod tests {
         let o = line_oracle(40);
         let exact = similarity_quantile_exact(&o, 40, 0.3);
         let sampled = similarity_quantile_sampled(&o, 40, 0.3, 50_000, 42);
-        assert!((exact - sampled).abs() <= 2.0, "exact {exact} vs sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() <= 2.0,
+            "exact {exact} vs sampled {sampled}"
+        );
     }
 
     #[test]

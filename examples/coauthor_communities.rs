@@ -29,13 +29,8 @@ fn main() {
         ds.metric,
         Threshold::MinSimilarity(0.0),
     );
-    let r = krcore::similarity::top_permille_threshold(
-        &oracle,
-        ds.graph.num_vertices(),
-        5.0,
-        3000,
-        7,
-    );
+    let r =
+        krcore::similarity::top_permille_threshold(&oracle, ds.graph.num_vertices(), 5.0, 3000, 7);
     let k = 4;
     println!("calibrated similarity threshold r = {r:.3} (top 5 permille), k = {k}");
 

@@ -31,14 +31,14 @@ fn main() {
         bench.data.graph.num_edges()
     );
     let rs = bench.default_r_sweep();
-    println!("\n{:>4} {:>8} | {:>8} {:>8} {:>8}", "k", "r", "#cores", "max", "avg");
+    println!(
+        "\n{:>4} {:>8} | {:>8} {:>8} {:>8}",
+        "k", "r", "#cores", "max", "avg"
+    );
     for k in [3u32, 4, 5, 6] {
         for &r in &rs {
             let p = bench.instance(k, r);
-            let res = enumerate_maximal(
-                &p,
-                &AlgoConfig::adv_enum().with_time_limit_ms(10_000),
-            );
+            let res = enumerate_maximal(&p, &AlgoConfig::adv_enum().with_time_limit_ms(10_000));
             let (count, max, avg) = res.size_summary();
             let flag = if res.completed { " " } else { "*" };
             println!("{k:>4} {r:>8} | {count:>8} {max:>8} {avg:>8.1}{flag}");

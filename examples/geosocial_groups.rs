@@ -34,10 +34,8 @@ fn main() {
             Threshold::MaxDistance(r),
             k,
         );
-        let result = enumerate_maximal(
-            &problem,
-            &AlgoConfig::adv_enum().with_time_limit_ms(15_000),
-        );
+        let result =
+            enumerate_maximal(&problem, &AlgoConfig::adv_enum().with_time_limit_ms(15_000));
         let (count, max, avg) = result.size_summary();
         println!("\nr = {r} km: {count} groups, max {max}, avg {avg:.1}");
 
@@ -62,10 +60,7 @@ fn main() {
             );
         }
 
-        let max_core = find_maximum(
-            &problem,
-            &AlgoConfig::adv_max().with_time_limit_ms(15_000),
-        );
+        let max_core = find_maximum(&problem, &AlgoConfig::adv_max().with_time_limit_ms(15_000));
         if let Some(core) = max_core.core {
             println!("  maximum group: {} users", core.len());
         }

@@ -1,0 +1,58 @@
+//! The work-stealing parallel engine vs the sequential engine, on a
+//! generated DBLP-like network: same results, wall-clock printed for both.
+//!
+//! ```sh
+//! cargo run --release --example parallel_engine [threads]
+//! ```
+
+use krcore::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("threads must be a number"))
+        .unwrap_or(4);
+    let data = DatasetPreset::DblpLike.generate_scaled(0.5);
+    let problem = krcore::core::ProblemInstance::new(
+        data.graph.clone(),
+        data.attributes.clone(),
+        data.metric,
+        krcore::similarity::Threshold::MinSimilarity(0.22),
+        4,
+    );
+
+    let t = Instant::now();
+    let seq = enumerate_maximal(&problem, &AlgoConfig::adv_enum());
+    let seq_ms = t.elapsed();
+    let t = Instant::now();
+    let par = enumerate_maximal(
+        &problem,
+        &AlgoConfig::adv_enum_parallel().with_threads(threads),
+    );
+    let par_ms = t.elapsed();
+    assert_eq!(seq.cores, par.cores, "engines must agree");
+    println!(
+        "enumeration: {} maximal cores | sequential {seq_ms:?} | {threads} threads {par_ms:?}",
+        seq.cores.len()
+    );
+
+    let t = Instant::now();
+    let seq = find_maximum(&problem, &AlgoConfig::adv_max());
+    let seq_ms = t.elapsed();
+    let t = Instant::now();
+    let par = find_maximum(
+        &problem,
+        &AlgoConfig::adv_max_parallel().with_threads(threads),
+    );
+    let par_ms = t.elapsed();
+    assert_eq!(
+        seq.core.as_ref().map(|c| &c.vertices),
+        par.core.as_ref().map(|c| &c.vertices),
+        "engines must return the identical maximum core"
+    );
+    println!(
+        "maximum: {} vertices | sequential {seq_ms:?} | {threads} threads {par_ms:?}",
+        seq.core.as_ref().map_or(0, |c| c.len())
+    );
+}

@@ -32,13 +32,13 @@ fn main() {
         ],
     );
     let attrs = AttributeTable::keywords(vec![
-        vec![(0, 3.0), (1, 2.0)],                         // author 0: SIGMOD, VLDB
-        vec![(0, 2.0), (1, 3.0)],                         // author 1
-        vec![(0, 2.0), (1, 2.0)],                         // author 2
-        vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],     // author 3: both fields
-        vec![(2, 3.0), (3, 2.0)],                         // author 4: ISMB, Bioinformatics
-        vec![(2, 2.0), (3, 3.0)],                         // author 5
-        vec![(2, 2.0), (3, 2.0)],                         // author 6
+        vec![(0, 3.0), (1, 2.0)],                     // author 0: SIGMOD, VLDB
+        vec![(0, 2.0), (1, 3.0)],                     // author 1
+        vec![(0, 2.0), (1, 2.0)],                     // author 2
+        vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)], // author 3: both fields
+        vec![(2, 3.0), (3, 2.0)],                     // author 4: ISMB, Bioinformatics
+        vec![(2, 2.0), (3, 3.0)],                     // author 5
+        vec![(2, 2.0), (3, 2.0)],                     // author 6
     ]);
 
     let k = 2; // everyone needs >= 2 co-authors inside the group

@@ -12,9 +12,13 @@
 //!   or use `--permille X` to calibrate r as the top-X‰ pairwise quantile);
 //! * `--algo` picks the configuration (`adv` default, `basic`, `naive`,
 //!   `clique`);
+//! * `--threads N` runs the work-stealing parallel engine on `N` workers
+//!   (`0` = all cores; default 1 = sequential; `adv`/`basic` only);
 //! * `--time-limit-ms` bounds the run (prints a warning when exceeded).
 
-use krcore::core::{clique_based_maximal, enumerate_maximal, find_maximum, AlgoConfig, ProblemInstance};
+use krcore::core::{
+    clique_based_maximal, enumerate_maximal, find_maximum, AlgoConfig, ProblemInstance,
+};
 use krcore::graph::io::read_edge_list_file;
 use krcore::similarity::{
     read_keywords, read_points, top_permille_threshold, AttributeTable, Metric, TableOracle,
@@ -34,13 +38,14 @@ struct Args {
     algo: String,
     out: Option<String>,
     time_limit_ms: Option<u64>,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: krcore-cli <enum|max|stats> --edges FILE (--points FILE | --keywords FILE) \
-         --k K (--r R | --permille X) [--algo adv|basic|naive|clique] [--out FILE] \
-         [--time-limit-ms MS]"
+         --k K (--r R | --permille X) [--algo adv|basic|naive|clique] [--threads N] \
+         [--out FILE] [--time-limit-ms MS]"
     );
     exit(2);
 }
@@ -62,6 +67,7 @@ fn parse_args() -> Args {
         algo: "adv".into(),
         out: None,
         time_limit_ms: None,
+        threads: 1,
     };
     while let Some(flag) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
@@ -77,6 +83,7 @@ fn parse_args() -> Args {
             "--time-limit-ms" => {
                 args.time_limit_ms = Some(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--threads" => args.threads = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -93,6 +100,10 @@ fn parse_args() -> Args {
     }
     if args.permille.is_some() && args.points.is_some() {
         eprintln!("--permille only applies to keyword similarity");
+        exit(2);
+    }
+    if args.threads != 1 && matches!(args.algo.as_str(), "naive" | "clique") {
+        eprintln!("--threads only applies to the adv/basic configurations");
         exit(2);
     }
     args
@@ -168,6 +179,7 @@ fn main() {
     if let Some(ms) = args.time_limit_ms {
         cfg = cfg.with_time_limit_ms(ms);
     }
+    cfg = cfg.with_threads(args.threads);
 
     let t0 = std::time::Instant::now();
     match args.command.as_str() {
@@ -181,7 +193,11 @@ fn main() {
                 }
                 res.cores
             };
-            eprintln!("{} maximal (k,r)-cores in {:.2?}", cores.len(), t0.elapsed());
+            eprintln!(
+                "{} maximal (k,r)-cores in {:.2?}",
+                cores.len(),
+                t0.elapsed()
+            );
             if args.command == "stats" {
                 let max = cores.iter().map(|c| c.len()).max().unwrap_or(0);
                 let avg = if cores.is_empty() {
@@ -222,13 +238,18 @@ fn main() {
                 Some(ms) => cfg.with_time_limit_ms(ms),
                 None => cfg,
             };
+            let cfg = cfg.with_threads(args.threads);
             let res = find_maximum(&problem, &cfg);
             if !res.completed {
                 eprintln!("warning: time budget exceeded; result may be suboptimal");
             }
             match res.core {
                 Some(core) => {
-                    eprintln!("maximum core: {} vertices in {:.2?}", core.len(), t0.elapsed());
+                    eprintln!(
+                        "maximum core: {} vertices in {:.2?}",
+                        core.len(),
+                        t0.elapsed()
+                    );
                     let ids: Vec<String> = core
                         .vertices
                         .iter()

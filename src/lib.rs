@@ -56,8 +56,8 @@ pub use kr_similarity as similarity;
 /// Convenient single-import surface for the common API.
 pub mod prelude {
     pub use kr_core::{
-        enumerate_maximal, find_maximum, AlgoConfig, BoundKind, BranchPolicy, EnumResult,
-        KrCore, MaxResult, ProblemInstance, SearchOrder,
+        enumerate_maximal, find_maximum, AlgoConfig, BoundKind, BranchPolicy, EnumResult, KrCore,
+        MaxResult, ProblemInstance, SearchOrder,
     };
     pub use kr_datagen::{DatasetPreset, SyntheticDataset};
     pub use kr_graph::{Graph, GraphBuilder, VertexId};

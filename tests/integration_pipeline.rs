@@ -9,15 +9,12 @@ fn instance_for(preset: DatasetPreset, scale: f64, k: u32, r_axis_value: f64) ->
     let threshold = match d.metric {
         krcore::similarity::Metric::Euclidean => Threshold::MaxDistance(r_axis_value),
         _ => {
-            let oracle =
-                TableOracle::new(d.attributes.clone(), d.metric, Threshold::MinSimilarity(0.0));
-            let r = top_permille_threshold(
-                &oracle,
-                d.graph.num_vertices(),
-                r_axis_value,
-                2000,
-                11,
+            let oracle = TableOracle::new(
+                d.attributes.clone(),
+                d.metric,
+                Threshold::MinSimilarity(0.0),
             );
+            let r = top_permille_threshold(&oracle, d.graph.num_vertices(), r_axis_value, 2000, 11);
             Threshold::MinSimilarity(r)
         }
     };
@@ -47,7 +44,10 @@ fn every_preset_yields_verified_cores() {
 
 #[test]
 fn maximum_equals_largest_maximal_on_presets() {
-    for (preset, r) in [(DatasetPreset::GowallaLike, 8.0), (DatasetPreset::DblpLike, 5.0)] {
+    for (preset, r) in [
+        (DatasetPreset::GowallaLike, 8.0),
+        (DatasetPreset::DblpLike, 5.0),
+    ] {
         let p = instance_for(preset, 0.3, 3, r);
         let enum_res = enumerate_maximal(&p, &AlgoConfig::adv_enum());
         let expect = enum_res.cores.iter().map(|c| c.len()).max().unwrap_or(0);
