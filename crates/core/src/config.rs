@@ -5,7 +5,51 @@
 //! BE+CR, BE+CR+ET, AdvEnum, AdvEnum-O, AdvEnum-P, BasicMax, AdvMax-O,
 //! AdvMax-UB, ...) are just configurations of one engine.
 
+use crate::result::KrCore;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Streaming callback invoked once per *confirmed-maximal* core as the
+/// enumeration discovers it — the hook a serving layer uses to push
+/// incremental result frames instead of buffering the full family.
+///
+/// The engine only invokes the hook when [`AlgoConfig::maximal_check`] is
+/// on: under Theorem 6 every core pushed into the sink is already final,
+/// so streaming it early cannot emit a core the finished run would have
+/// filtered out. Configurations relying on the naive subset post-filter
+/// (NaiveEnum, BasicEnum) ignore the hook — their cores are only known
+/// maximal after the run, and callers read them from
+/// [`crate::EnumResult::cores`] as before. Parallel runs invoke the hook
+/// from the deterministic merge phase, after cross-task deduplication, so
+/// a core is streamed exactly once there too.
+#[derive(Clone)]
+pub struct CoreHook(Arc<dyn Fn(&KrCore) + Send + Sync>);
+
+impl CoreHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&KrCore) + Send + Sync + 'static) -> Self {
+        CoreHook(Arc::new(f))
+    }
+
+    /// Invokes the callback on one confirmed-maximal core.
+    pub fn emit(&self, core: &KrCore) {
+        (self.0)(core)
+    }
+}
+
+impl std::fmt::Debug for CoreHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CoreHook(..)")
+    }
+}
+
+/// Hooks compare by identity: two configs are equal only when they share
+/// the same callback instance (or both have none).
+impl PartialEq for CoreHook {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
 
 /// Vertex visiting order (Section 7.1's measurements).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,6 +153,10 @@ pub struct AlgoConfig {
     /// [`crate::parallel`] for why that holds even for the maximum
     /// search's tie-breaking).
     pub threads: usize,
+    /// Streaming callback for enumeration: called once per confirmed
+    /// maximal core as it is discovered (see [`CoreHook`] for when the
+    /// engine honors it). `None` (default) buffers results as usual.
+    pub on_core: Option<CoreHook>,
 }
 
 impl Default for AlgoConfig {
@@ -136,6 +184,7 @@ impl AlgoConfig {
             time_limit_ms: None,
             parallel_components: false,
             threads: 1,
+            on_core: None,
         }
     }
 
@@ -206,6 +255,7 @@ impl AlgoConfig {
             time_limit_ms: None,
             parallel_components: false,
             threads: 1,
+            on_core: None,
         }
     }
 
@@ -299,6 +349,12 @@ impl AlgoConfig {
     /// available cores, `1` = sequential engine).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style override of the streaming callback.
+    pub fn with_on_core(mut self, hook: CoreHook) -> Self {
+        self.on_core = Some(hook);
         self
     }
 }

@@ -60,10 +60,49 @@ impl EnumResult {
 /// Node-limited runs stay sequential: a per-worker node budget would
 /// change what "limit reached" means and break that equivalence.
 pub fn enumerate_maximal(problem: &ProblemInstance, cfg: &AlgoConfig) -> EnumResult {
-    if cfg.threads != 1 && cfg.prune_candidates && cfg.node_limit.is_none() {
+    if parallel_eligible(cfg) {
         return crate::parallel::enumerate_parallel(problem, cfg);
     }
-    let comps = problem.preprocess();
+    enumerate_sequential(&problem.preprocess(), cfg)
+}
+
+/// [`enumerate_maximal`] over components preprocessed earlier (e.g. by
+/// [`ProblemInstance::preprocess`] or pulled from a serving-layer cache):
+/// Algorithm 1's initial stage is skipped entirely. The components must
+/// stem from the same `(k, r)` the query runs with — preprocessing bakes
+/// both the k-core peel and the dissimilarity lists into the arena.
+pub fn enumerate_maximal_prepared(comps: &[LocalComponent], cfg: &AlgoConfig) -> EnumResult {
+    if parallel_eligible(cfg) {
+        return crate::parallel::enumerate_parallel_prepared(comps, cfg);
+    }
+    enumerate_sequential(comps, cfg)
+}
+
+/// [`enumerate_maximal_prepared`] on a caller-provided pool — the
+/// serving layer builds **one** pool per query and threads it through
+/// the preprocessing it may have to run on a cache miss
+/// ([`ProblemInstance::preprocess_on`]) and this search. The pool is
+/// ignored when the configuration is sequential-only (`threads == 1`,
+/// NaiveEnum, or a node-limited run).
+pub fn enumerate_maximal_prepared_on(
+    comps: &[LocalComponent],
+    cfg: &AlgoConfig,
+    pool: &rayon::ThreadPool,
+) -> EnumResult {
+    if parallel_eligible(cfg) {
+        return crate::parallel::enumerate_on(comps, cfg, pool);
+    }
+    enumerate_sequential(comps, cfg)
+}
+
+/// Parallel dispatch guard: NaiveEnum has no safe split points and
+/// node-limited runs stay sequential (a per-worker budget would change
+/// what "limit reached" means).
+fn parallel_eligible(cfg: &AlgoConfig) -> bool {
+    cfg.threads != 1 && cfg.prune_candidates && cfg.node_limit.is_none()
+}
+
+fn enumerate_sequential(comps: &[LocalComponent], cfg: &AlgoConfig) -> EnumResult {
     let mut stats = SearchStats::default();
     let mut completed = true;
     let mut sink = CoreSink::new();
@@ -73,7 +112,7 @@ pub fn enumerate_maximal(problem: &ProblemInstance, cfg: &AlgoConfig) -> EnumRes
         .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
 
     let run_one = |comp: &LocalComponent| -> (CoreSink, SearchStats, bool) {
-        let mut driver = Driver::new(comp, cfg, deadline);
+        let mut driver = Driver::new(comp, cfg, deadline).with_streaming();
         driver.run();
         (driver.sink, driver.stats, !driver.aborted)
     };
@@ -99,7 +138,7 @@ pub fn enumerate_maximal(problem: &ProblemInstance, cfg: &AlgoConfig) -> EnumRes
             completed &= ok;
         }
     } else {
-        for comp in &comps {
+        for comp in comps {
             let (s, st, ok) = run_one(comp);
             for c in s.into_cores() {
                 sink.push(c);
@@ -147,6 +186,10 @@ pub(crate) struct Driver<'a> {
     /// the same piece reappears at many leaves, and its maximality verdict
     /// cannot change — the candidate universe only depends on the piece.
     checked: std::collections::HashSet<Vec<VertexId>>,
+    /// Streaming hook, armed by [`Self::with_streaming`] for sequential
+    /// runs. Parallel task drivers leave it off — cross-task duplicates
+    /// are only resolved in the merge phase, which streams instead.
+    stream: Option<crate::config::CoreHook>,
 }
 
 impl<'a> Driver<'a> {
@@ -164,6 +207,32 @@ impl<'a> Driver<'a> {
             aborted: false,
             deadline,
             checked: std::collections::HashSet::new(),
+            stream: None,
+        }
+    }
+
+    /// Arms the [`AlgoConfig::on_core`] hook on this driver. Only honored
+    /// with the Theorem 6 maximal check, where every pushed core is
+    /// already final (see [`crate::config::CoreHook`]).
+    pub(crate) fn with_streaming(mut self) -> Self {
+        if self.cfg.maximal_check {
+            self.stream = self.cfg.on_core.clone();
+        }
+        self
+    }
+
+    /// Pushes into the dedup sink; a *new* core is also streamed when the
+    /// hook is armed.
+    fn push_core(&mut self, core: KrCore) {
+        match &self.stream {
+            Some(hook) => {
+                if self.sink.push(core.clone()) {
+                    hook.emit(&core);
+                }
+            }
+            None => {
+                self.sink.push(core);
+            }
         }
     }
 
@@ -338,7 +407,7 @@ impl<'a> Driver<'a> {
             }
         }
         for piece in components_of(self.comp, &m_members) {
-            self.sink.push(KrCore::new(self.comp.globalize(&piece)));
+            self.push_core(KrCore::new(self.comp.globalize(&piece)));
         }
     }
 
@@ -420,10 +489,10 @@ impl<'a> Driver<'a> {
                     self.cfg.check_order,
                     self.cfg.lambda,
                 ) {
-                    self.sink.push(KrCore::new(self.comp.globalize(piece)));
+                    self.push_core(KrCore::new(self.comp.globalize(piece)));
                 }
             } else {
-                self.sink.push(KrCore::new(self.comp.globalize(piece)));
+                self.push_core(KrCore::new(self.comp.globalize(piece)));
             }
         }
     }
@@ -587,6 +656,43 @@ mod tests {
         cfg.parallel_components = true;
         let par = enumerate_maximal(&p, &cfg);
         assert_eq!(seq.cores, par.cores);
+    }
+
+    #[test]
+    fn prepared_matches_and_streams_each_core_once() {
+        let p = bridged_cliques(7.0);
+        let comps = p.preprocess();
+        let streamed = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let tap = streamed.clone();
+        let cfg =
+            AlgoConfig::adv_enum().with_on_core(crate::config::CoreHook::new(move |c: &KrCore| {
+                tap.lock().unwrap().push(c.clone())
+            }));
+        let res = enumerate_maximal_prepared(&comps, &cfg);
+        assert_eq!(
+            res.cores,
+            enumerate_maximal(&p, &AlgoConfig::adv_enum()).cores
+        );
+        let mut streamed = streamed.lock().unwrap().clone();
+        streamed.sort_by(|a, b| a.vertices.cmp(&b.vertices));
+        assert_eq!(streamed, res.cores, "hook must fire once per core");
+    }
+
+    #[test]
+    fn hook_ignored_without_maximal_check() {
+        // BasicEnum's cores are only known maximal after the subset
+        // post-filter, so the hook must stay silent.
+        let p = bridged_cliques(7.0);
+        let count = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let tap = count.clone();
+        let cfg = AlgoConfig::basic_enum().with_on_core(crate::config::CoreHook::new(
+            move |_: &KrCore| {
+                tap.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            },
+        ));
+        let res = enumerate_maximal(&p, &cfg);
+        assert_eq!(res.cores.len(), 2);
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -37,9 +37,12 @@ pub mod search;
 pub mod verify;
 
 pub use cliquebased::{clique_based_maximal, clique_based_maximal_budgeted};
-pub use config::{AlgoConfig, BoundKind, BranchPolicy, CheckOrder, SearchOrder};
-pub use enumerate::{enumerate_maximal, EnumResult};
-pub use maximum::{find_maximum, MaxResult};
+pub use component::LocalComponent;
+pub use config::{AlgoConfig, BoundKind, BranchPolicy, CheckOrder, CoreHook, SearchOrder};
+pub use enumerate::{
+    enumerate_maximal, enumerate_maximal_prepared, enumerate_maximal_prepared_on, EnumResult,
+};
+pub use maximum::{find_maximum, find_maximum_prepared, find_maximum_prepared_on, MaxResult};
 pub use problem::ProblemInstance;
 pub use result::KrCore;
 pub use verify::{is_kr_core, verify_maximal_family};

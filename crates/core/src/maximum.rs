@@ -41,10 +41,43 @@ pub struct MaxResult {
 /// sequential: a per-worker node budget would change what "limit reached"
 /// means and break that equivalence.
 pub fn find_maximum(problem: &ProblemInstance, cfg: &AlgoConfig) -> MaxResult {
-    if cfg.threads != 1 && cfg.node_limit.is_none() {
+    if parallel_eligible(cfg) {
         return crate::parallel::find_maximum_parallel(problem, cfg);
     }
-    let comps = problem.preprocess();
+    find_maximum_sequential(&problem.preprocess(), cfg)
+}
+
+/// [`find_maximum`] over components preprocessed earlier (e.g. by
+/// [`ProblemInstance::preprocess`] or pulled from a serving-layer cache):
+/// the initial peel/split stage is skipped. The components must stem from
+/// the same `(k, r)` the query runs with.
+pub fn find_maximum_prepared(comps: &[LocalComponent], cfg: &AlgoConfig) -> MaxResult {
+    if parallel_eligible(cfg) {
+        return crate::parallel::find_maximum_parallel_prepared(comps, cfg);
+    }
+    find_maximum_sequential(comps, cfg)
+}
+
+/// [`find_maximum_prepared`] on a caller-provided pool (see
+/// [`crate::enumerate_maximal_prepared_on`] for when the pool is used).
+pub fn find_maximum_prepared_on(
+    comps: &[LocalComponent],
+    cfg: &AlgoConfig,
+    pool: &rayon::ThreadPool,
+) -> MaxResult {
+    if parallel_eligible(cfg) {
+        return crate::parallel::find_maximum_on(comps, cfg, pool);
+    }
+    find_maximum_sequential(comps, cfg)
+}
+
+/// Node-limited runs stay sequential (a per-worker node budget would
+/// change what "limit reached" means and break result equivalence).
+fn parallel_eligible(cfg: &AlgoConfig) -> bool {
+    cfg.threads != 1 && cfg.node_limit.is_none()
+}
+
+fn find_maximum_sequential(comps: &[LocalComponent], cfg: &AlgoConfig) -> MaxResult {
     let mut stats = SearchStats::default();
     let mut completed = true;
     let mut best: Option<KrCore> = None;
@@ -56,7 +89,7 @@ pub fn find_maximum(problem: &ProblemInstance, cfg: &AlgoConfig) -> MaxResult {
     // Components are ordered so that the one holding the highest-degree
     // vertex is searched first (Section 6.1); later components whose total
     // size cannot beat the incumbent are skipped outright.
-    for comp in &comps {
+    for comp in comps {
         let best_len = best.as_ref().map_or(0, |c| c.len());
         if comp.len() <= best_len {
             stats.bound_prunes += 1;

@@ -48,6 +48,7 @@
 //!
 //! [`SearchOrder::Random`]: crate::config::SearchOrder::Random
 
+use crate::component::LocalComponent;
 use crate::config::AlgoConfig;
 use crate::enumerate::{merge_stats, Driver, EnumResult};
 use crate::maximum::{MaxDriver, MaxEvent, MaxResult};
@@ -118,10 +119,31 @@ fn deadline_of(cfg: &AlgoConfig) -> Option<std::time::Instant> {
 }
 
 /// Parallel [`crate::enumerate_maximal`]. Requires `cfg.prune_candidates`
-/// (callers dispatch NaiveEnum to the sequential engine).
+/// (callers dispatch NaiveEnum to the sequential engine). One pool serves
+/// the whole query: the preprocessing phases and the subtask phase.
 pub(crate) fn enumerate_parallel(problem: &ProblemInstance, cfg: &AlgoConfig) -> EnumResult {
     let threads = resolve_threads(cfg.threads);
-    let comps = problem.preprocess_parallel(threads);
+    let pool = make_pool(threads);
+    let comps = problem.preprocess_on(&pool);
+    enumerate_on(&comps, cfg, &pool)
+}
+
+/// [`enumerate_parallel`] over already-preprocessed components (the
+/// serving layer's cache-hit path); builds the query's pool itself.
+pub(crate) fn enumerate_parallel_prepared(
+    comps: &[LocalComponent],
+    cfg: &AlgoConfig,
+) -> EnumResult {
+    let pool = make_pool(resolve_threads(cfg.threads));
+    enumerate_on(comps, cfg, &pool)
+}
+
+pub(crate) fn enumerate_on(
+    comps: &[LocalComponent],
+    cfg: &AlgoConfig,
+    pool: &rayon::ThreadPool,
+) -> EnumResult {
+    let threads = pool.current_num_threads();
     let deadline = deadline_of(cfg);
     let depth = split_depth(threads);
 
@@ -139,26 +161,42 @@ pub(crate) fn enumerate_parallel(problem: &ProblemInstance, cfg: &AlgoConfig) ->
         generators.push(driver);
     }
 
-    // Phase 2: run subtasks on the pool.
-    let pool = make_pool(threads);
-    let task_results = ordered_pool_map(&pool, &tasks, |(ci, prefix)| {
+    // Phase 2: run subtasks on the query's pool.
+    let task_results = ordered_pool_map(pool, &tasks, |(ci, prefix)| {
         let mut driver = Driver::new(&comps[*ci], cfg, deadline);
         driver.run_prefix(prefix);
         (driver.sink, driver.stats, driver.aborted)
     });
 
     // Phase 3: merge. Cross-task duplicates are possible (the same leaf
-    // piece is reachable in several subtrees); the sink dedups them.
+    // piece is reachable in several subtrees); the sink dedups them. With
+    // the maximal check on, every deduplicated core is final, so this is
+    // also where a streaming hook fires — exactly once per core.
+    let stream = if cfg.maximal_check {
+        cfg.on_core.clone()
+    } else {
+        None
+    };
+    let push = |sink: &mut CoreSink, core: KrCore| match &stream {
+        Some(hook) => {
+            if sink.push(core.clone()) {
+                hook.emit(&core);
+            }
+        }
+        None => {
+            sink.push(core);
+        }
+    };
     for driver in generators {
         for core in driver.sink.into_cores() {
-            sink.push(core);
+            push(&mut sink, core);
         }
         merge_stats(&mut stats, driver.stats);
         completed &= !driver.aborted;
     }
     for (task_sink, task_stats, aborted) in task_results {
         for core in task_sink.into_cores() {
-            sink.push(core);
+            push(&mut sink, core);
         }
         merge_stats(&mut stats, task_stats);
         completed &= !aborted;
@@ -177,10 +215,30 @@ pub(crate) fn enumerate_parallel(problem: &ProblemInstance, cfg: &AlgoConfig) ->
 }
 
 /// Parallel [`crate::find_maximum`] (see the module docs for the
-/// equivalence argument).
+/// equivalence argument). One pool serves the whole query.
 pub(crate) fn find_maximum_parallel(problem: &ProblemInstance, cfg: &AlgoConfig) -> MaxResult {
     let threads = resolve_threads(cfg.threads);
-    let comps = problem.preprocess_parallel(threads);
+    let pool = make_pool(threads);
+    let comps = problem.preprocess_on(&pool);
+    find_maximum_on(&comps, cfg, &pool)
+}
+
+/// [`find_maximum_parallel`] over already-preprocessed components (the
+/// serving layer's cache-hit path); builds the query's pool itself.
+pub(crate) fn find_maximum_parallel_prepared(
+    comps: &[LocalComponent],
+    cfg: &AlgoConfig,
+) -> MaxResult {
+    let pool = make_pool(resolve_threads(cfg.threads));
+    find_maximum_on(comps, cfg, &pool)
+}
+
+pub(crate) fn find_maximum_on(
+    comps: &[LocalComponent],
+    cfg: &AlgoConfig,
+    pool: &rayon::ThreadPool,
+) -> MaxResult {
+    let threads = pool.current_num_threads();
     let deadline = deadline_of(cfg);
     let depth = split_depth(threads);
 
@@ -243,8 +301,7 @@ pub(crate) fn find_maximum_parallel(problem: &ProblemInstance, cfg: &AlgoConfig)
         aborted: bool,
     }
     let global = AtomicUsize::new(gen_incumbent);
-    let pool = make_pool(threads);
-    let task_results = ordered_pool_map(&pool, &tasks, |task| {
+    let task_results = ordered_pool_map(pool, &tasks, |task| {
         let mut driver = MaxDriver::new(
             &comps[task.ci],
             cfg,
@@ -377,6 +434,33 @@ mod tests {
         assert_eq!(split_depth(1), 3); // 8 tasks
         assert_eq!(split_depth(4), 5); // 32 tasks
         assert!(split_depth(64) <= 10);
+    }
+
+    #[test]
+    fn parallel_prepared_matches_and_streams() {
+        let p = instance(7.0);
+        let comps = p.preprocess();
+        let seq = enumerate_maximal(&p, &AlgoConfig::adv_enum());
+        let streamed = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let tap = streamed.clone();
+        let cfg = AlgoConfig::adv_enum_parallel()
+            .with_threads(4)
+            .with_on_core(crate::config::CoreHook::new(
+                move |c: &crate::result::KrCore| tap.lock().unwrap().push(c.clone()),
+            ));
+        let par = crate::enumerate_maximal_prepared(&comps, &cfg);
+        assert_eq!(par.cores, seq.cores);
+        let mut streamed = streamed.lock().unwrap().clone();
+        streamed.sort_by(|a, b| a.vertices.cmp(&b.vertices));
+        assert_eq!(streamed, seq.cores, "merge phase streams each core once");
+
+        let max_seq = find_maximum(&p, &AlgoConfig::adv_max());
+        let max_par =
+            crate::find_maximum_prepared(&comps, &AlgoConfig::adv_max_parallel().with_threads(4));
+        assert_eq!(
+            max_par.core.as_ref().map(|c| &c.vertices),
+            max_seq.core.as_ref().map(|c| &c.vertices),
+        );
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl ProblemInstance {
     /// the paper's "start from the subgraph holding the highest-degree
     /// vertex" strategy for the maximum search.
     pub fn preprocess(&self) -> Vec<LocalComponent> {
-        self.preprocess_impl(1)
+        self.preprocess_impl(None)
     }
 
     /// [`Self::preprocess`] on `threads` workers (`0` = all cores): the
@@ -100,17 +100,28 @@ impl ProblemInstance {
     /// are materialized concurrently. The returned components are
     /// identical to the sequential ones, in the same order.
     pub fn preprocess_parallel(&self, threads: usize) -> Vec<LocalComponent> {
-        self.preprocess_impl(threads)
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        self.preprocess_on(&pool)
     }
 
-    fn preprocess_impl(&self, threads: usize) -> Vec<LocalComponent> {
+    /// [`Self::preprocess_parallel`] on a caller-provided pool. The
+    /// parallel engine threads one pool through the whole query — peel,
+    /// arena build, and the subtask phase — instead of building a
+    /// short-lived pool per phase.
+    pub fn preprocess_on(&self, pool: &rayon::ThreadPool) -> Vec<LocalComponent> {
+        self.preprocess_impl(Some(pool))
+    }
+
+    fn preprocess_impl(&self, pool: Option<&rayon::ThreadPool>) -> Vec<LocalComponent> {
         // 1. Remove edges between dissimilar endpoints.
         let filtered = self.graph.filter_edges(|u, v| self.oracle.is_similar(u, v));
         // 2. k-core of the filtered graph.
-        let core_vertices = if threads == 1 {
-            k_core(&filtered, self.k)
-        } else {
-            kr_graph::k_core_parallel(&filtered, self.k, threads)
+        let core_vertices = match pool {
+            None => k_core(&filtered, self.k),
+            Some(pool) => kr_graph::k_core_on(&filtered, self.k, pool),
         };
         if core_vertices.is_empty() {
             return Vec::new();
@@ -124,7 +135,8 @@ impl ProblemInstance {
             .into_iter()
             .filter(|g| g.len() > self.k as usize)
             .collect();
-        let mut comps: Vec<LocalComponent> = if threads == 1 || groups.len() <= 1 {
+        let serial = pool.is_none_or(|p| p.current_num_threads() <= 1) || groups.len() <= 1;
+        let mut comps: Vec<LocalComponent> = if serial {
             groups
                 .into_iter()
                 .map(|g| LocalComponent::build(&filtered, &self.oracle, &g, self.k))
@@ -132,11 +144,8 @@ impl ProblemInstance {
         } else {
             // Build each arena concurrently; outputs come back in group
             // order so the result matches the sequential path exactly.
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("thread pool");
-            crate::parallel::ordered_pool_map(&pool, &groups, |group| {
+            let pool = pool.expect("serial covers the no-pool case");
+            crate::parallel::ordered_pool_map(pool, &groups, |group| {
                 LocalComponent::build(&filtered, &self.oracle, group, self.k)
             })
         };

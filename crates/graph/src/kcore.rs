@@ -168,15 +168,31 @@ fn k_core_peel(g: &Graph, k: u32, mut alive: Vec<bool>) -> Vec<VertexId> {
 /// vertex is peeled exactly once. Small graphs (or `threads == 1`) fall
 /// back to the sequential peel, which is faster below ~100k edges.
 pub fn k_core_parallel(g: &Graph, k: u32, threads: usize) -> Vec<VertexId> {
-    use std::sync::atomic::{AtomicU32, Ordering};
-    use std::sync::Mutex;
-
-    let n = g.num_vertices();
     let threads = if threads == 0 {
         rayon::current_num_threads()
     } else {
         threads
     };
+    if threads <= 1 || g.num_vertices() < 2048 {
+        return k_core(g, k);
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    k_core_on(g, k, &pool)
+}
+
+/// [`k_core_parallel`] on a caller-provided pool, so one pool can be
+/// threaded through every phase of a query instead of being rebuilt per
+/// phase. Falls back to the sequential peel when the pool has a single
+/// worker or the graph is small.
+pub fn k_core_on(g: &Graph, k: u32, pool: &rayon::ThreadPool) -> Vec<VertexId> {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Mutex;
+
+    let n = g.num_vertices();
+    let threads = pool.current_num_threads();
     if threads <= 1 || n < 2048 {
         return k_core(g, k);
     }
@@ -184,10 +200,6 @@ pub fn k_core_parallel(g: &Graph, k: u32, threads: usize) -> Vec<VertexId> {
         return (0..n as VertexId).collect();
     }
 
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool");
     let deg: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let chunk = n.div_ceil(threads).max(1);
 

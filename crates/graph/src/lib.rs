@@ -29,6 +29,8 @@ pub mod subgraph;
 pub use coloring::{greedy_coloring, greedy_coloring_in_order};
 pub use components::{connected_components, is_connected, ComponentLabels};
 pub use graph::{Graph, GraphBuilder, VertexId};
-pub use kcore::{core_decomposition, k_core, k_core_of_subset, k_core_parallel, CoreDecomposition};
+pub use kcore::{
+    core_decomposition, k_core, k_core_of_subset, k_core_on, k_core_parallel, CoreDecomposition,
+};
 pub use order::degeneracy_order;
 pub use subgraph::InducedSubgraph;

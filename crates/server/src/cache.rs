@@ -1,0 +1,221 @@
+//! LRU cache of preprocessed component sets.
+//!
+//! Preprocessing (drop dissimilar edges → k-core peel → connected
+//! components → arena build with `O(|group|²)` oracle calls) dominates
+//! small and medium queries, and its output depends only on
+//! `(dataset, k, r)` — not on the algorithm, thread count, or limits. The
+//! server therefore shares one [`ComponentCache`] across all connections:
+//! enumeration and maximum queries for the same parameters, from any
+//! client, reuse the same immutable [`LocalComponent`] set through an
+//! `Arc`.
+//!
+//! Keys quantize `r` onto a fixed grid ([`r_band`]) so that float noise
+//! (`0.3` vs `0.30000000000000004`) cannot split one logical threshold
+//! into distinct entries, and so the key is hashable at all. The band is
+//! far finer than any meaningful threshold difference in the paper's
+//! parameter sweeps.
+
+use kr_core::LocalComponent;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Width of one r-band: thresholds are quantized to this grid.
+pub const R_BAND_WIDTH: f64 = 1e-9;
+
+/// Quantizes a similarity threshold onto the cache's r-band grid.
+pub fn r_band(r: f64) -> i64 {
+    (r / R_BAND_WIDTH).round() as i64
+}
+
+/// Cache key: dataset identity (name + scale, as registered by the
+/// dataset registry) plus the query parameters preprocessing depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Dataset identity string (e.g. `"gowalla-like@0.25"`).
+    pub dataset: String,
+    /// Degree threshold.
+    pub k: u32,
+    /// Quantized similarity threshold (see [`r_band`]).
+    pub r_band: i64,
+}
+
+/// Counter snapshot (also a wire type — see `protocol::Frame::Stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to preprocess.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Entry {
+    comps: Arc<Vec<LocalComponent>>,
+    /// Last-use tick for LRU eviction.
+    used: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Thread-safe LRU cache of preprocessed component sets.
+pub struct ComponentCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ComponentCache {
+    /// A cache holding at most `capacity` component sets (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        ComponentCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Looks up `key`, running `build` on a miss. Returns the shared
+    /// component set and whether it was a hit.
+    ///
+    /// The lock is **not** held while `build` runs, so a slow
+    /// preprocessing pass never blocks queries for other keys (or
+    /// cache-hit queries for the same key issued earlier). Two clients
+    /// racing on the same cold key may both build; the second insert wins
+    /// and the loser's arena is dropped — wasted work bounded by one
+    /// build, never wrong results.
+    pub fn get_or_build(
+        &self,
+        key: &CacheKey,
+        build: impl FnOnce() -> Vec<LocalComponent>,
+    ) -> (Arc<Vec<LocalComponent>>, bool) {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.used = tick;
+                let comps = entry.comps.clone();
+                inner.hits += 1;
+                return (comps, true);
+            }
+            inner.misses += 1;
+        }
+        let comps = Arc::new(build());
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let comps = inner
+            .map
+            .entry(key.clone())
+            .and_modify(|e| e.used = tick)
+            .or_insert(Entry {
+                comps: comps.clone(),
+                used: tick,
+            })
+            .comps
+            .clone();
+        while inner.map.len() > self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            inner.map.remove(&victim);
+            inner.evictions += 1;
+        }
+        (comps, false)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dataset: &str, k: u32, r: f64) -> CacheKey {
+        CacheKey {
+            dataset: dataset.to_string(),
+            k,
+            r_band: r_band(r),
+        }
+    }
+
+    fn dummy() -> Vec<LocalComponent> {
+        vec![LocalComponent::from_parts(
+            vec![vec![1], vec![0]],
+            vec![vec![], vec![]],
+            1,
+        )]
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = ComponentCache::new(4);
+        let k1 = key("d", 3, 0.25);
+        let (a, hit) = cache.get_or_build(&k1, dummy);
+        assert!(!hit);
+        let (b, hit) = cache.get_or_build(&k1, || panic!("must not rebuild"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn r_band_absorbs_float_noise() {
+        assert_eq!(key("d", 3, 0.3), key("d", 3, 0.3 + 1e-16));
+        assert_ne!(key("d", 3, 0.3), key("d", 3, 0.31));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ComponentCache::new(2);
+        let (ka, kb, kc) = (key("a", 1, 0.1), key("b", 1, 0.1), key("c", 1, 0.1));
+        cache.get_or_build(&ka, dummy);
+        cache.get_or_build(&kb, dummy);
+        cache.get_or_build(&ka, dummy); // refresh a; b is now LRU
+        cache.get_or_build(&kc, dummy); // evicts b
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        let (_, hit) = cache.get_or_build(&ka, dummy);
+        assert!(hit, "a must survive");
+        let (_, hit) = cache.get_or_build(&kb, dummy);
+        assert!(!hit, "b was evicted");
+    }
+
+    #[test]
+    fn distinct_params_distinct_entries() {
+        let cache = ComponentCache::new(8);
+        cache.get_or_build(&key("d", 3, 0.25), dummy);
+        let (_, hit) = cache.get_or_build(&key("d", 4, 0.25), dummy);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(&key("d", 3, 0.5), dummy);
+        assert!(!hit);
+        assert_eq!(cache.stats().entries, 3);
+    }
+}

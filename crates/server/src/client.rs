@@ -1,0 +1,227 @@
+//! Blocking protocol client.
+//!
+//! The same client backs `krcore-cli query` and the integration tests
+//! (the test driver *is* the shipped client, so the tests exercise the
+//! real wire path end to end). One client holds one connection; queries
+//! run one at a time with auto-generated correlation ids.
+
+use crate::cache::CacheStats;
+use crate::protocol::{
+    CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
+};
+use kr_graph::VertexId;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or mid-stream EOF).
+    Io(std::io::Error),
+    /// The server sent something the protocol layer cannot decode.
+    Proto(ProtoError),
+    /// The server answered with an `error` frame.
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server sent a well-formed frame that does not fit the
+    /// exchange (wrong id or wrong frame type).
+    Unexpected(Frame),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{}]: {message}", code.name())
+            }
+            ClientError::Unexpected(frame) => write!(f, "unexpected frame: {frame:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Outcome of one enumeration or maximum query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Cores in arrival (streaming) order; 0 or 1 entries for `maximum`.
+    pub cores: Vec<Vec<VertexId>>,
+    /// False when the server's (or the request's) budget cut the search.
+    pub completed: bool,
+    /// Whether preprocessing came from the server's component cache.
+    pub cache: CacheOutcome,
+    /// Server-side wall clock.
+    pub elapsed_ms: u64,
+    /// Search nodes visited server-side.
+    pub nodes: u64,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and validates the server's `hello`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        };
+        match client.read_frame()? {
+            Frame::Hello { protocol, .. } if protocol == PROTOCOL_VERSION => Ok(client),
+            Frame::Hello { protocol, .. } => Err(ClientError::Proto(
+                ProtoError::UnsupportedVersion(Some(protocol)),
+            )),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads one frame (mid-stream EOF is an error).
+    pub fn read_frame(&mut self) -> Result<Frame, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(Frame::parse(line.trim_end_matches(['\n', '\r']))?)
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("q{}", self.next_id)
+    }
+
+    /// Runs a streamed query to completion: collects `core` frames (in
+    /// arrival order) until `done`.
+    fn collect(&mut self, id: &str) -> Result<QueryResult, ClientError> {
+        let mut cores = Vec::new();
+        loop {
+            match self.read_frame()? {
+                Frame::Core {
+                    id: fid, vertices, ..
+                } if fid == id => cores.push(vertices),
+                Frame::Done {
+                    id: fid,
+                    completed,
+                    cache,
+                    elapsed_ms,
+                    nodes,
+                    count,
+                } if fid == id => {
+                    if count as usize != cores.len() {
+                        return Err(ClientError::Proto(ProtoError::Malformed(format!(
+                            "done.count = {count} but {} core frames arrived",
+                            cores.len()
+                        ))));
+                    }
+                    return Ok(QueryResult {
+                        cores,
+                        completed,
+                        cache,
+                        elapsed_ms,
+                        nodes,
+                    });
+                }
+                Frame::Error {
+                    id: fid,
+                    code,
+                    message,
+                } if fid == id => {
+                    return Err(ClientError::Server { code, message });
+                }
+                other => return Err(ClientError::Unexpected(other)),
+            }
+        }
+    }
+
+    /// Enumerates all maximal (k,r)-cores for `spec`.
+    pub fn enumerate(&mut self, spec: QuerySpec) -> Result<QueryResult, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Enumerate {
+            id: id.clone(),
+            spec,
+        })?;
+        self.collect(&id)
+    }
+
+    /// Finds the maximum (k,r)-core for `spec` (`cores` is empty when no
+    /// core exists).
+    pub fn maximum(&mut self, spec: QuerySpec) -> Result<QueryResult, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Maximum {
+            id: id.clone(),
+            spec,
+        })?;
+        self.collect(&id)
+    }
+
+    /// Fetches the server's component-cache statistics.
+    pub fn stats(&mut self) -> Result<CacheStats, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Stats { id: id.clone() })?;
+        match self.read_frame()? {
+            Frame::Stats { id: fid, stats } if fid == id => Ok(stats),
+            Frame::Error {
+                id: fid,
+                code,
+                message,
+            } if fid == id => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Ping { id: id.clone() })?;
+        match self.read_frame()? {
+            Frame::Pong { id: fid } if fid == id => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down cleanly.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Shutdown { id: id.clone() })?;
+        match self.read_frame()? {
+            Frame::ShuttingDown { id: fid } if fid == id => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+}

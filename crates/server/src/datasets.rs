@@ -1,0 +1,138 @@
+//! Datasets hosted by the server.
+//!
+//! The server answers queries over the named synthetic presets
+//! ([`kr_datagen::DatasetPreset`], the repo's stand-ins for the paper's
+//! Table 3 networks). Generation is deterministic per `(preset, scale)`,
+//! so a dataset identity string `"name@scale"` pins the exact graph — it
+//! is both the registry key and the dataset half of the component-cache
+//! key. Generated graphs and attribute tables are kept resident and
+//! shared via `Arc`: a dataset is generated once per server lifetime, not
+//! once per query.
+
+use kr_core::ProblemInstance;
+use kr_datagen::DatasetPreset;
+use kr_graph::Graph;
+use kr_similarity::{AttributeTable, Metric, Threshold};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One resident dataset.
+#[derive(Debug)]
+pub struct HostedDataset {
+    /// Identity string (`"gowalla-like@0.25"`).
+    pub key: String,
+    /// The social graph.
+    pub graph: Graph,
+    /// Vertex attributes.
+    pub attributes: AttributeTable,
+    /// Natural metric for the attributes (decides how a query's `r` is
+    /// interpreted: max distance vs min similarity).
+    pub metric: Metric,
+}
+
+impl HostedDataset {
+    /// Builds the `(k, r)` problem instance for a query on this dataset.
+    pub fn problem(&self, k: u32, r: f64) -> ProblemInstance {
+        let threshold = if self.metric.is_distance() {
+            Threshold::MaxDistance(r)
+        } else {
+            Threshold::MinSimilarity(r)
+        };
+        ProblemInstance::new(
+            self.graph.clone(),
+            self.attributes.clone(),
+            self.metric,
+            threshold,
+            k,
+        )
+    }
+}
+
+/// Lazily-generated, permanently-resident preset datasets.
+#[derive(Default)]
+pub struct DatasetRegistry {
+    inner: Mutex<HashMap<String, Arc<HostedDataset>>>,
+}
+
+/// The identity string for a `(preset name, scale)` pair.
+pub fn dataset_key(name: &str, scale: f64) -> String {
+    format!("{name}@{scale}")
+}
+
+impl DatasetRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        DatasetRegistry::default()
+    }
+
+    /// Names the registry can serve.
+    pub fn known_names() -> Vec<&'static str> {
+        DatasetPreset::all().iter().map(|p| p.name()).collect()
+    }
+
+    /// Returns the dataset for `(name, scale)`, generating it on first
+    /// use. Errors (with the list of known names) when the preset does
+    /// not exist.
+    pub fn get(&self, name: &str, scale: f64) -> Result<Arc<HostedDataset>, String> {
+        let preset = DatasetPreset::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown dataset '{name}' (known: {})",
+                    Self::known_names().join(", ")
+                )
+            })?;
+        let key = dataset_key(name, scale);
+        if let Some(ds) = self.inner.lock().expect("registry lock").get(&key) {
+            return Ok(ds.clone());
+        }
+        // Generate outside the lock; a racing generation of the same key
+        // is redundant but harmless (deterministic output, first insert
+        // kept).
+        let data = preset.generate_scaled(scale);
+        let hosted = Arc::new(HostedDataset {
+            key: key.clone(),
+            graph: data.graph,
+            attributes: data.attributes,
+            metric: data.metric,
+        });
+        Ok(self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .entry(key)
+            .or_insert(hosted)
+            .clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_once_and_shares() {
+        let reg = DatasetRegistry::new();
+        let a = reg.get("dblp-like", 0.1).unwrap();
+        let b = reg.get("dblp-like", 0.1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.key, "dblp-like@0.1");
+        assert_eq!(a.metric, Metric::WeightedJaccard);
+    }
+
+    #[test]
+    fn distinct_scales_distinct_datasets() {
+        let reg = DatasetRegistry::new();
+        let a = reg.get("gowalla-like", 0.1).unwrap();
+        let b = reg.get("gowalla-like", 0.2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(a.graph.num_vertices() < b.graph.num_vertices());
+    }
+
+    #[test]
+    fn unknown_name_lists_presets() {
+        let err = DatasetRegistry::new().get("nope", 1.0).unwrap_err();
+        assert!(err.contains("gowalla-like"), "{err}");
+    }
+}

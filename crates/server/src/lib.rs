@@ -1,0 +1,58 @@
+//! # kr-server
+//!
+//! A long-lived (k,r)-core query service. The paper's algorithms answer
+//! one query over a fixed graph; serving "heavy traffic" means the
+//! expensive, query-independent work — dataset residency and Algorithm
+//! 1's preprocessing (dissimilar-edge filter → k-core peel → component
+//! split → arena build) — must be paid once and amortized across
+//! queries. This crate wraps the `kr_core` engines in exactly that:
+//!
+//! * [`protocol`] — a versioned, line-delimited JSON wire protocol
+//!   (std-only; the codec lives in [`json`]);
+//! * [`cache`] — an LRU cache of preprocessed [`kr_core::LocalComponent`]
+//!   sets keyed by `(dataset, k, r-band)`, shared across connections via
+//!   `Arc`, with hit/miss/eviction statistics;
+//! * [`datasets`] — resident, lazily-generated preset datasets;
+//! * [`session`] / [`server`] — one thread per connection dispatching
+//!   queries onto the engines (which thread one worker pool per query
+//!   through preprocessing and search), with budget-clamped cancellation
+//!   and clean shutdown;
+//! * [`client`] — the blocking client that backs `krcore-cli query` and
+//!   doubles as the integration-test driver.
+//!
+//! Enumeration queries **stream**: each maximal core is written as its
+//! own frame the moment the engine confirms it (via
+//! [`kr_core::CoreHook`]), so heavy queries deliver early results
+//! instead of buffering the full family.
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use kr_server::{Client, QuerySpec, Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! let handle = server.spawn();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let spec = QuerySpec { scale: 0.1, ..QuerySpec::new("gowalla-like", 3, 8.0) };
+//! let first = client.enumerate(spec.clone()).unwrap();
+//! let again = client.enumerate(spec).unwrap();          // served from cache
+//! assert_eq!(first.cores, again.cores);
+//! assert_eq!(again.cache, kr_server::CacheOutcome::Hit);
+//! handle.shutdown_and_join().unwrap();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod datasets;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub(crate) mod session;
+
+pub use cache::{CacheKey, CacheStats, ComponentCache};
+pub use client::{Client, ClientError, QueryResult};
+pub use datasets::{dataset_key, DatasetRegistry, HostedDataset};
+pub use protocol::{
+    Algo, CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig, ServerHandle, ServerState};

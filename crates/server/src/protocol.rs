@@ -1,0 +1,714 @@
+//! Wire protocol: versioned, line-delimited JSON.
+//!
+//! Every message is one JSON object on one line (the codec escapes all
+//! control characters, so framing by `\n` is safe). Requests carry a
+//! `cmd` field, responses a `frame` field; both carry the protocol
+//! version `v` and echo the client-chosen request `id` so responses can
+//! be correlated on pipelined connections.
+//!
+//! ```text
+//! C: {"v":1,"cmd":"enumerate","id":"q1","dataset":"gowalla-like","scale":0.25,"k":3,"r":8}
+//! S: {"v":1,"frame":"core","id":"q1","index":0,"vertices":[4,9,17,23]}
+//! S: {"v":1,"frame":"core","id":"q1","index":1,"vertices":[40,41,42,44]}
+//! S: {"v":1,"frame":"done","id":"q1","count":2,"completed":true,"cache":"miss","elapsed_ms":12,"nodes":523}
+//! ```
+//!
+//! Enumeration results are **streamed**: each maximal core is written as
+//! its own `core` frame the moment the engine confirms it (via
+//! [`kr_core::CoreHook`]), so a client sees early results of a heavy
+//! query long before `done`. Unknown *request* fields are ignored (a
+//! `v2` client degrades gracefully against a `v1` server); an unknown
+//! version is rejected with an `error` frame.
+
+use crate::cache::CacheStats;
+use crate::json::{self, Json, JsonError};
+use kr_graph::VertexId;
+
+/// Protocol version spoken by this build. Bump on breaking changes; the
+/// server rejects requests with a different `v`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default dataset scale factor when a query omits `scale`.
+pub const DEFAULT_SCALE: f64 = 0.25;
+
+/// Algorithm family for a query (the server exposes the two
+/// pruning-complete configurations; NaiveEnum and the clique baseline
+/// stay offline tools).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// AdvEnum / AdvMax (all techniques; streaming-capable).
+    Adv,
+    /// BasicEnum / BasicMax (Theorems 2–3 only; enumeration results are
+    /// buffered because maximality is only known after the post-filter).
+    Basic,
+}
+
+impl Algo {
+    /// Canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Adv => "adv",
+            Algo::Basic => "basic",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Algo> {
+        match text {
+            "adv" => Some(Algo::Adv),
+            "basic" => Some(Algo::Basic),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters shared by `enumerate` and `maximum` queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Dataset preset name (`kr_datagen::DatasetPreset::name`).
+    pub dataset: String,
+    /// Dataset scale factor (see [`DEFAULT_SCALE`]).
+    pub scale: f64,
+    /// Degree threshold `k` (≥ 1).
+    pub k: u32,
+    /// Similarity threshold `r`: max distance for geo presets, min
+    /// similarity for keyword presets.
+    pub r: f64,
+    /// Algorithm family.
+    pub algo: Algo,
+    /// Worker threads (`1` = sequential, `0` = all cores).
+    pub threads: usize,
+    /// Wall-clock budget; clamped by the server's own ceiling.
+    pub time_limit_ms: Option<u64>,
+    /// Search-node budget; clamped by the server's own ceiling.
+    pub node_limit: Option<u64>,
+}
+
+impl QuerySpec {
+    /// A spec with defaults (`scale` = [`DEFAULT_SCALE`], `algo` = adv,
+    /// sequential, no limits).
+    pub fn new(dataset: &str, k: u32, r: f64) -> Self {
+        QuerySpec {
+            dataset: dataset.to_string(),
+            scale: DEFAULT_SCALE,
+            k,
+            r,
+            algo: Algo::Adv,
+            threads: 1,
+            time_limit_ms: None,
+            node_limit: None,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enumerate all maximal (k,r)-cores; results stream as `core` frames.
+    Enumerate {
+        /// Client-chosen correlation id (echoed on every response frame).
+        id: String,
+        /// Query parameters.
+        spec: QuerySpec,
+    },
+    /// Find the maximum (k,r)-core; at most one `core` frame.
+    Maximum {
+        /// Correlation id.
+        id: String,
+        /// Query parameters.
+        spec: QuerySpec,
+    },
+    /// Component-cache statistics.
+    Stats {
+        /// Correlation id.
+        id: String,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id.
+        id: String,
+    },
+    /// Ask the server to stop accepting connections and exit cleanly.
+    Shutdown {
+        /// Correlation id.
+        id: String,
+    },
+}
+
+/// Cache outcome reported in a `done` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Preprocessed components were served from the cache.
+    Hit,
+    /// Preprocessing ran for this query (and was cached).
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+
+    fn parse(text: &str) -> Option<CacheOutcome> {
+        match text {
+            "hit" => Some(CacheOutcome::Hit),
+            "miss" => Some(CacheOutcome::Miss),
+            _ => None,
+        }
+    }
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// First frame on every connection.
+    Hello {
+        /// Server protocol version.
+        protocol: u64,
+        /// Server software name.
+        server: String,
+    },
+    /// One (k,r)-core (enumeration: streamed incrementally; maximum: the
+    /// single winner).
+    Core {
+        /// Correlation id.
+        id: String,
+        /// 0-based position in the stream.
+        index: u64,
+        /// Member vertices (global ids, sorted).
+        vertices: Vec<VertexId>,
+    },
+    /// Query end marker.
+    Done {
+        /// Correlation id.
+        id: String,
+        /// Number of `core` frames sent for this query.
+        count: u64,
+        /// False when a node/time budget cut the search short.
+        completed: bool,
+        /// Whether preprocessing was served from the component cache.
+        cache: CacheOutcome,
+        /// Server-side wall clock for the query.
+        elapsed_ms: u64,
+        /// Search nodes visited.
+        nodes: u64,
+    },
+    /// Cache statistics snapshot.
+    Stats {
+        /// Correlation id.
+        id: String,
+        /// Counters since server start.
+        stats: CacheStats,
+    },
+    /// Reply to `ping`.
+    Pong {
+        /// Correlation id.
+        id: String,
+    },
+    /// Acknowledges `shutdown`; the server exits after this frame.
+    ShuttingDown {
+        /// Correlation id.
+        id: String,
+    },
+    /// Request-level failure (the connection stays usable).
+    Error {
+        /// Correlation id ("" when the request was unparseable).
+        id: String,
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Error classes for [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed JSON or missing/invalid fields.
+    BadRequest,
+    /// The request's `v` differs from [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// The dataset name is not a known preset.
+    UnknownDataset,
+    /// The server failed internally.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::UnknownDataset => "unknown_dataset",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn parse(text: &str) -> Option<ErrorCode> {
+        match text {
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "unsupported_version" => Some(ErrorCode::UnsupportedVersion),
+            "unknown_dataset" => Some(ErrorCode::UnknownDataset),
+            "internal" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// Decode failure for a request or frame line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// The line is not valid JSON.
+    Json(JsonError),
+    /// The line carries a different protocol version.
+    UnsupportedVersion(Option<u64>),
+    /// The JSON is well-formed but violates the message schema.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ProtoError::UnsupportedVersion(Some(v)) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this server speaks v{PROTOCOL_VERSION})"
+                )
+            }
+            ProtoError::UnsupportedVersion(None) => {
+                write!(
+                    f,
+                    "missing protocol version (this server speaks v{PROTOCOL_VERSION})"
+                )
+            }
+            ProtoError::Malformed(msg) => write!(f, "malformed message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> Self {
+        ProtoError::Json(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed(msg.into())
+}
+
+fn check_version(v: &Json) -> Result<(), ProtoError> {
+    match v.get("v").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => Ok(()),
+        other => Err(ProtoError::UnsupportedVersion(other)),
+    }
+}
+
+fn get_id(v: &Json) -> String {
+    v.get("id").and_then(Json::as_str).unwrap_or("").to_string()
+}
+
+fn spec_to_fields(spec: &QuerySpec, fields: &mut Vec<(&str, Json)>) {
+    fields.push(("dataset", json::s(&spec.dataset)));
+    fields.push(("scale", json::n(spec.scale)));
+    fields.push(("k", json::n(spec.k as f64)));
+    fields.push(("r", json::n(spec.r)));
+    fields.push(("algo", json::s(spec.algo.name())));
+    fields.push(("threads", json::n(spec.threads as f64)));
+    if let Some(ms) = spec.time_limit_ms {
+        fields.push(("time_limit_ms", json::n(ms as f64)));
+    }
+    if let Some(limit) = spec.node_limit {
+        fields.push(("node_limit", json::n(limit as f64)));
+    }
+}
+
+fn spec_from_json(v: &Json) -> Result<QuerySpec, ProtoError> {
+    let dataset = v
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("missing string field 'dataset'"))?
+        .to_string();
+    let k = v
+        .get("k")
+        .and_then(Json::as_u64)
+        .filter(|&k| (1..=u32::MAX as u64).contains(&k))
+        .ok_or_else(|| malformed("'k' must be an integer >= 1"))? as u32;
+    let r = v
+        .get("r")
+        .and_then(Json::as_f64)
+        .filter(|r| r.is_finite() && *r >= 0.0)
+        .ok_or_else(|| malformed("'r' must be a finite number >= 0"))?;
+    let scale = match v.get("scale") {
+        None => DEFAULT_SCALE,
+        Some(s) => s
+            .as_f64()
+            .filter(|s| s.is_finite() && *s > 0.0 && *s <= 100.0)
+            .ok_or_else(|| malformed("'scale' must be in (0, 100]"))?,
+    };
+    let algo = match v.get("algo") {
+        None => Algo::Adv,
+        Some(a) => a
+            .as_str()
+            .and_then(Algo::parse)
+            .ok_or_else(|| malformed("'algo' must be 'adv' or 'basic'"))?,
+    };
+    let threads = match v.get("threads") {
+        None => 1,
+        Some(t) => t
+            .as_u64()
+            .filter(|&t| t <= 1024)
+            .ok_or_else(|| malformed("'threads' must be an integer <= 1024"))?
+            as usize,
+    };
+    let opt_u64 = |key: &str| -> Result<Option<u64>, ProtoError> {
+        match v.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(x) => x
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| malformed(format!("'{key}' must be a non-negative integer"))),
+        }
+    };
+    Ok(QuerySpec {
+        dataset,
+        scale,
+        k,
+        r,
+        algo,
+        threads,
+        time_limit_ms: opt_u64("time_limit_ms")?,
+        node_limit: opt_u64("node_limit")?,
+    })
+}
+
+impl Request {
+    /// Encodes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(&str, Json)> = vec![("v", json::n(PROTOCOL_VERSION as f64))];
+        match self {
+            Request::Enumerate { id, spec } => {
+                fields.push(("cmd", json::s("enumerate")));
+                fields.push(("id", json::s(id)));
+                spec_to_fields(spec, &mut fields);
+            }
+            Request::Maximum { id, spec } => {
+                fields.push(("cmd", json::s("maximum")));
+                fields.push(("id", json::s(id)));
+                spec_to_fields(spec, &mut fields);
+            }
+            Request::Stats { id } => {
+                fields.push(("cmd", json::s("stats")));
+                fields.push(("id", json::s(id)));
+            }
+            Request::Ping { id } => {
+                fields.push(("cmd", json::s("ping")));
+                fields.push(("id", json::s(id)));
+            }
+            Request::Shutdown { id } => {
+                fields.push(("cmd", json::s("shutdown")));
+                fields.push(("id", json::s(id)));
+            }
+        }
+        json::obj(fields).to_line()
+    }
+
+    /// Decodes one protocol line.
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        let v = Json::parse(line)?;
+        check_version(&v)?;
+        let id = get_id(&v);
+        match v.get("cmd").and_then(Json::as_str) {
+            Some("enumerate") => Ok(Request::Enumerate {
+                id,
+                spec: spec_from_json(&v)?,
+            }),
+            Some("maximum") => Ok(Request::Maximum {
+                id,
+                spec: spec_from_json(&v)?,
+            }),
+            Some("stats") => Ok(Request::Stats { id }),
+            Some("ping") => Ok(Request::Ping { id }),
+            Some("shutdown") => Ok(Request::Shutdown { id }),
+            Some(other) => Err(malformed(format!("unknown cmd '{other}'"))),
+            None => Err(malformed("missing string field 'cmd'")),
+        }
+    }
+}
+
+impl Frame {
+    /// Encodes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(&str, Json)> = vec![("v", json::n(PROTOCOL_VERSION as f64))];
+        match self {
+            Frame::Hello { protocol, server } => {
+                fields.push(("frame", json::s("hello")));
+                fields.push(("protocol", json::n(*protocol as f64)));
+                fields.push(("server", json::s(server)));
+            }
+            Frame::Core {
+                id,
+                index,
+                vertices,
+            } => {
+                fields.push(("frame", json::s("core")));
+                fields.push(("id", json::s(id)));
+                fields.push(("index", json::n(*index as f64)));
+                fields.push((
+                    "vertices",
+                    Json::Arr(vertices.iter().map(|&v| json::n(v as f64)).collect()),
+                ));
+            }
+            Frame::Done {
+                id,
+                count,
+                completed,
+                cache,
+                elapsed_ms,
+                nodes,
+            } => {
+                fields.push(("frame", json::s("done")));
+                fields.push(("id", json::s(id)));
+                fields.push(("count", json::n(*count as f64)));
+                fields.push(("completed", Json::Bool(*completed)));
+                fields.push(("cache", json::s(cache.name())));
+                fields.push(("elapsed_ms", json::n(*elapsed_ms as f64)));
+                fields.push(("nodes", json::n(*nodes as f64)));
+            }
+            Frame::Stats { id, stats } => {
+                fields.push(("frame", json::s("stats")));
+                fields.push(("id", json::s(id)));
+                fields.push(("hits", json::n(stats.hits as f64)));
+                fields.push(("misses", json::n(stats.misses as f64)));
+                fields.push(("evictions", json::n(stats.evictions as f64)));
+                fields.push(("entries", json::n(stats.entries as f64)));
+            }
+            Frame::Pong { id } => {
+                fields.push(("frame", json::s("pong")));
+                fields.push(("id", json::s(id)));
+            }
+            Frame::ShuttingDown { id } => {
+                fields.push(("frame", json::s("shutting_down")));
+                fields.push(("id", json::s(id)));
+            }
+            Frame::Error { id, code, message } => {
+                fields.push(("frame", json::s("error")));
+                fields.push(("id", json::s(id)));
+                fields.push(("code", json::s(code.name())));
+                fields.push(("message", json::s(message)));
+            }
+        }
+        json::obj(fields).to_line()
+    }
+
+    /// Decodes one protocol line.
+    pub fn parse(line: &str) -> Result<Frame, ProtoError> {
+        let v = Json::parse(line)?;
+        check_version(&v)?;
+        let id = get_id(&v);
+        let req_u64 = |key: &str| -> Result<u64, ProtoError> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed(format!("missing integer field '{key}'")))
+        };
+        match v.get("frame").and_then(Json::as_str) {
+            Some("hello") => Ok(Frame::Hello {
+                protocol: req_u64("protocol")?,
+                server: v
+                    .get("server")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            Some("core") => {
+                let vertices = v
+                    .get("vertices")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| malformed("missing array field 'vertices'"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64()
+                            .filter(|&x| x <= VertexId::MAX as u64)
+                            .map(|x| x as VertexId)
+                            .ok_or_else(|| malformed("'vertices' must hold vertex ids"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Frame::Core {
+                    id,
+                    index: req_u64("index")?,
+                    vertices,
+                })
+            }
+            Some("done") => Ok(Frame::Done {
+                id,
+                count: req_u64("count")?,
+                completed: v
+                    .get("completed")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| malformed("missing bool field 'completed'"))?,
+                cache: v
+                    .get("cache")
+                    .and_then(Json::as_str)
+                    .and_then(CacheOutcome::parse)
+                    .ok_or_else(|| malformed("'cache' must be 'hit' or 'miss'"))?,
+                elapsed_ms: req_u64("elapsed_ms")?,
+                nodes: req_u64("nodes")?,
+            }),
+            Some("stats") => Ok(Frame::Stats {
+                id,
+                stats: CacheStats {
+                    hits: req_u64("hits")?,
+                    misses: req_u64("misses")?,
+                    evictions: req_u64("evictions")?,
+                    entries: req_u64("entries")? as usize,
+                },
+            }),
+            Some("pong") => Ok(Frame::Pong { id }),
+            Some("shutting_down") => Ok(Frame::ShuttingDown { id }),
+            Some("error") => Ok(Frame::Error {
+                id,
+                code: v
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::parse)
+                    .ok_or_else(|| malformed("unknown error code"))?,
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            Some(other) => Err(malformed(format!("unknown frame '{other}'"))),
+            None => Err(malformed("missing string field 'frame'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = vec![
+            Request::Enumerate {
+                id: "q1".into(),
+                spec: QuerySpec::new("gowalla-like", 3, 8.0),
+            },
+            Request::Maximum {
+                id: "q\"2\"".into(),
+                spec: QuerySpec {
+                    algo: Algo::Basic,
+                    threads: 4,
+                    time_limit_ms: Some(500),
+                    node_limit: Some(10_000),
+                    scale: 0.5,
+                    ..QuerySpec::new("dblp-like", 4, 0.3)
+                },
+            },
+            Request::Stats { id: "s".into() },
+            Request::Ping { id: String::new() },
+            Request::Shutdown { id: "bye".into() },
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frames = vec![
+            Frame::Hello {
+                protocol: 1,
+                server: "kr-server/0.1.0".into(),
+            },
+            Frame::Core {
+                id: "q1".into(),
+                index: 3,
+                vertices: vec![0, 5, 17],
+            },
+            Frame::Done {
+                id: "q1".into(),
+                count: 4,
+                completed: true,
+                cache: CacheOutcome::Hit,
+                elapsed_ms: 12,
+                nodes: 523,
+            },
+            Frame::Stats {
+                id: "s".into(),
+                stats: CacheStats {
+                    hits: 1,
+                    misses: 2,
+                    evictions: 0,
+                    entries: 2,
+                },
+            },
+            Frame::Pong { id: "p".into() },
+            Frame::ShuttingDown { id: String::new() },
+            Frame::Error {
+                id: "x".into(),
+                code: ErrorCode::UnknownDataset,
+                message: "no such preset: nope".into(),
+            },
+        ];
+        for frame in frames {
+            let line = frame.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Frame::parse(&line).unwrap(), frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let line = r#"{"v":2,"cmd":"ping","id":"x"}"#;
+        assert!(matches!(
+            Request::parse(line),
+            Err(ProtoError::UnsupportedVersion(Some(2)))
+        ));
+        let line = r#"{"cmd":"ping"}"#;
+        assert!(matches!(
+            Request::parse(line),
+            Err(ProtoError::UnsupportedVersion(None))
+        ));
+    }
+
+    #[test]
+    fn unknown_request_fields_ignored() {
+        let line = r#"{"v":1,"cmd":"enumerate","id":"q","dataset":"dblp-like","k":3,"r":0.2,"future_field":[1,2]}"#;
+        let req = Request::parse(line).unwrap();
+        match req {
+            Request::Enumerate { spec, .. } => {
+                assert_eq!(spec.scale, DEFAULT_SCALE);
+                assert_eq!(spec.algo, Algo::Adv);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_validation() {
+        for bad in [
+            r#"{"v":1,"cmd":"enumerate","dataset":"x","k":0,"r":1}"#,
+            r#"{"v":1,"cmd":"enumerate","dataset":"x","k":3,"r":-1}"#,
+            r#"{"v":1,"cmd":"enumerate","dataset":"x","k":3}"#,
+            r#"{"v":1,"cmd":"enumerate","k":3,"r":1}"#,
+            r#"{"v":1,"cmd":"enumerate","dataset":"x","k":3,"r":1,"scale":0}"#,
+            r#"{"v":1,"cmd":"frobnicate"}"#,
+            r#"{"v":1}"#,
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(ProtoError::Malformed(_))),
+                "{bad}"
+            );
+        }
+    }
+}

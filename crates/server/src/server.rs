@@ -1,0 +1,172 @@
+//! The accept loop and server lifecycle.
+//!
+//! One OS thread per connection handles protocol framing and blocks on
+//! its client's socket; the *compute* of a query runs on the worker pool
+//! the engine builds per query (`kr_core::parallel` — one pool threaded
+//! through preprocessing and the subtask phase). Sessions poll their
+//! socket with a short read timeout so that a server-wide shutdown flag
+//! is observed promptly, which is what makes `shutdown` clean: the accept
+//! loop stops, every session thread drains, and `run` returns.
+
+use crate::cache::ComponentCache;
+use crate::datasets::DatasetRegistry;
+use crate::session;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Maximum resident preprocessed component sets (LRU beyond that).
+    pub cache_capacity: usize,
+    /// Ceiling for a query's wall-clock budget. A request asking for more
+    /// (or for no limit) is clamped to this; `None` = no ceiling. This is
+    /// the server's cancellation mechanism: the engine checks the
+    /// deadline at every search node and reports `completed = false`.
+    pub max_time_limit_ms: Option<u64>,
+    /// Ceiling for a query's search-node budget (`None` = no ceiling).
+    pub max_node_limit: Option<u64>,
+    /// Largest dataset scale a query may ask the registry to generate.
+    pub max_scale: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_capacity: 16,
+            max_time_limit_ms: Some(120_000),
+            max_node_limit: None,
+            max_scale: 2.0,
+        }
+    }
+}
+
+/// State shared by the accept loop and every session.
+pub struct ServerState {
+    /// Tunables the server was started with.
+    pub config: ServerConfig,
+    /// The shared component cache.
+    pub cache: ComponentCache,
+    /// Resident datasets.
+    pub datasets: DatasetRegistry,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+impl ServerState {
+    /// True once a `shutdown` request was accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags shutdown and pokes the accept loop awake with a throwaway
+    /// connection (the listener has no timeout of its own).
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. No connection is
+    /// accepted until [`Server::run`] (or [`Server::spawn`]).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            cache: ComponentCache::new(config.cache_capacity),
+            datasets: DatasetRegistry::new(),
+            config,
+            shutdown: AtomicBool::new(false),
+            local_addr,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Shared state handle (tests read cache stats through this).
+    pub fn state(&self) -> Arc<ServerState> {
+        self.state.clone()
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains all session
+    /// threads and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut sessions = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.state.is_shutting_down() {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            let state = self.state.clone();
+            sessions.push(std::thread::spawn(move || {
+                session::run_session(stream, state);
+            }));
+        }
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle with
+    /// the resolved address.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let state = self.state.clone();
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle { addr, state, join }
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (cache stats etc.).
+    pub fn state(&self) -> Arc<ServerState> {
+        self.state.clone()
+    }
+
+    /// Requests shutdown over the wire and waits for the accept loop and
+    /// every session to finish.
+    pub fn shutdown_and_join(self) -> std::io::Result<()> {
+        if !self.state.is_shutting_down() {
+            match crate::client::Client::connect(self.addr) {
+                Ok(mut client) => {
+                    let _ = client.shutdown();
+                }
+                // Listener already gone — flag directly as a fallback.
+                Err(_) => self.state.begin_shutdown(),
+            }
+        }
+        self.join.join().expect("server thread panicked")
+    }
+}

@@ -1,0 +1,367 @@
+//! Per-connection request handling.
+//!
+//! A session owns one client socket. Requests are processed one at a
+//! time in arrival order (the protocol is line-delimited, so pipelining
+//! just queues in the kernel buffer); response frames for a query carry
+//! its `id`. The socket is read with a short timeout so the session
+//! notices a server-wide shutdown even while idle.
+//!
+//! **Cancellation.** A query cannot be aborted mid-flight by the client
+//! (the session is busy computing), so runaway work is bounded the same
+//! way the paper's harness bounds it: the engine's node/time limits. The
+//! session clamps every query's budgets to the server's configured
+//! ceilings; the engine checks them at each search node and returns
+//! `completed = false` when exceeded, which the `done` frame reports.
+
+use crate::cache::{r_band, CacheKey};
+use crate::json::Json;
+use crate::protocol::{
+    Algo, CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
+};
+use crate::server::ServerState;
+use kr_core::{
+    enumerate_maximal_prepared, enumerate_maximal_prepared_on, find_maximum_prepared,
+    find_maximum_prepared_on, AlgoConfig, CoreHook, KrCore,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Socket poll interval; bounds how long shutdown waits on idle sessions.
+const READ_POLL: Duration = Duration::from_millis(150);
+
+/// Hard cap on one request line. Real requests are well under 1 KiB; a
+/// client that streams bytes without a newline is dropped at this bound
+/// instead of growing the session buffer without limit.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+fn write_frame(writer: &SharedWriter, frame: &Frame) -> std::io::Result<()> {
+    let mut line = frame.to_line();
+    line.push('\n');
+    let mut stream = writer.lock().expect("writer lock");
+    stream.write_all(line.as_bytes())
+}
+
+/// Timeout-tolerant line framing over the raw socket. `BufRead::read_line`
+/// is unusable here: a read timeout mid-line would hand back a partial
+/// line indistinguishable from a complete one.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+enum ReadOutcome {
+    Line(String),
+    TimedOut,
+    Closed,
+}
+
+impl LineReader {
+    fn next(&mut self) -> ReadOutcome {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                line.pop(); // the '\n'
+                return match String::from_utf8(line) {
+                    Ok(s) => ReadOutcome::Line(s),
+                    Err(_) => ReadOutcome::Closed, // not UTF-8: drop client
+                };
+            }
+            if self.pending.len() > MAX_LINE_BYTES {
+                return ReadOutcome::Closed; // unframed flood: drop client
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return ReadOutcome::TimedOut;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+}
+
+/// Serves one connection to completion (EOF, I/O failure, or shutdown).
+pub(crate) fn run_session(stream: TcpStream, state: Arc<ServerState>) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let hello = Frame::Hello {
+        protocol: PROTOCOL_VERSION,
+        server: format!("kr-server/{}", env!("CARGO_PKG_VERSION")),
+    };
+    if write_frame(&writer, &hello).is_err() {
+        return;
+    }
+    let mut reader = LineReader {
+        stream,
+        pending: Vec::new(),
+    };
+    loop {
+        match reader.next() {
+            ReadOutcome::Closed => return,
+            ReadOutcome::TimedOut => {
+                if state.is_shutting_down() {
+                    return;
+                }
+            }
+            ReadOutcome::Line(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if handle_line(trimmed, &writer, &state).is_err() {
+                    return; // client gone
+                }
+                if state.is_shutting_down() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_line(line: &str, writer: &SharedWriter, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(e) => {
+            let code = match &e {
+                ProtoError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+                _ => ErrorCode::BadRequest,
+            };
+            // Best-effort id echo so the client can correlate the failure.
+            let id = Json::parse(line)
+                .ok()
+                .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_string))
+                .unwrap_or_default();
+            return write_frame(
+                writer,
+                &Frame::Error {
+                    id,
+                    code,
+                    message: e.to_string(),
+                },
+            );
+        }
+    };
+    match req {
+        Request::Ping { id } => write_frame(writer, &Frame::Pong { id }),
+        Request::Stats { id } => write_frame(
+            writer,
+            &Frame::Stats {
+                id,
+                stats: state.cache.stats(),
+            },
+        ),
+        Request::Shutdown { id } => {
+            write_frame(writer, &Frame::ShuttingDown { id })?;
+            state.begin_shutdown();
+            Ok(())
+        }
+        Request::Enumerate { id, spec } => run_query(QueryKind::Enumerate, id, spec, writer, state),
+        Request::Maximum { id, spec } => run_query(QueryKind::Maximum, id, spec, writer, state),
+    }
+}
+
+enum QueryKind {
+    Enumerate,
+    Maximum,
+}
+
+/// Budget clamp: the tighter of the request's wish and the server ceiling.
+fn clamp_limit(requested: Option<u64>, ceiling: Option<u64>) -> Option<u64> {
+    match (requested, ceiling) {
+        (Some(r), Some(c)) => Some(r.min(c)),
+        (Some(r), None) => Some(r),
+        (None, ceiling) => ceiling,
+    }
+}
+
+fn run_query(
+    kind: QueryKind,
+    id: String,
+    spec: QuerySpec,
+    writer: &SharedWriter,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()> {
+    if spec.scale > state.config.max_scale {
+        return write_frame(
+            writer,
+            &Frame::Error {
+                id,
+                code: ErrorCode::BadRequest,
+                message: format!(
+                    "scale {} exceeds this server's max_scale {}",
+                    spec.scale, state.config.max_scale
+                ),
+            },
+        );
+    }
+    let dataset = match state.datasets.get(&spec.dataset, spec.scale) {
+        Ok(ds) => ds,
+        Err(message) => {
+            return write_frame(
+                writer,
+                &Frame::Error {
+                    id,
+                    code: ErrorCode::UnknownDataset,
+                    message,
+                },
+            );
+        }
+    };
+
+    let t0 = Instant::now();
+    let key = CacheKey {
+        dataset: dataset.key.clone(),
+        k: spec.k,
+        r_band: r_band(spec.r),
+    };
+    // One worker pool for the whole query: a cache miss preprocesses on
+    // it and the parallel engine then runs its subtask phase on the same
+    // pool (`threads == 1` stays pool-free on the sequential engine).
+    let threads = spec.threads;
+    let pool = if threads == 1 {
+        None
+    } else {
+        Some(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool"),
+        )
+    };
+    let (comps, hit) = state.cache.get_or_build(&key, || {
+        let problem = dataset.problem(spec.k, spec.r);
+        match &pool {
+            None => problem.preprocess(),
+            Some(pool) => problem.preprocess_on(pool),
+        }
+    });
+    let cache = if hit {
+        CacheOutcome::Hit
+    } else {
+        CacheOutcome::Miss
+    };
+
+    let mut cfg = match (&kind, spec.algo) {
+        (QueryKind::Enumerate, Algo::Adv) => AlgoConfig::adv_enum(),
+        (QueryKind::Enumerate, Algo::Basic) => AlgoConfig::basic_enum(),
+        (QueryKind::Maximum, Algo::Adv) => AlgoConfig::adv_max(),
+        (QueryKind::Maximum, Algo::Basic) => AlgoConfig::basic_max(),
+    }
+    .with_threads(threads);
+    if let Some(ms) = clamp_limit(spec.time_limit_ms, state.config.max_time_limit_ms) {
+        cfg = cfg.with_time_limit_ms(ms);
+    }
+    if let Some(limit) = clamp_limit(spec.node_limit, state.config.max_node_limit) {
+        cfg = cfg.with_node_limit(limit);
+    }
+
+    match kind {
+        QueryKind::Enumerate => {
+            // AdvEnum streams: every core the engine confirms goes out as
+            // its own frame immediately. BasicEnum buffers (maximality is
+            // only known after the post-filter) and the frames are
+            // written below instead.
+            let streamed = Arc::new(AtomicU64::new(0));
+            let write_failed = Arc::new(AtomicBool::new(false));
+            let streaming = cfg.maximal_check;
+            if streaming {
+                let (w, counter, failed, qid) = (
+                    writer.clone(),
+                    streamed.clone(),
+                    write_failed.clone(),
+                    id.clone(),
+                );
+                cfg = cfg.with_on_core(CoreHook::new(move |core: &KrCore| {
+                    if failed.load(Ordering::Relaxed) {
+                        return; // socket already broken; drain silently
+                    }
+                    let frame = Frame::Core {
+                        id: qid.clone(),
+                        index: counter.fetch_add(1, Ordering::Relaxed),
+                        vertices: core.vertices.clone(),
+                    };
+                    if write_frame(&w, &frame).is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                }));
+            }
+            let res = match &pool {
+                None => enumerate_maximal_prepared(&comps, &cfg),
+                Some(pool) => enumerate_maximal_prepared_on(&comps, &cfg, pool),
+            };
+            if write_failed.load(Ordering::Relaxed) {
+                return Err(std::io::Error::new(
+                    ErrorKind::BrokenPipe,
+                    "client went away mid-stream",
+                ));
+            }
+            if !streaming {
+                for (index, core) in res.cores.iter().enumerate() {
+                    write_frame(
+                        writer,
+                        &Frame::Core {
+                            id: id.clone(),
+                            index: index as u64,
+                            vertices: core.vertices.clone(),
+                        },
+                    )?;
+                }
+            }
+            write_frame(
+                writer,
+                &Frame::Done {
+                    id,
+                    count: res.cores.len() as u64,
+                    completed: res.completed,
+                    cache,
+                    elapsed_ms: t0.elapsed().as_millis() as u64,
+                    nodes: res.stats.nodes,
+                },
+            )
+        }
+        QueryKind::Maximum => {
+            let res = match &pool {
+                None => find_maximum_prepared(&comps, &cfg),
+                Some(pool) => find_maximum_prepared_on(&comps, &cfg, pool),
+            };
+            let count = res.core.iter().len() as u64;
+            if let Some(core) = &res.core {
+                write_frame(
+                    writer,
+                    &Frame::Core {
+                        id: id.clone(),
+                        index: 0,
+                        vertices: core.vertices.clone(),
+                    },
+                )?;
+            }
+            write_frame(
+                writer,
+                &Frame::Done {
+                    id,
+                    count,
+                    completed: res.completed,
+                    cache,
+                    elapsed_ms: t0.elapsed().as_millis() as u64,
+                    nodes: res.stats.nodes,
+                },
+            )
+        }
+    }
+}

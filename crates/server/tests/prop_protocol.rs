@@ -1,0 +1,152 @@
+//! Property tests: every encodable protocol message round-trips through
+//! its wire line, including ids with quotes, backslashes, newlines, and
+//! non-ASCII characters (the codec must keep one message = one line).
+
+use kr_server::protocol::{Algo, CacheOutcome, ErrorCode, Frame, QuerySpec, Request};
+use kr_server::CacheStats;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strings that stress the escaper: printable ASCII plus the characters
+/// that must be escaped on the wire.
+fn wire_string() -> impl Strategy<Value = String> {
+    vec(
+        prop_oneof![
+            (32u8..127).prop_map(|b| b as char),
+            Just('"'),
+            Just('\\'),
+            Just('\n'),
+            Just('\r'),
+            Just('\t'),
+            Just('\u{01}'),
+            Just('é'),
+            Just('😀'),
+        ],
+        0..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn algo() -> impl Strategy<Value = Algo> {
+    prop_oneof![Just(Algo::Adv), Just(Algo::Basic)]
+}
+
+fn opt_u64() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), (0u64..1_000_000_000).prop_map(Some),]
+}
+
+fn query_spec() -> impl Strategy<Value = QuerySpec> {
+    (
+        (
+            wire_string(),
+            0.001f64..10.0,
+            1u32..1_000_000,
+            0.0f64..1.0e6,
+        ),
+        (algo(), 0usize..64, opt_u64(), opt_u64()),
+    )
+        .prop_map(
+            |((dataset, scale, k, r), (algo, threads, time_limit_ms, node_limit))| QuerySpec {
+                dataset,
+                scale,
+                k,
+                r,
+                algo,
+                threads,
+                time_limit_ms,
+                node_limit,
+            },
+        )
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (wire_string(), query_spec()).prop_map(|(id, spec)| Request::Enumerate { id, spec }),
+        (wire_string(), query_spec()).prop_map(|(id, spec)| Request::Maximum { id, spec }),
+        wire_string().prop_map(|id| Request::Stats { id }),
+        wire_string().prop_map(|id| Request::Ping { id }),
+        wire_string().prop_map(|id| Request::Shutdown { id }),
+    ]
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (0u64..10, wire_string()).prop_map(|(protocol, server)| Frame::Hello { protocol, server }),
+        (wire_string(), 0u64..10_000, vec(0u32..5_000_000, 0..64)).prop_map(
+            |(id, index, vertices)| Frame::Core {
+                id,
+                index,
+                vertices
+            }
+        ),
+        (
+            (wire_string(), 0u64..10_000),
+            (0u64..1_000_000, 0u64..1_000_000_000),
+        )
+            .prop_flat_map(|((id, count), (elapsed_ms, nodes))| {
+                (
+                    Just(id),
+                    Just(count),
+                    prop_oneof![Just(true), Just(false)],
+                    prop_oneof![Just(CacheOutcome::Hit), Just(CacheOutcome::Miss)],
+                    Just(elapsed_ms),
+                    Just(nodes),
+                )
+            })
+            .prop_map(
+                |(id, count, completed, cache, elapsed_ms, nodes)| Frame::Done {
+                    id,
+                    count,
+                    completed,
+                    cache,
+                    elapsed_ms,
+                    nodes,
+                }
+            ),
+        (
+            wire_string(),
+            (0u64..1_000_000, 0u64..1_000_000),
+            (0u64..1_000_000, 0usize..1_000),
+        )
+            .prop_map(|(id, (hits, misses), (evictions, entries))| Frame::Stats {
+                id,
+                stats: CacheStats {
+                    hits,
+                    misses,
+                    evictions,
+                    entries,
+                },
+            }),
+        wire_string().prop_map(|id| Frame::Pong { id }),
+        wire_string().prop_map(|id| Frame::ShuttingDown { id }),
+        (
+            wire_string(),
+            prop_oneof![
+                Just(ErrorCode::BadRequest),
+                Just(ErrorCode::UnsupportedVersion),
+                Just(ErrorCode::UnknownDataset),
+                Just(ErrorCode::Internal),
+            ],
+            wire_string(),
+        )
+            .prop_map(|(id, code, message)| Frame::Error { id, code, message }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_encode_decode_roundtrips(req in request()) {
+        let line = req.to_line();
+        prop_assert!(!line.contains('\n'), "one message = one line: {line:?}");
+        let parsed = Request::parse(&line);
+        prop_assert_eq!(parsed.ok(), Some(req), "line: {}", line);
+    }
+
+    #[test]
+    fn frame_encode_decode_roundtrips(f in frame()) {
+        let line = f.to_line();
+        prop_assert!(!line.contains('\n'), "one message = one line: {line:?}");
+        let parsed = Frame::parse(&line);
+        prop_assert_eq!(parsed.ok(), Some(f), "line: {}", line);
+    }
+}

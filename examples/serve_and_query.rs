@@ -1,0 +1,69 @@
+//! The serving layer end to end, in one process: spawn `kr-server` on an
+//! ephemeral port, run enumeration + maximum queries through the wire
+//! protocol, and show the component cache amortizing preprocessing across
+//! repeated queries.
+//!
+//! ```sh
+//! cargo run --release --example serve_and_query
+//! ```
+
+use krcore::prelude::*;
+use krcore::server::CacheOutcome;
+use std::time::Instant;
+
+fn main() {
+    let server = Server::bind(ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!("kr-server listening on {addr}");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = QuerySpec {
+        scale: 0.3,
+        ..QuerySpec::new("gowalla-like", 3, 8.0)
+    };
+
+    // Cold query: the server generates the dataset and preprocesses
+    // (filter -> peel -> split -> arenas), then streams each maximal core
+    // as its own frame.
+    let t = Instant::now();
+    let cold = client.enumerate(spec.clone()).expect("cold query");
+    println!(
+        "cold : {} maximal (k,r)-cores | cache {} | {:?} round-trip | {} ms server-side",
+        cold.cores.len(),
+        cold.cache.name(),
+        t.elapsed(),
+        cold.elapsed_ms,
+    );
+
+    // Warm query: same (dataset, k, r-band) key, so the preprocessed
+    // components come straight from the LRU cache.
+    let t = Instant::now();
+    let warm = client.enumerate(spec.clone()).expect("warm query");
+    assert_eq!(warm.cache, CacheOutcome::Hit);
+    assert_eq!(warm.cores, cold.cores);
+    println!(
+        "warm : {} cores | cache {} | {:?} round-trip | {} ms server-side",
+        warm.cores.len(),
+        warm.cache.name(),
+        t.elapsed(),
+        warm.elapsed_ms,
+    );
+
+    // The maximum query reuses the very same cache entry.
+    let max = client.maximum(spec).expect("maximum query");
+    println!(
+        "max  : {} vertices | cache {}",
+        max.cores.first().map_or(0, |c| c.len()),
+        max.cache.name(),
+    );
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "cache: {} hits / {} misses / {} evictions / {} resident",
+        stats.hits, stats.misses, stats.evictions, stats.entries
+    );
+
+    handle.shutdown_and_join().expect("clean shutdown");
+    println!("server shut down cleanly");
+}

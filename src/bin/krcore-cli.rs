@@ -1,10 +1,15 @@
-//! Command-line (k,r)-core miner for SNAP-style datasets.
+//! Command-line (k,r)-core miner for SNAP-style datasets, plus the
+//! long-lived query service and its client.
 //!
 //! ```text
 //! krcore-cli enum   --edges graph.txt --points locs.tsv    --k 5 --r 10        [--out cores.txt]
 //! krcore-cli enum   --edges dblp.txt  --keywords kw.tsv    --k 5 --r 0.4
 //! krcore-cli max    --edges dblp.txt  --keywords kw.tsv    --k 5 --permille 3
 //! krcore-cli stats  --edges graph.txt --points locs.tsv    --k 5 --r 10
+//! krcore-cli serve  [--addr 127.0.0.1:7878] [--cache-capacity 16] [--max-time-limit-ms MS]
+//! krcore-cli query  --addr 127.0.0.1:7878 <enum|max> --dataset gowalla-like --k 3 --r 8 \
+//!                   [--scale 0.25] [--algo adv|basic] [--threads N] [--out FILE]
+//! krcore-cli query  --addr 127.0.0.1:7878 <stats|ping|shutdown>
 //! ```
 //!
 //! * `--points FILE` selects Euclidean distance (`--r` is a max distance);
@@ -14,12 +19,18 @@
 //!   `clique`);
 //! * `--threads N` runs the work-stealing parallel engine on `N` workers
 //!   (`0` = all cores; default 1 = sequential; `adv`/`basic` only);
-//! * `--time-limit-ms` bounds the run (prints a warning when exceeded).
+//! * `--time-limit-ms` bounds the run (prints a warning when exceeded);
+//! * `serve` hosts the preset datasets behind the line-delimited JSON
+//!   protocol of `kr_server` (preprocessed components cached per
+//!   `(dataset, k, r-band)`, enumeration results streamed);
+//! * `query` is the matching client: cores stream to stdout as they
+//!   arrive, diagnostics (cache hit/miss, timing) to stderr.
 
 use krcore::core::{
     clique_based_maximal, enumerate_maximal, find_maximum, AlgoConfig, ProblemInstance,
 };
 use krcore::graph::io::read_edge_list_file;
+use krcore::server::{Algo, Client, QuerySpec, Server, ServerConfig};
 use krcore::similarity::{
     read_keywords, read_points, top_permille_threshold, AttributeTable, Metric, TableOracle,
     Threshold,
@@ -45,7 +56,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: krcore-cli <enum|max|stats> --edges FILE (--points FILE | --keywords FILE) \
          --k K (--r R | --permille X) [--algo adv|basic|naive|clique] [--threads N] \
-         [--out FILE] [--time-limit-ms MS]"
+         [--out FILE] [--time-limit-ms MS]\n\
+         \x20      krcore-cli serve [--addr HOST:PORT] [--cache-capacity N] \
+         [--max-time-limit-ms MS] [--max-scale S]\n\
+         \x20      krcore-cli query --addr HOST:PORT <enum|max|stats|ping|shutdown> \
+         [--dataset NAME --k K --r R] [--scale S] [--algo adv|basic] [--threads N] \
+         [--time-limit-ms MS] [--node-limit N] [--out FILE]"
     );
     exit(2);
 }
@@ -110,6 +126,11 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("serve") => return cmd_serve(),
+        Some("query") => return cmd_query(),
+        _ => {}
+    }
     let args = parse_args();
     let loaded = match read_edge_list_file(&args.edges) {
         Ok(l) => l,
@@ -261,6 +282,162 @@ fn main() {
                     eprintln!("no (k,r)-core exists for k={} at this threshold", args.k);
                     exit(1);
                 }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// `krcore-cli serve`: host the preset datasets behind the wire protocol.
+fn cmd_serve() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = val(),
+            "--cache-capacity" => config.cache_capacity = val().parse().unwrap_or_else(|_| usage()),
+            "--max-time-limit-ms" => {
+                config.max_time_limit_ms = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-node-limit" => {
+                config.max_node_limit = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-scale" => config.max_scale = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            exit(1);
+        }
+    };
+    // Machine-readable line on stdout so scripts can scrape the port.
+    println!("kr-server listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("server failed: {e}");
+        exit(1);
+    }
+    eprintln!("kr-server shut down cleanly");
+}
+
+/// `krcore-cli query`: the protocol client. Cores stream to stdout as
+/// frames arrive; diagnostics go to stderr.
+fn cmd_query() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut action: Option<String> = None;
+    let mut dataset: Option<String> = None;
+    let mut k: u32 = 0;
+    let mut r: Option<f64> = None;
+    let mut scale: Option<f64> = None;
+    let mut algo = Algo::Adv;
+    let mut threads: usize = 1;
+    let mut time_limit_ms: Option<u64> = None;
+    let mut node_limit: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = val(),
+            "--dataset" => dataset = Some(val()),
+            "--k" => k = val().parse().unwrap_or_else(|_| usage()),
+            "--r" => r = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--scale" => scale = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--algo" => {
+                algo = match val().as_str() {
+                    "adv" => Algo::Adv,
+                    "basic" => Algo::Basic,
+                    _ => usage(),
+                }
+            }
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
+            "--time-limit-ms" => time_limit_ms = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--node-limit" => node_limit = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--out" => out = Some(val()),
+            "enum" | "max" | "stats" | "ping" | "shutdown" if action.is_none() => {
+                action = Some(arg)
+            }
+            _ => usage(),
+        }
+    }
+    let action = action.unwrap_or_else(|| usage());
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+    let fail = |e: krcore::server::ClientError| -> ! {
+        eprintln!("query failed: {e}");
+        exit(1);
+    };
+    match action.as_str() {
+        "ping" => {
+            client.ping().unwrap_or_else(|e| fail(e));
+            println!("pong");
+        }
+        "shutdown" => {
+            client.shutdown().unwrap_or_else(|e| fail(e));
+            println!("server shutting down");
+        }
+        "stats" => {
+            let stats = client.stats().unwrap_or_else(|e| fail(e));
+            println!("hits\t{}", stats.hits);
+            println!("misses\t{}", stats.misses);
+            println!("evictions\t{}", stats.evictions);
+            println!("entries\t{}", stats.entries);
+        }
+        cmd @ ("enum" | "max") => {
+            let dataset = dataset.unwrap_or_else(|| usage());
+            let r = r.unwrap_or_else(|| usage());
+            if k == 0 {
+                usage();
+            }
+            let mut spec = QuerySpec::new(&dataset, k, r);
+            if let Some(scale) = scale {
+                spec.scale = scale;
+            }
+            spec.algo = algo;
+            spec.threads = threads;
+            spec.time_limit_ms = time_limit_ms;
+            spec.node_limit = node_limit;
+            let result = if cmd == "enum" {
+                client.enumerate(spec)
+            } else {
+                client.maximum(spec)
+            }
+            .unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "{} core(s) | cache {} | {} search nodes | {} ms server-side",
+                result.cores.len(),
+                result.cache.name(),
+                result.nodes,
+                result.elapsed_ms,
+            );
+            if !result.completed {
+                eprintln!("warning: budget exceeded server-side; results are incomplete");
+            }
+            let mut sink: Box<dyn Write> = match &out {
+                Some(path) => Box::new(std::io::BufWriter::new(
+                    std::fs::File::create(path).unwrap_or_else(|e| {
+                        eprintln!("cannot create {path}: {e}");
+                        exit(1)
+                    }),
+                )),
+                None => Box::new(std::io::stdout().lock()),
+            };
+            for core in &result.cores {
+                let ids: Vec<String> = core.iter().map(|v| v.to_string()).collect();
+                writeln!(sink, "{}", ids.join("\t")).expect("write failed");
             }
         }
         _ => usage(),

@@ -15,6 +15,9 @@
 //! * the **maximum (k,r)-core** (`BasicMax`, `AdvMax` with the novel
 //!   (k,k')-core size upper bound),
 //! * the **clique-based baseline** of Section 3,
+//! * a long-lived **query service** ([`server`]): component cache keyed by
+//!   `(dataset, k, r-band)`, streamed enumeration results, line-delimited
+//!   JSON protocol (`krcore-cli serve` / `krcore-cli query`),
 //! * the supporting substrates: graph + k-core machinery ([`graph`]),
 //!   similarity metrics and thresholds ([`similarity`]), maximal-clique
 //!   enumeration ([`clique`]), and synthetic attributed social networks
@@ -51,15 +54,18 @@ pub use kr_clique as clique;
 pub use kr_core as core;
 pub use kr_datagen as datagen;
 pub use kr_graph as graph;
+pub use kr_server as server;
 pub use kr_similarity as similarity;
 
 /// Convenient single-import surface for the common API.
 pub mod prelude {
     pub use kr_core::{
-        enumerate_maximal, find_maximum, AlgoConfig, BoundKind, BranchPolicy, EnumResult, KrCore,
+        enumerate_maximal, enumerate_maximal_prepared, find_maximum, find_maximum_prepared,
+        AlgoConfig, BoundKind, BranchPolicy, CoreHook, EnumResult, KrCore, LocalComponent,
         MaxResult, ProblemInstance, SearchOrder,
     };
     pub use kr_datagen::{DatasetPreset, SyntheticDataset};
     pub use kr_graph::{Graph, GraphBuilder, VertexId};
+    pub use kr_server::{Client, QuerySpec, Server, ServerConfig};
     pub use kr_similarity::{AttributeTable, Metric, Threshold};
 }
