@@ -1,0 +1,215 @@
+//! CI bench-smoke gate: quick-mode enumeration benchmarks on two presets,
+//! recorded as one JSON trajectory point and compared against the
+//! checked-in baseline (`BENCH_pr3.json`).
+//!
+//! ```text
+//! bench_smoke check <baseline.json>   # run, compare, exit 1 on regression
+//! bench_smoke write <baseline.json>   # run, (re)write the baseline
+//! ```
+//!
+//! Wall-clock on a CI runner is not comparable to wall-clock on the
+//! machine that recorded the baseline, so every run also times a fixed
+//! CPU-bound calibration loop and the gate compares *normalized* times
+//! (`wall_ms / calib_ms`). A point regresses when its normalized time
+//! exceeds the baseline's by more than `BENCH_SMOKE_MAX_REGRESSION_PCT`
+//! percent (default 25). A missing baseline is not an error — the gate
+//! arms itself once the first baseline is committed.
+
+use kr_bench::BenchDataset;
+use kr_core::{enumerate_maximal_prepared, AlgoConfig};
+use kr_datagen::DatasetPreset;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timed samples per benchmark point; the minimum is reported (least
+/// scheduler noise).
+const SAMPLES: usize = 5;
+
+/// Default regression gate, percent over baseline normalized time.
+const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+
+struct Point {
+    preset: &'static str,
+    scale: f64,
+    k: u32,
+    r: f64,
+    wall_ms: f64,
+    peak_component_bytes: usize,
+}
+
+fn quick_cases() -> Vec<(DatasetPreset, f64, u32, f64)> {
+    vec![
+        // One geo preset, one keyword preset; parameters chosen so the
+        // enumeration does real search work (tens to hundreds of ms) but
+        // stays far from the pathological blow-up region.
+        (DatasetPreset::GowallaLike, 1.0, 3, 12.0),
+        (DatasetPreset::DblpLike, 1.0, 3, 10.0),
+    ]
+}
+
+/// Fixed CPU-bound workload used to normalize wall-clock across machines.
+fn calibration_ms() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut acc = 0u64;
+        for _ in 0..20_000_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        black_box(acc);
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn measure_point(preset: DatasetPreset, scale: f64, k: u32, r: f64) -> Point {
+    let ds = BenchDataset::new(preset, scale);
+    let p = ds.instance(k, r);
+    let comps = p.preprocess();
+    let peak_component_bytes = comps.iter().map(|c| c.memory_bytes()).max().unwrap_or(0);
+    let cfg = AlgoConfig::adv_enum();
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        black_box(enumerate_maximal_prepared(&comps, &cfg).cores.len());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Point {
+        preset: preset.name(),
+        scale,
+        k,
+        r,
+        wall_ms: best,
+        peak_component_bytes,
+    }
+}
+
+fn render(calib_ms: f64, points: &[Point]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n");
+    out.push_str(&format!("  \"calib_ms\": {calib_ms:.3},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"preset\": \"{}\", \"scale\": {}, \"k\": {}, \"r\": {}, \
+             \"wall_ms\": {:.3}, \"peak_component_bytes\": {}}}{comma}\n",
+            p.preset, p.scale, p.k, p.r, p.wall_ms, p.peak_component_bytes
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal scanner for the flat schema this binary itself writes: finds
+/// `"key": <number>` after `from` and returns the number. Not a general
+/// JSON parser — both reader and writer live in this file.
+fn scan_num(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let off = at + (text[at..].len() - rest.len());
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok().map(|v| (v, off + end))
+}
+
+fn scan_str(text: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let needle = format!("\"{key}\": \"");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let end = text[at..].find('"')? + at;
+    Some((text[at..end].to_string(), end))
+}
+
+struct BaselinePoint {
+    preset: String,
+    wall_ms: f64,
+}
+
+fn parse_baseline(text: &str) -> Option<(f64, Vec<BaselinePoint>)> {
+    let (calib_ms, mut pos) = scan_num(text, "calib_ms", 0)?;
+    let mut points = Vec::new();
+    while let Some((preset, next)) = scan_str(text, "preset", pos) {
+        let (wall_ms, next) = scan_num(text, "wall_ms", next)?;
+        points.push(BaselinePoint { preset, wall_ms });
+        pos = next;
+    }
+    Some((calib_ms, points))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [mode, path] if mode == "check" || mode == "write" => (mode.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: bench_smoke <check|write> <baseline.json>");
+            std::process::exit(2);
+        }
+    };
+
+    let calib_ms = calibration_ms();
+    println!("calibration: {calib_ms:.3} ms");
+    let points: Vec<Point> = quick_cases()
+        .into_iter()
+        .map(|(preset, scale, k, r)| {
+            let p = measure_point(preset, scale, k, r);
+            println!(
+                "{:<16} scale {:<5} k {} r {:<5} wall {:>9.3} ms  (normalized {:.4})  peak component {} bytes",
+                p.preset, p.scale, p.k, p.r, p.wall_ms, p.wall_ms / calib_ms, p.peak_component_bytes
+            );
+            p
+        })
+        .collect();
+
+    if mode == "write" {
+        std::fs::write(path, render(calib_ms, &points)).expect("write baseline");
+        println!("baseline written to {path}");
+        return;
+    }
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("no baseline at {path}; gate inactive (commit one with `bench_smoke write`)");
+            return;
+        }
+    };
+    let Some((base_calib, base_points)) = parse_baseline(&text) else {
+        eprintln!("baseline {path} is unreadable");
+        std::process::exit(2);
+    };
+    let max_pct: f64 = std::env::var("BENCH_SMOKE_MAX_REGRESSION_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_REGRESSION_PCT);
+
+    let mut failed = false;
+    for p in &points {
+        let Some(base) = base_points.iter().find(|b| b.preset == p.preset) else {
+            println!("{:<16} no baseline point; skipping", p.preset);
+            continue;
+        };
+        let now = p.wall_ms / calib_ms;
+        let then = base.wall_ms / base_calib;
+        let delta_pct = (now / then - 1.0) * 100.0;
+        let verdict = if delta_pct > max_pct {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<16} normalized {now:.4} vs baseline {then:.4}  ({delta_pct:+.1}%, gate {max_pct}%)  {verdict}",
+            p.preset
+        );
+    }
+    if failed {
+        eprintln!("bench-smoke gate failed: enumeration wall time regressed > {max_pct}%");
+        std::process::exit(1);
+    }
+}

@@ -52,7 +52,9 @@ fn sim_degrees(st: &SearchState<'_>, active: &[VertexId], in_active: &[bool]) ->
     active
         .iter()
         .map(|&v| {
-            let d = st.comp.dis[v as usize]
+            let d = st
+                .comp
+                .dissimilar(v)
                 .iter()
                 .filter(|&&w| in_active[w as usize])
                 .count() as u32;
@@ -87,7 +89,7 @@ pub fn color_bound(st: &SearchState<'_>) -> u32 {
         let v = active[i];
         dis_count.clear();
         dis_count.resize(class_size.len(), 0);
-        for &w in &st.comp.dis[v as usize] {
+        for &w in st.comp.dissimilar(v) {
             let cw = color_of[w as usize];
             if cw > 0 && in_active[w as usize] {
                 dis_count[(cw - 1) as usize] += 1;
@@ -140,7 +142,8 @@ fn peel_bound(st: &SearchState<'_>, enforce_structure: bool) -> u32 {
     let mut deg: Vec<u32> = active
         .iter()
         .map(|&v| {
-            st.comp.adj[v as usize]
+            st.comp
+                .neighbors(v)
                 .iter()
                 .filter(|&&w| in_active[w as usize])
                 .count() as u32
@@ -187,7 +190,7 @@ fn peel_bound(st: &SearchState<'_>, enforce_structure: bool) -> u32 {
             alive_count -= 1;
             let gx = active[xi];
             // Mark x's dissimilar partners.
-            for &w in &st.comp.dis[gx as usize] {
+            for &w in st.comp.dissimilar(gx) {
                 let lw = local[w as usize];
                 if lw != u32::MAX {
                     dis_mark[lw as usize] = true;
@@ -204,7 +207,7 @@ fn peel_bound(st: &SearchState<'_>, enforce_structure: bool) -> u32 {
                     }
                 }
             }
-            for &w in &st.comp.dis[gx as usize] {
+            for &w in st.comp.dissimilar(gx) {
                 let lw = local[w as usize];
                 if lw != u32::MAX {
                     dis_mark[lw as usize] = false;
@@ -213,7 +216,7 @@ fn peel_bound(st: &SearchState<'_>, enforce_structure: bool) -> u32 {
             // Structural side (Algorithm 6's KK'coreUpdate): neighbors in J
             // lose a degree; below k they die at the same k'.
             if enforce_structure {
-                for &w in &st.comp.adj[gx as usize] {
+                for &w in st.comp.neighbors(gx) {
                     let lw = local[w as usize];
                     if lw != u32::MAX && alive[lw as usize] {
                         deg[lw as usize] -= 1;

@@ -91,7 +91,8 @@ fn local_k_core(comp: &LocalComponent, subset: &[VertexId], k: u32) -> Vec<Verte
     }
     let mut deg = vec![0u32; n];
     for &v in subset {
-        deg[v as usize] = comp.adj[v as usize]
+        deg[v as usize] = comp
+            .neighbors(v)
             .iter()
             .filter(|&&w| alive[w as usize])
             .count() as u32;
@@ -105,7 +106,7 @@ fn local_k_core(comp: &LocalComponent, subset: &[VertexId], k: u32) -> Vec<Verte
         alive[v as usize] = false;
     }
     while let Some(v) = queue.pop() {
-        for &w in &comp.adj[v as usize] {
+        for &w in comp.neighbors(v) {
             if alive[w as usize] {
                 deg[w as usize] -= 1;
                 if deg[w as usize] < k {
@@ -139,7 +140,7 @@ fn local_components(comp: &LocalComponent, subset: &[VertexId]) -> Vec<Vec<Verte
         seen[s as usize] = true;
         while let Some(v) = stack.pop() {
             piece.push(v);
-            for &w in &comp.adj[v as usize] {
+            for &w in comp.neighbors(v) {
                 if in_set[w as usize] && !seen[w as usize] {
                     seen[w as usize] = true;
                     stack.push(w);

@@ -5,17 +5,25 @@
 //! pairs that violate the similarity constraint — exactly the pairs the
 //! paper's `DP(·)` counters range over). All search algorithms operate on
 //! this arena with dense arrays.
+//!
+//! Both list families are stored in CSR form ([`kr_graph::Csr`]): one
+//! offsets array plus one flat target arena each, so a vertex visit in the
+//! search hot loop reads a contiguous slice instead of chasing a pointer
+//! into a separately allocated `Vec`. A component is therefore five flat
+//! allocations total, which also makes the serving layer's `Arc`-shared
+//! cache entries cheap and their footprint exactly measurable
+//! ([`LocalComponent::memory_bytes`]).
 
-use kr_graph::{Graph, VertexId};
+use kr_graph::{Csr, Graph, VertexId};
 use kr_similarity::{build_dissimilarity_lists, SimilarityOracle};
 
 /// A renumbered connected component of the preprocessed k-core.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalComponent {
-    /// Adjacency (local ids), sorted per vertex.
-    pub adj: Vec<Vec<VertexId>>,
-    /// Dissimilar partners (local ids), sorted per vertex.
-    pub dis: Vec<Vec<VertexId>>,
+    /// Adjacency (local ids), sorted per vertex, CSR-flattened.
+    adj: Csr,
+    /// Dissimilar partners (local ids), sorted per vertex, CSR-flattened.
+    dis: Csr,
     /// Total number of dissimilar unordered pairs.
     pub num_dissimilar_pairs: usize,
     /// Map back to global vertex ids.
@@ -26,7 +34,10 @@ pub struct LocalComponent {
 
 impl LocalComponent {
     /// Builds the arena for `members` (global ids) of `graph`, evaluating
-    /// the oracle on all `|members|^2 / 2` pairs once.
+    /// the oracle on all `|members|^2 / 2` pairs once. The adjacency CSR is
+    /// laid out in one pass (rows fill in local-id order); the
+    /// dissimilarity CSR comes straight from
+    /// [`build_dissimilarity_lists`].
     pub fn build<O: SimilarityOracle>(
         graph: &Graph,
         oracle: &O,
@@ -40,19 +51,22 @@ impl LocalComponent {
         for (i, &g) in local_to_global.iter().enumerate() {
             global_to_local.insert(g, i as VertexId);
         }
-        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        // Adjacency rows fill in increasing local id, so the CSR can be
+        // appended in place; only each row's tail needs sorting (global
+        // neighbor order does not imply local order).
+        let mut adj_pairs: Vec<(VertexId, VertexId)> = Vec::new();
         for (i, &g) in local_to_global.iter().enumerate() {
             for &u in graph.neighbors(g) {
                 if let Some(&lu) = global_to_local.get(&u) {
-                    adj[i].push(lu);
+                    adj_pairs.push((i as VertexId, lu));
                 }
             }
-            adj[i].sort_unstable();
         }
+        let adj = Csr::from_pairs(n, &adj_pairs);
         let d = build_dissimilarity_lists(oracle, &local_to_global);
         LocalComponent {
             adj,
-            dis: d.lists,
+            dis: d.csr,
             num_dissimilar_pairs: d.num_pairs,
             local_to_global,
             k,
@@ -60,17 +74,34 @@ impl LocalComponent {
     }
 
     /// Builds a component directly from local adjacency + dissimilarity
-    /// lists (used by unit tests to craft exact scenarios).
+    /// lists (used by unit tests to craft exact scenarios). Rows are
+    /// sorted and deduplicated, and **both** list families are
+    /// symmetrized: if `u` lists `v`, then `v` gains `u` — an asymmetric
+    /// input would otherwise make `has_edge(u, v)` / `are_dissimilar(u,
+    /// v)` disagree with their mirrors and silently corrupt every degree
+    /// and `DP(·)` counter built from the lists.
+    ///
+    /// # Panics
+    /// Panics when a list references a vertex `>= n` or contains a self
+    /// pair.
     pub fn from_parts(adj: Vec<Vec<VertexId>>, dis: Vec<Vec<VertexId>>, k: u32) -> Self {
         assert_eq!(adj.len(), dis.len());
         let n = adj.len();
-        let num_dissimilar_pairs = dis.iter().map(|l| l.len()).sum::<usize>() / 2;
-        let mut adj = adj;
-        let mut dis = dis;
-        for l in adj.iter_mut().chain(dis.iter_mut()) {
-            l.sort_unstable();
-            l.dedup();
-        }
+        let symmetrized = |lists: &[Vec<VertexId>]| {
+            let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+            for (u, list) in lists.iter().enumerate() {
+                for &w in list {
+                    assert!((w as usize) < n, "target {w} out of range for {n} vertices");
+                    assert_ne!(w as usize, u, "self pair at {u}");
+                    pairs.push((u as VertexId, w));
+                    pairs.push((w, u as VertexId));
+                }
+            }
+            Csr::from_pairs(n, &pairs)
+        };
+        let adj = symmetrized(&adj);
+        let dis = symmetrized(&dis);
+        let num_dissimilar_pairs = dis.total_targets() / 2;
         LocalComponent {
             adj,
             dis,
@@ -81,33 +112,84 @@ impl LocalComponent {
     }
 
     /// Number of vertices.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.adj.num_rows()
     }
 
     /// True iff the component is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.adj.is_empty()
     }
 
+    /// Sorted neighbors of local vertex `u` — a contiguous slice of the
+    /// adjacency arena.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        self.adj.row(u)
+    }
+
+    /// Sorted dissimilar partners of local vertex `u` — a contiguous
+    /// slice of the dissimilarity arena.
+    #[inline]
+    pub fn dissimilar(&self, u: VertexId) -> &[VertexId] {
+        self.dis.row(u)
+    }
+
+    /// Degree of local vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.adj.row_len(u)
+    }
+
+    /// Number of dissimilar partners of local vertex `u`.
+    #[inline]
+    pub fn dissimilar_count(&self, u: VertexId) -> usize {
+        self.dis.row_len(u)
+    }
+
+    /// The adjacency CSR (offsets + arena).
+    pub fn adj_csr(&self) -> &Csr {
+        &self.adj
+    }
+
+    /// The dissimilarity CSR (offsets + arena).
+    pub fn dis_csr(&self) -> &Csr {
+        &self.dis
+    }
+
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+        self.adj.total_targets() / 2
     }
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(|l| l.len()).max().unwrap_or(0)
+        self.adj.max_row_len()
     }
 
     /// Whether local vertices `u` and `v` are adjacent.
+    #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.adj[u as usize].binary_search(&v).is_ok()
+        self.adj.contains(u, v)
     }
 
     /// Whether local vertices `u` and `v` are dissimilar.
+    #[inline]
     pub fn are_dissimilar(&self, u: VertexId, v: VertexId) -> bool {
-        self.dis[u as usize].binary_search(&v).is_ok()
+        self.dis.contains(u, v)
+    }
+
+    /// Flat memory footprint in bytes: the struct itself plus the heap
+    /// behind the two CSR arenas and the id map. Exact, because the CSR
+    /// layout has no per-vertex allocations — this is what the serving
+    /// layer's cache accounting reports.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.adj.heap_bytes()
+            + self.dis.heap_bytes()
+            + self.local_to_global.capacity() * std::mem::size_of::<VertexId>()
     }
 
     /// Maps a local vertex set back to sorted global ids.
@@ -151,13 +233,16 @@ mod tests {
         assert!(c.has_edge(0, 1));
         assert!(c.has_edge(1, 2));
         assert!(!c.has_edge(0, 2));
+        assert_eq!(c.neighbors(1), &[0, 2]);
         // Distances: g2-g5 = 1 (similar), g5-g7 = 8 (dissimilar), g2-g7 = 9.
         assert!(c.are_dissimilar(1, 2));
         assert!(c.are_dissimilar(0, 2));
         assert!(!c.are_dissimilar(0, 1));
+        assert_eq!(c.dissimilar(2), &[0, 1]);
         assert_eq!(c.num_dissimilar_pairs, 2);
         assert_eq!(c.num_edges(), 2);
         assert_eq!(c.max_degree(), 2);
+        assert!(c.memory_bytes() > std::mem::size_of::<LocalComponent>());
     }
 
     #[test]
@@ -182,5 +267,31 @@ mod tests {
         assert_eq!(c.num_dissimilar_pairs, 1);
         assert!(c.are_dissimilar(0, 2));
         assert!(!c.are_dissimilar(0, 1));
+    }
+
+    #[test]
+    fn from_parts_repairs_asymmetric_input() {
+        // `dis` lists (0 -> 2) but not the mirror (2 -> 0), and `adj`
+        // lists (0 -> 1) one-sidedly: the arena must repair both
+        // asymmetries rather than answer inconsistently.
+        let c = LocalComponent::from_parts(
+            vec![vec![1], vec![2], vec![]],
+            vec![vec![2], vec![], vec![]],
+            1,
+        );
+        assert!(c.are_dissimilar(0, 2));
+        assert!(c.are_dissimilar(2, 0));
+        assert_eq!(c.dissimilar(2), &[0]);
+        assert_eq!(c.num_dissimilar_pairs, 1);
+        assert!(c.has_edge(1, 0));
+        assert_eq!(c.neighbors(2), &[1]);
+        assert_eq!(c.num_edges(), 2);
+        assert_eq!(c.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_out_of_range() {
+        LocalComponent::from_parts(vec![vec![5], vec![]], vec![vec![], vec![]], 1);
     }
 }

@@ -48,7 +48,9 @@ pub fn can_terminate(st: &SearchState<'_>) -> bool {
     // deg within M ∪ W.
     let mut deg: Vec<u32> = vec![0; n];
     for &w in &w_list {
-        deg[w as usize] = st.comp.adj[w as usize]
+        deg[w as usize] = st
+            .comp
+            .neighbors(w)
             .iter()
             .filter(|&&x| st.status(x) == Status::Chosen || in_w[x as usize])
             .count() as u32;
@@ -62,7 +64,7 @@ pub fn can_terminate(st: &SearchState<'_>) -> bool {
         in_w[w as usize] = false;
     }
     while let Some(w) = queue.pop() {
-        for &x in &st.comp.adj[w as usize] {
+        for &x in st.comp.neighbors(w) {
             if in_w[x as usize] {
                 deg[x as usize] -= 1;
                 if deg[x as usize] < st.k {
@@ -83,7 +85,7 @@ pub fn can_terminate(st: &SearchState<'_>) -> bool {
         }
     }
     while let Some(v) = stack.pop() {
-        for &x in &st.comp.adj[v as usize] {
+        for &x in st.comp.neighbors(v) {
             let xi = x as usize;
             if !seen[xi] && (st.status(x) == Status::Chosen || in_w[xi]) {
                 if in_w[xi] {

@@ -392,7 +392,9 @@ impl<'a> Driver<'a> {
         };
         // degmin(M) >= k.
         for &u in &m_members {
-            let d = self.comp.adj[u as usize]
+            let d = self
+                .comp
+                .neighbors(u)
                 .iter()
                 .filter(|&&w| in_m[w as usize])
                 .count() as u32;
@@ -402,7 +404,7 @@ impl<'a> Driver<'a> {
         }
         // DP(M) = 0.
         for &u in &m_members {
-            if self.comp.dis[u as usize].iter().any(|&w| in_m[w as usize]) {
+            if self.comp.dissimilar(u).iter().any(|&w| in_m[w as usize]) {
                 return;
             }
         }
@@ -534,7 +536,7 @@ fn components_of(comp: &LocalComponent, subset: &[VertexId]) -> Vec<Vec<VertexId
         seen[s as usize] = true;
         while let Some(v) = stack.pop() {
             piece.push(v);
-            for &w in &comp.adj[v as usize] {
+            for &w in comp.neighbors(v) {
                 if in_set[w as usize] && !seen[w as usize] {
                     seen[w as usize] = true;
                     stack.push(w);

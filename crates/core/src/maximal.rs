@@ -49,7 +49,7 @@ pub fn check_maximal_with_order(
         .iter()
         .copied()
         .filter(|&x| !in_m[x as usize])
-        .filter(|&x| comp.dis[x as usize].iter().all(|&w| !in_m[w as usize]))
+        .filter(|&x| comp.dissimilar(x).iter().all(|&w| !in_m[w as usize]))
         .collect();
     if cand.is_empty() {
         return true;
@@ -85,7 +85,8 @@ fn extend_search(
             in_c[c as usize] = true;
         }
         cand.retain(|&c| {
-            let d = comp.adj[c as usize]
+            let d = comp
+                .neighbors(c)
                 .iter()
                 .filter(|&&w| in_m[w as usize] || in_c[w as usize])
                 .count() as u32;
@@ -102,7 +103,7 @@ fn extend_search(
         let mut stack = vec![m_list[0]];
         seen[m_list[0] as usize] = true;
         while let Some(v) = stack.pop() {
-            for &w in &comp.adj[v as usize] {
+            for &w in comp.neighbors(v) {
                 let wi = w as usize;
                 if !seen[wi] && (in_m[wi] || in_c[wi]) {
                     seen[wi] = true;
@@ -138,7 +139,8 @@ fn extend_search(
     // Dead-branch cut: chosen vertices can never exceed their degree in
     // the full M ∪ C; if one cannot reach k even there, no subset helps.
     for &x in &m_list[r_len..] {
-        let d = comp.adj[x as usize]
+        let d = comp
+            .neighbors(x)
             .iter()
             .filter(|&&w| in_m[w as usize] || in_c[w as usize])
             .count() as u32;
@@ -148,7 +150,8 @@ fn extend_search(
     }
     // Singleton accept: one candidate alone may already extend M.
     for &c in &cand {
-        let d = comp.adj[c as usize]
+        let d = comp
+            .neighbors(c)
             .iter()
             .filter(|&&w| in_m[w as usize])
             .count() as u32;
@@ -170,18 +173,18 @@ fn extend_search(
     // against the full M ∪ C.
     let any_dissimilar = cand
         .iter()
-        .any(|&c| comp.dis[c as usize].iter().any(|&w| in_c[w as usize]));
+        .any(|&c| comp.dissimilar(c).iter().any(|&w| in_c[w as usize]));
     if !any_dissimilar {
         return true;
     }
     let deg_of = |c: VertexId| {
-        comp.adj[c as usize]
+        comp.neighbors(c)
             .iter()
             .filter(|&&w| in_m[w as usize] || in_c[w as usize])
             .count()
     };
     let dis_of = |c: VertexId| {
-        comp.dis[c as usize]
+        comp.dissimilar(c)
             .iter()
             .filter(|&&w| in_c[w as usize])
             .count()
@@ -245,7 +248,8 @@ fn chosen_satisfy_structure(
     chosen: &[VertexId],
 ) -> bool {
     chosen.iter().all(|&c| {
-        let d = comp.adj[c as usize]
+        let d = comp
+            .neighbors(c)
             .iter()
             .filter(|&&w| in_m[w as usize])
             .count() as u32;
@@ -264,7 +268,7 @@ fn is_m_connected(comp: &LocalComponent, in_m: &[bool], m_list: &[VertexId]) -> 
     let mut count = 0usize;
     while let Some(v) = stack.pop() {
         count += 1;
-        for &w in &comp.adj[v as usize] {
+        for &w in comp.neighbors(v) {
             if in_m[w as usize] && !seen[w as usize] {
                 seen[w as usize] = true;
                 stack.push(w);

@@ -161,7 +161,9 @@ impl Chooser {
         let dp_total = st.dp_c_total().max(1) as f64;
         let edges_total = st.edges_mc().max(1) as f64;
         // Expand: first-hop removals are the candidates dissimilar to v.
-        let first_expand: Vec<VertexId> = st.comp.dis[v as usize]
+        let first_expand: Vec<VertexId> = st
+            .comp
+            .dissimilar(v)
             .iter()
             .copied()
             .filter(|&w| st.status(w) == Status::Cand)
@@ -204,12 +206,12 @@ impl Chooser {
             dp_removed += st.dp_c(d) as i64;
             edges_removed += st.deg_mc(d) as i64;
             // Pairs/edges fully inside the removed set are counted twice.
-            for &w in &st.comp.dis[d as usize] {
+            for &w in st.comp.dissimilar(d) {
                 if self.stamp[w as usize] == gen && w > d && st.status(w) == Status::Cand {
                     dp_removed -= 1;
                 }
             }
-            for &w in &st.comp.adj[d as usize] {
+            for &w in st.comp.neighbors(d) {
                 if self.stamp[w as usize] == gen && w > d {
                     edges_removed -= 1;
                 }
@@ -218,7 +220,7 @@ impl Chooser {
         // Second hop: accumulate degree drops on surviving neighbors.
         let mut touched: Vec<VertexId> = Vec::new();
         for &d in first {
-            for &w in &st.comp.adj[d as usize] {
+            for &w in st.comp.neighbors(d) {
                 let wi = w as usize;
                 if self.stamp[wi] != gen && matches!(st.status(w), Status::Cand) {
                     if self.drop[wi] == 0 {

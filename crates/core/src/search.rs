@@ -92,8 +92,10 @@ impl<'a> SearchState<'a> {
     /// Fresh root state: everything in `C`.
     pub fn new(comp: &'a LocalComponent) -> Self {
         let n = comp.len();
-        let deg_mc: Vec<u32> = comp.adj.iter().map(|l| l.len() as u32).collect();
-        let dp_c: Vec<u32> = comp.dis.iter().map(|l| l.len() as u32).collect();
+        let deg_mc: Vec<u32> = (0..n as VertexId).map(|v| comp.degree(v) as u32).collect();
+        let dp_c: Vec<u32> = (0..n as VertexId)
+            .map(|v| comp.dissimilar_count(v) as u32)
+            .collect();
         let sum_deg_mc = deg_mc.iter().map(|&d| d as u64).sum();
         let sum_dp_c = dp_c.iter().map(|&d| d as u64).sum();
         let sf_count = dp_c.iter().filter(|&&d| d == 0).count() as u32;
@@ -269,12 +271,16 @@ impl<'a> SearchState<'a> {
 
         self.status[vi] = to;
 
+        // The arena outlives `self`'s mutable borrow: copy the `&'a`
+        // reference out so the CSR slices can be walked while counters
+        // mutate.
+        let comp = self.comp;
+
         // --- adjacency-side counters of neighbors. ---
         if was_mc != is_mc || was_m != is_m {
             let delta_mc: i32 = (is_mc as i32) - (was_mc as i32);
             let delta_m: i32 = (is_m as i32) - (was_m as i32);
-            for idx in 0..self.comp.adj[vi].len() {
-                let w = self.comp.adj[vi][idx];
+            for &w in comp.neighbors(v) {
                 let wi = w as usize;
                 if delta_mc != 0 {
                     let nd = (self.deg_mc[wi] as i32 + delta_mc) as u32;
@@ -297,8 +303,7 @@ impl<'a> SearchState<'a> {
         if was_c != is_c || was_e != is_e {
             let delta_c: i32 = (is_c as i32) - (was_c as i32);
             let delta_e: i32 = (is_e as i32) - (was_e as i32);
-            for idx in 0..self.comp.dis[vi].len() {
-                let w = self.comp.dis[vi][idx];
+            for &w in comp.dissimilar(v) {
                 let wi = w as usize;
                 if delta_c != 0 {
                     let nd = (self.dp_c[wi] as i32 + delta_c) as u32;
@@ -336,10 +341,10 @@ impl<'a> SearchState<'a> {
         self.pending.clear();
         self.failed = false;
         self.set_status(u, Status::Chosen);
-        // Similarity eviction of dissimilar partners.
-        let ui = u as usize;
-        for idx in 0..self.comp.dis[ui].len() {
-            let w = self.comp.dis[ui][idx];
+        // Similarity eviction of dissimilar partners (the CSR slice
+        // borrows the arena, not `self`).
+        let comp = self.comp;
+        for &w in comp.dissimilar(u) {
             match self.status[w as usize] {
                 Status::Cand | Status::Excluded => self.set_status(w, Status::Gone),
                 _ => {}
@@ -418,19 +423,25 @@ impl<'a> SearchState<'a> {
                 let vi = v as usize;
                 let st = self.status[vi];
                 // Recompute counters from scratch.
-                let deg_mc = self.comp.adj[vi]
+                let deg_mc = self
+                    .comp
+                    .neighbors(v)
                     .iter()
                     .filter(|&&w| matches!(self.status[w as usize], Status::Chosen | Status::Cand))
                     .count() as u32;
                 assert_eq!(deg_mc, self.deg_mc[vi], "deg_mc mismatch at {v}");
-                let dp_c = self.comp.dis[vi]
+                let dp_c = self
+                    .comp
+                    .dissimilar(v)
                     .iter()
                     .filter(|&&w| self.status[w as usize] == Status::Cand)
                     .count() as u32;
                 assert_eq!(dp_c, self.dp_c[vi], "dp_c mismatch at {v}");
                 if st == Status::Chosen {
                     // Similarity invariant Eq. 1.
-                    let dp_mc = self.comp.dis[vi]
+                    let dp_mc = self
+                        .comp
+                        .dissimilar(v)
                         .iter()
                         .filter(|&&w| {
                             matches!(self.status[w as usize], Status::Chosen | Status::Cand)
@@ -440,7 +451,9 @@ impl<'a> SearchState<'a> {
                 }
                 if st == Status::Excluded {
                     // E members similar to all of M.
-                    let dp_m = self.comp.dis[vi]
+                    let dp_m = self
+                        .comp
+                        .dissimilar(v)
                         .iter()
                         .filter(|&&w| self.status[w as usize] == Status::Chosen)
                         .count();
@@ -470,7 +483,7 @@ impl<'a> SearchState<'a> {
             stack.push(s as VertexId);
             while let Some(v) = stack.pop() {
                 comp.push(v);
-                for &w in &self.comp.adj[v as usize] {
+                for &w in self.comp.neighbors(v) {
                     let wi = w as usize;
                     if !seen[wi] && matches!(self.status[wi], Status::Chosen | Status::Cand) {
                         seen[wi] = true;

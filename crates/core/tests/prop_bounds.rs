@@ -51,11 +51,11 @@ fn brute_kprime_max(comp: &LocalComponent) -> Option<u32> {
         let in_set = |v: VertexId| mask >> v & 1 == 1;
         let mut min_simdeg = u32::MAX;
         for &v in &members {
-            let deg = comp.adj[v as usize].iter().filter(|&&w| in_set(w)).count() as u32;
+            let deg = comp.neighbors(v).iter().filter(|&&w| in_set(w)).count() as u32;
             if deg < comp.k {
                 continue 'mask;
             }
-            let disdeg = comp.dis[v as usize].iter().filter(|&&w| in_set(w)).count() as u32;
+            let disdeg = comp.dissimilar(v).iter().filter(|&&w| in_set(w)).count() as u32;
             let simdeg = members.len() as u32 - 1 - disdeg;
             min_simdeg = min_simdeg.min(simdeg);
         }
@@ -77,11 +77,11 @@ fn brute_max_core(comp: &LocalComponent) -> usize {
         }
         let in_set = |v: VertexId| mask >> v & 1 == 1;
         for &v in &members {
-            let deg = comp.adj[v as usize].iter().filter(|&&w| in_set(w)).count() as u32;
+            let deg = comp.neighbors(v).iter().filter(|&&w| in_set(w)).count() as u32;
             if deg < comp.k {
                 continue 'mask;
             }
-            if comp.dis[v as usize].iter().any(|&w| in_set(w)) {
+            if comp.dissimilar(v).iter().any(|&w| in_set(w)) {
                 continue 'mask;
             }
         }
@@ -92,7 +92,7 @@ fn brute_max_core(comp: &LocalComponent) -> usize {
         let mut count = 0;
         while let Some(v) = stack.pop() {
             count += 1;
-            for &w in &comp.adj[v as usize] {
+            for &w in comp.neighbors(v) {
                 if in_set(w) && !seen[w as usize] {
                     seen[w as usize] = true;
                     stack.push(w);

@@ -106,7 +106,7 @@ proptest! {
                 // Every M vertex is similar to all of M ∪ C.
                 for v in 0..comp.len() as VertexId {
                     if st.status(v) == Status::Chosen {
-                        for &w in &comp.dis[v as usize] {
+                        for &w in comp.dissimilar(v) {
                             prop_assert!(
                                 !matches!(st.status(w), Status::Chosen | Status::Cand),
                                 "dissimilar pair ({v},{w}) inside M ∪ C"
@@ -150,7 +150,7 @@ proptest! {
                 .collect();
             let mut edges = 0u64;
             for &v in &mc {
-                for &w in &comp.adj[v as usize] {
+                for &w in comp.neighbors(v) {
                     if w > v && matches!(st.status(w), Status::Chosen | Status::Cand) {
                         edges += 1;
                     }
@@ -161,7 +161,7 @@ proptest! {
             let mut sf = 0u32;
             for v in 0..comp.len() as VertexId {
                 if st.status(v) == Status::Cand {
-                    let d = comp.dis[v as usize]
+                    let d = comp.dissimilar(v)
                         .iter()
                         .filter(|&&w| st.status(w) == Status::Cand)
                         .count() as u64;

@@ -5,6 +5,9 @@
 //! algorithms depend on:
 //!
 //! * [`Graph`] — an immutable, CSR-backed undirected simple graph.
+//! * [`Csr`] — reusable offsets-plus-arena storage for per-vertex lists
+//!   (the `kr-core` search arena and the dissimilarity lists are built on
+//!   it).
 //! * [`GraphBuilder`] — incremental construction with duplicate/self-loop
 //!   elimination.
 //! * [`kcore`] — the Batagelj–Zaversnik linear core decomposition and k-core
@@ -20,6 +23,7 @@
 
 pub mod coloring;
 pub mod components;
+pub mod csr;
 pub mod graph;
 pub mod io;
 pub mod kcore;
@@ -28,6 +32,7 @@ pub mod subgraph;
 
 pub use coloring::{greedy_coloring, greedy_coloring_in_order};
 pub use components::{connected_components, is_connected, ComponentLabels};
+pub use csr::Csr;
 pub use graph::{Graph, GraphBuilder, VertexId};
 pub use kcore::{
     core_decomposition, k_core, k_core_of_subset, k_core_on, k_core_parallel, CoreDecomposition,

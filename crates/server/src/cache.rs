@@ -50,12 +50,24 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Flat memory footprint of all resident component sets, in bytes.
+    /// Exact, not an estimate: the CSR arenas have no per-vertex
+    /// allocations, so [`LocalComponent::memory_bytes`] covers every heap
+    /// byte an entry owns.
+    pub resident_bytes: u64,
 }
 
 struct Entry {
     comps: Arc<Vec<LocalComponent>>,
+    /// Flat footprint of `comps` (see [`entry_bytes`]).
+    bytes: u64,
     /// Last-use tick for LRU eviction.
     used: u64,
+}
+
+/// Flat footprint of one cached component set.
+fn entry_bytes(comps: &[LocalComponent]) -> u64 {
+    comps.iter().map(|c| c.memory_bytes() as u64).sum()
 }
 
 struct Inner {
@@ -64,6 +76,7 @@ struct Inner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    resident_bytes: u64,
 }
 
 /// Thread-safe LRU cache of preprocessed component sets.
@@ -83,6 +96,7 @@ impl ComponentCache {
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                resident_bytes: 0,
             }),
         }
     }
@@ -114,19 +128,28 @@ impl ComponentCache {
             inner.misses += 1;
         }
         let comps = Arc::new(build());
+        let bytes = entry_bytes(&comps);
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
+        let mut inserted = false;
         let comps = inner
             .map
             .entry(key.clone())
             .and_modify(|e| e.used = tick)
-            .or_insert(Entry {
-                comps: comps.clone(),
-                used: tick,
+            .or_insert_with(|| {
+                inserted = true;
+                Entry {
+                    comps: comps.clone(),
+                    bytes,
+                    used: tick,
+                }
             })
             .comps
             .clone();
+        if inserted {
+            inner.resident_bytes += bytes;
+        }
         while inner.map.len() > self.capacity {
             let victim = inner
                 .map
@@ -134,7 +157,8 @@ impl ComponentCache {
                 .min_by_key(|(_, e)| e.used)
                 .map(|(k, _)| k.clone())
                 .expect("non-empty over capacity");
-            inner.map.remove(&victim);
+            let freed = inner.map.remove(&victim).expect("victim present").bytes;
+            inner.resident_bytes -= freed;
             inner.evictions += 1;
         }
         (comps, false)
@@ -148,6 +172,7 @@ impl ComponentCache {
             misses: inner.misses,
             evictions: inner.evictions,
             entries: inner.map.len(),
+            resident_bytes: inner.resident_bytes,
         }
     }
 }
@@ -206,6 +231,24 @@ mod tests {
         assert!(hit, "a must survive");
         let (_, hit) = cache.get_or_build(&kb, dummy);
         assert!(!hit, "b was evicted");
+    }
+
+    #[test]
+    fn resident_bytes_track_inserts_and_evictions() {
+        let cache = ComponentCache::new(1);
+        let per_entry = entry_bytes(&dummy());
+        assert!(per_entry > 0);
+        cache.get_or_build(&key("a", 1, 0.1), dummy);
+        assert_eq!(cache.stats().resident_bytes, per_entry);
+        // Same key again: a hit, no double counting.
+        cache.get_or_build(&key("a", 1, 0.1), dummy);
+        assert_eq!(cache.stats().resident_bytes, per_entry);
+        // New key evicts the old entry: footprint stays one entry's worth.
+        cache.get_or_build(&key("b", 1, 0.1), dummy);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.resident_bytes, per_entry);
+        assert_eq!(stats.evictions, 1);
     }
 
     #[test]

@@ -488,6 +488,7 @@ impl Frame {
                 fields.push(("misses", json::n(stats.misses as f64)));
                 fields.push(("evictions", json::n(stats.evictions as f64)));
                 fields.push(("entries", json::n(stats.entries as f64)));
+                fields.push(("resident_bytes", json::n(stats.resident_bytes as f64)));
             }
             Frame::Pong { id } => {
                 fields.push(("frame", json::s("pong")));
@@ -567,6 +568,8 @@ impl Frame {
                     misses: req_u64("misses")?,
                     evictions: req_u64("evictions")?,
                     entries: req_u64("entries")? as usize,
+                    // Absent on frames from pre-PR3 servers: default 0.
+                    resident_bytes: v.get("resident_bytes").and_then(Json::as_u64).unwrap_or(0),
                 },
             }),
             Some("pong") => Ok(Frame::Pong { id }),
@@ -650,6 +653,7 @@ mod tests {
                     misses: 2,
                     evictions: 0,
                     entries: 2,
+                    resident_bytes: 4096,
                 },
             },
             Frame::Pong { id: "p".into() },

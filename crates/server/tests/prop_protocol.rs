@@ -107,16 +107,20 @@ fn frame() -> impl Strategy<Value = Frame> {
             wire_string(),
             (0u64..1_000_000, 0u64..1_000_000),
             (0u64..1_000_000, 0usize..1_000),
+            0u64..u32::MAX as u64,
         )
-            .prop_map(|(id, (hits, misses), (evictions, entries))| Frame::Stats {
-                id,
-                stats: CacheStats {
-                    hits,
-                    misses,
-                    evictions,
-                    entries,
+            .prop_map(
+                |(id, (hits, misses), (evictions, entries), resident_bytes)| Frame::Stats {
+                    id,
+                    stats: CacheStats {
+                        hits,
+                        misses,
+                        evictions,
+                        entries,
+                        resident_bytes,
+                    },
                 },
-            }),
+            ),
         wire_string().prop_map(|id| Frame::Pong { id }),
         wire_string().prop_map(|id| Frame::ShuttingDown { id }),
         (

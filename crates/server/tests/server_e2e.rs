@@ -256,6 +256,61 @@ fn version_mismatch_rejected_over_the_wire() {
     handle.shutdown_and_join().expect("clean shutdown");
 }
 
+/// Result frames must be byte-identical no matter whether the arena came
+/// fresh from preprocessing or `Arc`-shared out of the component cache —
+/// the wire bytes pin the CSR arena's determinism end to end (only the
+/// `done` frame may differ, in its timing fields).
+#[test]
+fn raw_result_frames_byte_identical_cold_vs_cached() {
+    use std::io::{BufRead, BufReader, Write};
+    let handle = spawn_server();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("hello");
+
+    let run_query = |stream: &mut std::net::TcpStream,
+                     reader: &mut BufReader<std::net::TcpStream>,
+                     id: &str|
+     -> (Vec<Vec<u8>>, CacheOutcome) {
+        let req = Request::Enumerate {
+            id: id.to_string(),
+            spec: spec(DatasetPreset::GowallaLike, 3, 8.0),
+        };
+        stream
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .expect("send");
+        let mut core_lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("frame");
+            match Frame::parse(line.trim()).expect("parse") {
+                Frame::Core { .. } => {
+                    // Strip the correlation id so runs with different ids
+                    // stay comparable; everything else must match exactly.
+                    let stripped = line
+                        .trim()
+                        .replace(&format!("\"id\":\"{id}\""), "\"id\":\"_\"");
+                    core_lines.push(stripped.into_bytes());
+                }
+                Frame::Done { cache, .. } => return (core_lines, cache),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    };
+
+    let (cold, outcome_cold) = run_query(&mut stream, &mut reader, "q-cold");
+    let (warm, outcome_warm) = run_query(&mut stream, &mut reader, "q-warm");
+    assert_eq!(outcome_cold, CacheOutcome::Miss);
+    assert_eq!(outcome_warm, CacheOutcome::Hit);
+    assert!(!cold.is_empty(), "test instance must emit cores");
+    assert_eq!(
+        cold, warm,
+        "cached arena must serialize byte-identically to the fresh one"
+    );
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
 #[test]
 fn basic_algo_buffered_results_match_adv() {
     let handle = spawn_server();

@@ -7,14 +7,15 @@
 //! what the `DP(·)` counters of the paper range over.
 
 use crate::oracle::SimilarityOracle;
-use kr_graph::{Graph, GraphBuilder, VertexId};
+use kr_graph::{Csr, Graph, GraphBuilder, VertexId};
 
-/// Dissimilarity lists over a renumbered vertex set `0..n`:
-/// `lists[v]` holds the vertices dissimilar to `v` (sorted).
+/// Dissimilarity lists over a renumbered vertex set `0..n`, stored in CSR
+/// form: `row(v)` holds the vertices dissimilar to `v` (sorted), backed by
+/// one flat arena instead of `n` separate allocations.
 #[derive(Debug, Clone)]
 pub struct DissimilarityLists {
-    /// Per-vertex sorted lists of dissimilar partners.
-    pub lists: Vec<Vec<VertexId>>,
+    /// Per-vertex sorted dissimilar partners in CSR form.
+    pub csr: Csr,
     /// Total number of dissimilar (unordered) pairs.
     pub num_pairs: usize,
 }
@@ -22,17 +23,22 @@ pub struct DissimilarityLists {
 impl DissimilarityLists {
     /// Number of vertices covered.
     pub fn len(&self) -> usize {
-        self.lists.len()
+        self.csr.num_rows()
     }
 
     /// True iff there are no vertices.
     pub fn is_empty(&self) -> bool {
-        self.lists.is_empty()
+        self.csr.is_empty()
+    }
+
+    /// Sorted dissimilar partners of `u`.
+    pub fn row(&self, u: VertexId) -> &[VertexId] {
+        self.csr.row(u)
     }
 
     /// Whether `u` and `v` are dissimilar, via binary search.
     pub fn are_dissimilar(&self, u: VertexId, v: VertexId) -> bool {
-        self.lists[u as usize].binary_search(&v).is_ok()
+        self.csr.contains(u, v)
     }
 }
 
@@ -56,24 +62,29 @@ pub fn build_similarity_graph<O: SimilarityOracle>(oracle: &O, members: &[Vertex
 
 /// Builds dissimilarity lists over `members` (global ids), renumbered to
 /// local ids `0..members.len()` in the order given.
+///
+/// Emits CSR directly: one oracle pass collects the directed pairs, then
+/// a counting sort lays them into the flat arena — no intermediate
+/// `Vec<Vec<_>>` and no per-vertex allocations.
 pub fn build_dissimilarity_lists<O: SimilarityOracle>(
     oracle: &O,
     members: &[VertexId],
 ) -> DissimilarityLists {
     let n = members.len();
-    let mut lists: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    let mut num_pairs = 0usize;
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
             if !oracle.is_similar(members[i], members[j]) {
-                lists[i].push(j as VertexId);
-                lists[j].push(i as VertexId);
-                num_pairs += 1;
+                pairs.push((i as VertexId, j as VertexId));
+                pairs.push((j as VertexId, i as VertexId));
             }
         }
     }
-    // Lists are already sorted by construction (j increases, i increases).
-    DissimilarityLists { lists, num_pairs }
+    let num_pairs = pairs.len() / 2;
+    DissimilarityLists {
+        csr: Csr::from_pairs(n, &pairs),
+        num_pairs,
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +116,7 @@ mod tests {
         let o = geo_oracle();
         let d = build_dissimilarity_lists(&o, &[0, 1, 2, 3]);
         assert_eq!(d.num_pairs, 3); // 3 vs each of 0,1,2
-        assert_eq!(d.lists[3], vec![0, 1, 2]);
+        assert_eq!(d.row(3), &[0, 1, 2]);
         assert!(d.are_dissimilar(0, 3));
         assert!(!d.are_dissimilar(0, 1));
         assert_eq!(d.len(), 4);
@@ -116,7 +127,7 @@ mod tests {
         let o = geo_oracle();
         // Members in reversed order: local 0 = global 3.
         let d = build_dissimilarity_lists(&o, &[3, 2, 1, 0]);
-        assert_eq!(d.lists[0], vec![1, 2, 3]);
+        assert_eq!(d.row(0), &[1, 2, 3]);
         assert_eq!(d.num_pairs, 3);
     }
 

@@ -395,6 +395,7 @@ fn cmd_query() {
             println!("misses\t{}", stats.misses);
             println!("evictions\t{}", stats.evictions);
             println!("entries\t{}", stats.entries);
+            println!("resident_bytes\t{}", stats.resident_bytes);
         }
         cmd @ ("enum" | "max") => {
             let dataset = dataset.unwrap_or_else(|| usage());

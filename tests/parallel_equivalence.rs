@@ -79,8 +79,12 @@ fn parallel_preprocessing_matches_sequential_on_all_presets() {
                 a.local_to_global, b.local_to_global,
                 "{preset:?}: component membership differs"
             );
-            assert_eq!(a.adj, b.adj, "{preset:?}: adjacency differs");
-            assert_eq!(a.dis, b.dis, "{preset:?}: dissimilarity differs");
+            assert_eq!(a.adj_csr(), b.adj_csr(), "{preset:?}: adjacency differs");
+            assert_eq!(
+                a.dis_csr(),
+                b.dis_csr(),
+                "{preset:?}: dissimilarity differs"
+            );
         }
     }
 }
