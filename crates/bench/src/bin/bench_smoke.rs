@@ -1,6 +1,7 @@
 //! CI bench-smoke gate: quick-mode enumeration benchmarks on two presets,
 //! recorded as one JSON trajectory point and compared against the
-//! checked-in baseline (`BENCH_pr3.json`).
+//! checked-in baseline (`BENCH_pr4.json`; `BENCH_pr3.json` is the PR 3
+//! point of the same trajectory).
 //!
 //! ```text
 //! bench_smoke check <baseline.json>   # run, compare, exit 1 on regression
@@ -14,6 +15,18 @@
 //! exceeds the baseline's by more than `BENCH_SMOKE_MAX_REGRESSION_PCT`
 //! percent (default 25). A missing baseline is not an error — the gate
 //! arms itself once the first baseline is committed.
+//!
+//! Schema 2 (PR 4) adds two fields per point, both gated:
+//!
+//! * `preprocess_ms` — wall time of `ProblemInstance::preprocess`
+//!   (informational; folded into the same noise-tolerant wall gate is
+//!   pointless since enumeration dominates, so it is recorded but not
+//!   gated on its own);
+//! * `oracle_evals` — similarity-metric evaluations preprocessing spent.
+//!   This is **deterministic** (seeded datasets, deterministic candidate
+//!   indexes), so the gate fails on any regression beyond 10% with no
+//!   wall-clock noise allowance. Schema-1 baselines without the field
+//!   skip this check (backward-compatible gate).
 
 use kr_bench::BenchDataset;
 use kr_core::{enumerate_maximal_prepared, AlgoConfig};
@@ -28,12 +41,20 @@ const SAMPLES: usize = 5;
 /// Default regression gate, percent over baseline normalized time.
 const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
 
+/// Gate on the deterministic oracle-evaluation counter: preprocessing
+/// may not spend more than this many percent extra metric evaluations
+/// over the baseline (no noise to tolerate — any bigger jump means the
+/// candidate indexes lost leverage).
+const MAX_ORACLE_EVALS_REGRESSION_PCT: f64 = 10.0;
+
 struct Point {
     preset: &'static str,
     scale: f64,
     k: u32,
     r: f64,
     wall_ms: f64,
+    preprocess_ms: f64,
+    oracle_evals: u64,
     peak_component_bytes: usize,
 }
 
@@ -69,7 +90,14 @@ fn calibration_ms() -> f64 {
 fn measure_point(preset: DatasetPreset, scale: f64, k: u32, r: f64) -> Point {
     let ds = BenchDataset::new(preset, scale);
     let p = ds.instance(k, r);
-    let comps = p.preprocess();
+    let mut preprocess_ms = f64::INFINITY;
+    let mut comps = Vec::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        comps = p.preprocess();
+        preprocess_ms = preprocess_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let oracle_evals = comps.iter().map(|c| c.oracle_evals).sum();
     let peak_component_bytes = comps.iter().map(|c| c.memory_bytes()).max().unwrap_or(0);
     let cfg = AlgoConfig::adv_enum();
     let mut best = f64::INFINITY;
@@ -84,21 +112,31 @@ fn measure_point(preset: DatasetPreset, scale: f64, k: u32, r: f64) -> Point {
         k,
         r,
         wall_ms: best,
+        preprocess_ms,
+        oracle_evals,
         peak_component_bytes,
     }
 }
 
 fn render(calib_ms: f64, points: &[Point]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": 1,\n");
+    out.push_str("{\n  \"schema\": 2,\n");
     out.push_str(&format!("  \"calib_ms\": {calib_ms:.3},\n"));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"preset\": \"{}\", \"scale\": {}, \"k\": {}, \"r\": {}, \
-             \"wall_ms\": {:.3}, \"peak_component_bytes\": {}}}{comma}\n",
-            p.preset, p.scale, p.k, p.r, p.wall_ms, p.peak_component_bytes
+             \"wall_ms\": {:.3}, \"preprocess_ms\": {:.3}, \"oracle_evals\": {}, \
+             \"peak_component_bytes\": {}}}{comma}\n",
+            p.preset,
+            p.scale,
+            p.k,
+            p.r,
+            p.wall_ms,
+            p.preprocess_ms,
+            p.oracle_evals,
+            p.peak_component_bytes
         ));
     }
     out.push_str("  ]\n}\n");
@@ -128,15 +166,37 @@ fn scan_str(text: &str, key: &str, from: usize) -> Option<(String, usize)> {
 
 struct BaselinePoint {
     preset: String,
+    scale: f64,
+    k: f64,
+    r: f64,
     wall_ms: f64,
+    /// Absent in schema-1 baselines (pre-PR4): the evals gate is skipped.
+    oracle_evals: Option<f64>,
 }
 
 fn parse_baseline(text: &str) -> Option<(f64, Vec<BaselinePoint>)> {
     let (calib_ms, mut pos) = scan_num(text, "calib_ms", 0)?;
     let mut points = Vec::new();
     while let Some((preset, next)) = scan_str(text, "preset", pos) {
+        let (scale, next) = scan_num(text, "scale", next)?;
+        let (k, next) = scan_num(text, "k", next)?;
+        let (r, next) = scan_num(text, "r", next)?;
         let (wall_ms, next) = scan_num(text, "wall_ms", next)?;
-        points.push(BaselinePoint { preset, wall_ms });
+        // Only accept an `oracle_evals` that belongs to *this* point: it
+        // must appear before the next point's `preset` key (a schema-1
+        // point must not steal the field from its successor).
+        let point_end = scan_str(text, "preset", next).map_or(text.len(), |(_, e)| e);
+        let oracle_evals = scan_num(text, "oracle_evals", next)
+            .filter(|&(_, end)| end <= point_end)
+            .map(|(v, _)| v);
+        points.push(BaselinePoint {
+            preset,
+            scale,
+            k,
+            r,
+            wall_ms,
+            oracle_evals,
+        });
         pos = next;
     }
     Some((calib_ms, points))
@@ -159,8 +219,17 @@ fn main() {
         .map(|(preset, scale, k, r)| {
             let p = measure_point(preset, scale, k, r);
             println!(
-                "{:<16} scale {:<5} k {} r {:<5} wall {:>9.3} ms  (normalized {:.4})  peak component {} bytes",
-                p.preset, p.scale, p.k, p.r, p.wall_ms, p.wall_ms / calib_ms, p.peak_component_bytes
+                "{:<16} scale {:<5} k {} r {:<5} wall {:>9.3} ms  (normalized {:.4})  \
+                 preprocess {:>8.3} ms  {} oracle evals  peak component {} bytes",
+                p.preset,
+                p.scale,
+                p.k,
+                p.r,
+                p.wall_ms,
+                p.wall_ms / calib_ms,
+                p.preprocess_ms,
+                p.oracle_evals,
+                p.peak_component_bytes
             );
             p
         })
@@ -190,8 +259,17 @@ fn main() {
 
     let mut failed = false;
     for p in &points {
-        let Some(base) = base_points.iter().find(|b| b.preset == p.preset) else {
-            println!("{:<16} no baseline point; skipping", p.preset);
+        // Match on the full workload identity, not just the preset name:
+        // comparing against a baseline recorded for different (scale, k,
+        // r) would gate incomparable numbers.
+        let Some(base) = base_points.iter().find(|b| {
+            b.preset == p.preset && b.scale == p.scale && b.k == f64::from(p.k) && b.r == p.r
+        }) else {
+            println!(
+                "{:<16} no baseline point for scale {} k {} r {}; skipping \
+                 (rewrite the baseline after retuning quick_cases)",
+                p.preset, p.scale, p.k, p.r
+            );
             continue;
         };
         let now = p.wall_ms / calib_ms;
@@ -207,9 +285,31 @@ fn main() {
             "{:<16} normalized {now:.4} vs baseline {then:.4}  ({delta_pct:+.1}%, gate {max_pct}%)  {verdict}",
             p.preset
         );
+        if let Some(base_evals) = base.oracle_evals {
+            // Deterministic counter: no calibration, tight gate.
+            let delta_pct = (p.oracle_evals as f64 / base_evals - 1.0) * 100.0;
+            let verdict = if delta_pct > MAX_ORACLE_EVALS_REGRESSION_PCT {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<16} oracle evals {} vs baseline {base_evals:.0}  ({delta_pct:+.1}%, gate {MAX_ORACLE_EVALS_REGRESSION_PCT}%)  {verdict}",
+                p.preset, p.oracle_evals
+            );
+        } else {
+            println!(
+                "{:<16} baseline has no oracle_evals (schema 1); evals gate skipped",
+                p.preset
+            );
+        }
     }
     if failed {
-        eprintln!("bench-smoke gate failed: enumeration wall time regressed > {max_pct}%");
+        eprintln!(
+            "bench-smoke gate failed: enumeration wall time regressed > {max_pct}% \
+             or oracle evals regressed > {MAX_ORACLE_EVALS_REGRESSION_PCT}%"
+        );
         std::process::exit(1);
     }
 }

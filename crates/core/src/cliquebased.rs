@@ -59,8 +59,10 @@ fn clique_based_component(
 ) -> bool {
     // Materialize the similarity graph over the component members
     // (renumbered 0..n in `local_to_global` order, which matches the
-    // component's own local ids) — the quadratic step the paper's search
-    // algorithms avoid.
+    // component's own local ids). Since PR 4 this rides the oracle's
+    // candidate index, so only possibly-similar pairs pay a metric
+    // evaluation — but the materialized graph itself is still the
+    // baseline's scaling handicap versus the advanced search.
     let simgraph = build_similarity_graph(problem.oracle(), &comp.local_to_global);
     let k = comp.k;
     try_maximal_cliques_visit(&simgraph, |clique| {

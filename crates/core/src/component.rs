@@ -15,7 +15,9 @@
 //! ([`LocalComponent::memory_bytes`]).
 
 use kr_graph::{Csr, Graph, VertexId};
-use kr_similarity::{build_dissimilarity_lists, SimilarityOracle};
+use kr_similarity::{
+    build_dissimilarity_lists, build_dissimilarity_lists_on, DissimilarityLists, SimilarityOracle,
+};
 
 /// A renumbered connected component of the preprocessed k-core.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +28,11 @@ pub struct LocalComponent {
     dis: Csr,
     /// Total number of dissimilar unordered pairs.
     pub num_dissimilar_pairs: usize,
+    /// Metric evaluations the dissimilarity build spent. The candidate
+    /// indexes keep this far below the brute-force `n·(n-1)/2`; the
+    /// serving layer and `bench_smoke` report it as the index-leverage
+    /// counter.
+    pub oracle_evals: u64,
     /// Map back to global vertex ids.
     pub local_to_global: Vec<VertexId>,
     /// The degree threshold the component was built for.
@@ -33,16 +40,42 @@ pub struct LocalComponent {
 }
 
 impl LocalComponent {
-    /// Builds the arena for `members` (global ids) of `graph`, evaluating
-    /// the oracle on all `|members|^2 / 2` pairs once. The adjacency CSR is
-    /// laid out in one pass (rows fill in local-id order); the
-    /// dissimilarity CSR comes straight from
-    /// [`build_dissimilarity_lists`].
+    /// Builds the arena for `members` (global ids) of `graph`. The
+    /// adjacency CSR is laid out in one pass (rows fill in local-id
+    /// order); the dissimilarity CSR comes straight from
+    /// [`build_dissimilarity_lists`], which verifies only the pairs the
+    /// oracle's candidate index produces.
     pub fn build<O: SimilarityOracle>(
         graph: &Graph,
         oracle: &O,
         members: &[VertexId],
         k: u32,
+    ) -> Self {
+        Self::build_impl(graph, members, k, |locals| {
+            build_dissimilarity_lists(oracle, locals)
+        })
+    }
+
+    /// [`LocalComponent::build`] with the candidate-pair verification
+    /// shard-split across `pool` (the query's worker pool). The arena is
+    /// identical to the serial build, byte for byte.
+    pub fn build_on<O: SimilarityOracle + Sync>(
+        graph: &Graph,
+        oracle: &O,
+        members: &[VertexId],
+        k: u32,
+        pool: &rayon::ThreadPool,
+    ) -> Self {
+        Self::build_impl(graph, members, k, |locals| {
+            build_dissimilarity_lists_on(oracle, locals, pool)
+        })
+    }
+
+    fn build_impl(
+        graph: &Graph,
+        members: &[VertexId],
+        k: u32,
+        dissim: impl FnOnce(&[VertexId]) -> DissimilarityLists,
     ) -> Self {
         let mut local_to_global = members.to_vec();
         local_to_global.sort_unstable();
@@ -63,11 +96,12 @@ impl LocalComponent {
             }
         }
         let adj = Csr::from_pairs(n, &adj_pairs);
-        let d = build_dissimilarity_lists(oracle, &local_to_global);
+        let d = dissim(&local_to_global);
         LocalComponent {
             adj,
             dis: d.csr,
             num_dissimilar_pairs: d.num_pairs,
+            oracle_evals: d.oracle_evals,
             local_to_global,
             k,
         }
@@ -106,6 +140,7 @@ impl LocalComponent {
             adj,
             dis,
             num_dissimilar_pairs,
+            oracle_evals: 0,
             local_to_global: (0..n as VertexId).collect(),
             k,
         }

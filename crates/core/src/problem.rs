@@ -96,9 +96,10 @@ impl ProblemInstance {
 
     /// [`Self::preprocess`] on `threads` workers (`0` = all cores): the
     /// k-core peel runs level-synchronously in parallel and the per-group
-    /// arenas (whose dissimilarity lists cost `O(|group|²)` oracle calls)
-    /// are materialized concurrently. The returned components are
-    /// identical to the sequential ones, in the same order.
+    /// arenas are materialized concurrently (with a single group, its
+    /// candidate-pair verification is shard-split across the pool
+    /// instead). The returned components are identical to the sequential
+    /// ones, in the same order.
     pub fn preprocess_parallel(&self, threads: usize) -> Vec<LocalComponent> {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -135,19 +136,28 @@ impl ProblemInstance {
             .into_iter()
             .filter(|g| g.len() > self.k as usize)
             .collect();
-        let serial = pool.is_none_or(|p| p.current_num_threads() <= 1) || groups.len() <= 1;
-        let mut comps: Vec<LocalComponent> = if serial {
-            groups
+        let mut comps: Vec<LocalComponent> = match pool {
+            Some(pool) if pool.current_num_threads() > 1 && groups.len() > 1 => {
+                // Build each arena concurrently; outputs come back in
+                // group order so the result matches the sequential path
+                // exactly.
+                crate::parallel::ordered_pool_map(pool, &groups, |group| {
+                    LocalComponent::build(&filtered, &self.oracle, group, self.k)
+                })
+            }
+            Some(pool) if pool.current_num_threads() > 1 => {
+                // A single (often giant) component: parallelism comes
+                // from shard-splitting its candidate-pair verification
+                // across the same pool instead.
+                groups
+                    .into_iter()
+                    .map(|g| LocalComponent::build_on(&filtered, &self.oracle, &g, self.k, pool))
+                    .collect()
+            }
+            _ => groups
                 .into_iter()
                 .map(|g| LocalComponent::build(&filtered, &self.oracle, &g, self.k))
-                .collect()
-        } else {
-            // Build each arena concurrently; outputs come back in group
-            // order so the result matches the sequential path exactly.
-            let pool = pool.expect("serial covers the no-pool case");
-            crate::parallel::ordered_pool_map(pool, &groups, |group| {
-                LocalComponent::build(&filtered, &self.oracle, group, self.k)
-            })
+                .collect(),
         };
         // Put the component with the highest-degree vertex first; order the
         // rest by size descending.

@@ -1,8 +1,8 @@
 //! LRU cache of preprocessed component sets.
 //!
 //! Preprocessing (drop dissimilar edges → k-core peel → connected
-//! components → arena build with `O(|group|²)` oracle calls) dominates
-//! small and medium queries, and its output depends only on
+//! components → arena build over the metric-aware candidate indexes)
+//! dominates small and medium queries, and its output depends only on
 //! `(dataset, k, r)` — not on the algorithm, thread count, or limits. The
 //! server therefore shares one [`ComponentCache`] across all connections:
 //! enumeration and maximum queries for the same parameters, from any
@@ -55,6 +55,15 @@ pub struct CacheStats {
     /// allocations, so [`LocalComponent::memory_bytes`] covers every heap
     /// byte an entry owns.
     pub resident_bytes: u64,
+    /// Total wall-clock milliseconds spent preprocessing on cache
+    /// misses. Together with `misses` this gives operators the average
+    /// cold-query preprocessing cost.
+    pub preprocess_ms: u64,
+    /// Total similarity-metric evaluations spent by cache-miss
+    /// preprocessing. The candidate indexes (PR 4) keep this far below
+    /// the brute-force `Σ n_c·(n_c-1)/2`; watching it reveals the index
+    /// leverage per dataset.
+    pub oracle_evals: u64,
 }
 
 struct Entry {
@@ -77,6 +86,8 @@ struct Inner {
     misses: u64,
     evictions: u64,
     resident_bytes: u64,
+    preprocess_ms: u64,
+    oracle_evals: u64,
 }
 
 /// Thread-safe LRU cache of preprocessed component sets.
@@ -97,6 +108,8 @@ impl ComponentCache {
                 misses: 0,
                 evictions: 0,
                 resident_bytes: 0,
+                preprocess_ms: 0,
+                oracle_evals: 0,
             }),
         }
     }
@@ -164,6 +177,16 @@ impl ComponentCache {
         (comps, false)
     }
 
+    /// Records the cost of one cache-miss preprocessing pass (wall
+    /// milliseconds and similarity-metric evaluations). Called by the
+    /// session after `get_or_build` returns a miss, so the counters are
+    /// attributed even when a concurrent insert won the race.
+    pub fn record_preprocess(&self, elapsed_ms: u64, oracle_evals: u64) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.preprocess_ms += elapsed_ms;
+        inner.oracle_evals += oracle_evals;
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock");
@@ -173,6 +196,8 @@ impl ComponentCache {
             evictions: inner.evictions,
             entries: inner.map.len(),
             resident_bytes: inner.resident_bytes,
+            preprocess_ms: inner.preprocess_ms,
+            oracle_evals: inner.oracle_evals,
         }
     }
 }
@@ -249,6 +274,18 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.resident_bytes, per_entry);
         assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn preprocess_counters_accumulate() {
+        let cache = ComponentCache::new(4);
+        assert_eq!(cache.stats().preprocess_ms, 0);
+        assert_eq!(cache.stats().oracle_evals, 0);
+        cache.record_preprocess(12, 400);
+        cache.record_preprocess(3, 100);
+        let stats = cache.stats();
+        assert_eq!(stats.preprocess_ms, 15);
+        assert_eq!(stats.oracle_evals, 500);
     }
 
     #[test]

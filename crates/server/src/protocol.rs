@@ -489,6 +489,8 @@ impl Frame {
                 fields.push(("evictions", json::n(stats.evictions as f64)));
                 fields.push(("entries", json::n(stats.entries as f64)));
                 fields.push(("resident_bytes", json::n(stats.resident_bytes as f64)));
+                fields.push(("preprocess_ms", json::n(stats.preprocess_ms as f64)));
+                fields.push(("oracle_evals", json::n(stats.oracle_evals as f64)));
             }
             Frame::Pong { id } => {
                 fields.push(("frame", json::s("pong")));
@@ -570,6 +572,9 @@ impl Frame {
                     entries: req_u64("entries")? as usize,
                     // Absent on frames from pre-PR3 servers: default 0.
                     resident_bytes: v.get("resident_bytes").and_then(Json::as_u64).unwrap_or(0),
+                    // Absent on frames from pre-PR4 servers: default 0.
+                    preprocess_ms: v.get("preprocess_ms").and_then(Json::as_u64).unwrap_or(0),
+                    oracle_evals: v.get("oracle_evals").and_then(Json::as_u64).unwrap_or(0),
                 },
             }),
             Some("pong") => Ok(Frame::Pong { id }),
@@ -654,6 +659,8 @@ mod tests {
                     evictions: 0,
                     entries: 2,
                     resident_bytes: 4096,
+                    preprocess_ms: 17,
+                    oracle_evals: 12345,
                 },
             },
             Frame::Pong { id: "p".into() },
@@ -668,6 +675,23 @@ mod tests {
             let line = frame.to_line();
             assert!(!line.contains('\n'));
             assert_eq!(Frame::parse(&line).unwrap(), frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn pre_pr4_stats_frame_still_parses() {
+        // A stats frame without the PR 4 counters (and without the PR 3
+        // resident_bytes) must decode with zero defaults.
+        let line =
+            r#"{"v":1,"frame":"stats","id":"s","hits":3,"misses":1,"evictions":0,"entries":1}"#;
+        match Frame::parse(line).unwrap() {
+            Frame::Stats { stats, .. } => {
+                assert_eq!(stats.hits, 3);
+                assert_eq!(stats.resident_bytes, 0);
+                assert_eq!(stats.preprocess_ms, 0);
+                assert_eq!(stats.oracle_evals, 0);
+            }
+            other => panic!("wrong frame {other:?}"),
         }
     }
 

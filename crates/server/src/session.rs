@@ -244,13 +244,23 @@ fn run_query(
                 .expect("thread pool"),
         )
     };
+    let preprocess_ms = std::cell::Cell::new(None::<u64>);
     let (comps, hit) = state.cache.get_or_build(&key, || {
+        let t = Instant::now();
         let problem = dataset.problem(spec.k, spec.r);
-        match &pool {
+        let comps = match &pool {
             None => problem.preprocess(),
             Some(pool) => problem.preprocess_on(pool),
-        }
+        };
+        preprocess_ms.set(Some(t.elapsed().as_millis() as u64));
+        comps
     });
+    if let Some(ms) = preprocess_ms.get() {
+        // Attribute this miss's cost to the stats frame so operators see
+        // cold-query preprocessing time and candidate-index leverage.
+        let evals = comps.iter().map(|c| c.oracle_evals).sum();
+        state.cache.record_preprocess(ms, evals);
+    }
     let cache = if hit {
         CacheOutcome::Hit
     } else {

@@ -108,9 +108,16 @@ fn frame() -> impl Strategy<Value = Frame> {
             (0u64..1_000_000, 0u64..1_000_000),
             (0u64..1_000_000, 0usize..1_000),
             0u64..u32::MAX as u64,
+            (0u64..1_000_000, 0u64..u32::MAX as u64),
         )
             .prop_map(
-                |(id, (hits, misses), (evictions, entries), resident_bytes)| Frame::Stats {
+                |(
+                    id,
+                    (hits, misses),
+                    (evictions, entries),
+                    resident_bytes,
+                    (preprocess_ms, oracle_evals),
+                )| Frame::Stats {
                     id,
                     stats: CacheStats {
                         hits,
@@ -118,6 +125,8 @@ fn frame() -> impl Strategy<Value = Frame> {
                         evictions,
                         entries,
                         resident_bytes,
+                        preprocess_ms,
+                        oracle_evals,
                     },
                 },
             ),

@@ -85,6 +85,12 @@ fn repeated_query_is_served_from_cache_without_repreprocessing() {
     assert_eq!(first.cache, CacheOutcome::Miss);
     let stats = client.stats().expect("stats");
     assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+    assert!(
+        stats.oracle_evals > 0,
+        "a cache miss must report its metric evaluations"
+    );
+    let cold_evals = stats.oracle_evals;
+    let cold_ms = stats.preprocess_ms;
 
     // Same (dataset, k, r): no new preprocessing, identical results.
     let second = client.enumerate(q.clone()).expect("second query");
@@ -95,6 +101,11 @@ fn repeated_query_is_served_from_cache_without_repreprocessing() {
         (stats.hits, stats.misses, stats.entries),
         (1, 1, 1),
         "second query must not preprocess again"
+    );
+    assert_eq!(
+        (stats.oracle_evals, stats.preprocess_ms),
+        (cold_evals, cold_ms),
+        "a cache hit spends no preprocessing"
     );
 
     // The maximum query for the same parameters shares the entry too.

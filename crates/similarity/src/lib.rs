@@ -14,10 +14,12 @@
 //!
 //! This crate provides attribute storage ([`AttributeTable`]), metrics
 //! ([`Metric`]), threshold semantics ([`Threshold`]), the pairwise-quantile
-//! calibration ([`quantile`]), and similarity/dissimilarity graph
-//! materialization over vertex subsets ([`simgraph`]).
+//! calibration ([`quantile`]), metric-aware candidate indexes
+//! ([`candidates`]), and similarity/dissimilarity graph materialization
+//! over vertex subsets ([`simgraph`]).
 
 pub mod attributes;
+pub mod candidates;
 pub mod io;
 pub mod metrics;
 pub mod oracle;
@@ -25,10 +27,14 @@ pub mod quantile;
 pub mod simgraph;
 
 pub use attributes::AttributeTable;
+pub use candidates::{AllPairs, CandidatePairs, GridCandidates, InvertedIndexCandidates};
 pub use io::{read_keywords, read_points, write_attributes};
 pub use metrics::Metric;
 pub use oracle::{SimilarityOracle, TableOracle, Threshold};
 pub use quantile::{
     similarity_quantile_exact, similarity_quantile_sampled, top_permille_threshold,
 };
-pub use simgraph::{build_dissimilarity_lists, build_similarity_graph, DissimilarityLists};
+pub use simgraph::{
+    build_dissimilarity_lists, build_dissimilarity_lists_brute, build_dissimilarity_lists_on,
+    build_similarity_graph, build_similarity_graph_brute, DissimilarityLists,
+};

@@ -6,8 +6,11 @@
 //! so every algorithm is metric-agnostic.
 
 use crate::attributes::AttributeTable;
+use crate::candidates::{AllPairs, CandidatePairs, GridCandidates, InvertedIndexCandidates};
 use crate::metrics::Metric;
+use kr_graph::VertexId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Threshold semantics for the similarity constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,13 +47,26 @@ pub trait SimilarityOracle {
 
     /// Whether `u` and `v` satisfy the similarity constraint.
     fn is_similar(&self, u: u32, v: u32) -> bool;
+
+    /// Sound candidate generation over `members` (global ids, renumbered
+    /// to local indices `0..members.len()`): every pair the returned set
+    /// omits is guaranteed dissimilar, so preprocessing only verifies the
+    /// candidates. The default is the brute-force all-pairs set;
+    /// [`TableOracle`] overrides it with a metric-aware index.
+    fn candidates(&self, members: &[VertexId]) -> Box<dyn CandidatePairs> {
+        Box::new(AllPairs::new(members.len()))
+    }
 }
 
 /// The standard oracle: an [`AttributeTable`], a [`Metric`], and a
 /// [`Threshold`].
+///
+/// The table sits behind an [`Arc`], so cloning the oracle — as every
+/// step of an r-sweep does via [`TableOracle::with_threshold`] — shares
+/// the attribute storage instead of deep-copying it.
 #[derive(Debug, Clone)]
 pub struct TableOracle {
-    attrs: AttributeTable,
+    attrs: Arc<AttributeTable>,
     metric: Metric,
     threshold: Threshold,
 }
@@ -63,6 +79,14 @@ impl TableOracle {
     /// (a distance metric with `MinSimilarity`, or vice versa) — a nearly
     /// certain configuration bug.
     pub fn new(attrs: AttributeTable, metric: Metric, threshold: Threshold) -> Self {
+        TableOracle::from_shared(Arc::new(attrs), metric, threshold)
+    }
+
+    /// [`TableOracle::new`] over an already-shared table (no copy).
+    ///
+    /// # Panics
+    /// Same contract as [`TableOracle::new`].
+    pub fn from_shared(attrs: Arc<AttributeTable>, metric: Metric, threshold: Threshold) -> Self {
         match (metric.is_distance(), threshold) {
             (true, Threshold::MinSimilarity(_)) => {
                 panic!("distance metric {metric:?} needs Threshold::MaxDistance")
@@ -95,9 +119,10 @@ impl TableOracle {
     }
 
     /// Returns a copy of this oracle with a different threshold (used by
-    /// parameter sweeps over `r`).
+    /// parameter sweeps over `r`). The attribute table is shared, not
+    /// copied.
     pub fn with_threshold(&self, threshold: Threshold) -> Self {
-        TableOracle::new(self.attrs.clone(), self.metric, threshold)
+        TableOracle::from_shared(self.attrs.clone(), self.metric, threshold)
     }
 }
 
@@ -110,6 +135,38 @@ impl SimilarityOracle for TableOracle {
     #[inline]
     fn is_similar(&self, u: u32, v: u32) -> bool {
         self.threshold.is_similar_value(self.value(u, v))
+    }
+
+    /// Metric-aware candidate index: a spatial grid for Euclidean points,
+    /// an inverted keyword index for (weighted) Jaccard, and brute force
+    /// for everything else (Cosine, mismatched attribute families, or
+    /// inputs outside an index's soundness preconditions).
+    fn candidates(&self, members: &[VertexId]) -> Box<dyn CandidatePairs> {
+        match (self.metric, &*self.attrs, self.threshold) {
+            (Metric::Euclidean, AttributeTable::Points(pts), Threshold::MaxDistance(r)) => {
+                let member_pts: Vec<(f64, f64)> =
+                    members.iter().map(|&g| pts[g as usize]).collect();
+                match GridCandidates::try_new(&member_pts, r) {
+                    Some(grid) => Box::new(grid),
+                    None => Box::new(AllPairs::new(members.len())),
+                }
+            }
+            (
+                m @ (Metric::Jaccard | Metric::WeightedJaccard),
+                AttributeTable::Keywords(lists),
+                Threshold::MinSimilarity(r),
+            ) => {
+                let member_lists: Vec<&[(u32, f64)]> = members
+                    .iter()
+                    .map(|&g| lists[g as usize].as_slice())
+                    .collect();
+                match InvertedIndexCandidates::try_new(&member_lists, m == Metric::Jaccard, r) {
+                    Some(ix) => Box::new(ix),
+                    None => Box::new(AllPairs::new(members.len())),
+                }
+            }
+            _ => Box::new(AllPairs::new(members.len())),
+        }
     }
 }
 
@@ -160,6 +217,45 @@ mod tests {
         assert!(!o.is_similar(0, 1));
         let o2 = o.with_threshold(Threshold::MaxDistance(6.0));
         assert!(o2.is_similar(0, 1));
+    }
+
+    #[test]
+    fn with_threshold_shares_the_table() {
+        let o = TableOracle::new(
+            AttributeTable::points(vec![(0.0, 0.0); 4]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(1.0),
+        );
+        let o2 = o.with_threshold(Threshold::MaxDistance(2.0));
+        // Same allocation behind both oracles: an r-sweep step must not
+        // deep-copy the attribute table.
+        assert!(std::ptr::eq(o.attributes(), o2.attributes()));
+    }
+
+    #[test]
+    fn candidate_strategy_follows_metric() {
+        let geo = TableOracle::new(
+            AttributeTable::points(vec![(0.0, 0.0), (1.0, 1.0)]),
+            Metric::Euclidean,
+            Threshold::MaxDistance(5.0),
+        );
+        assert_eq!(geo.candidates(&[0, 1]).strategy(), "grid");
+        let kw = TableOracle::new(
+            AttributeTable::keywords(vec![vec![(1, 1.0)], vec![(2, 1.0)]]),
+            Metric::WeightedJaccard,
+            Threshold::MinSimilarity(0.5),
+        );
+        assert_eq!(kw.candidates(&[0, 1]).strategy(), "inverted");
+        // r = 0 keeps similarity-0 pairs similar: index preconditions
+        // fail, brute force takes over.
+        let loose = kw.with_threshold(Threshold::MinSimilarity(0.0));
+        assert_eq!(loose.candidates(&[0, 1]).strategy(), "all-pairs");
+        let cos = TableOracle::new(
+            AttributeTable::vectors(vec![vec![1.0, 0.0], vec![0.0, 1.0]]),
+            Metric::Cosine,
+            Threshold::MinSimilarity(0.5),
+        );
+        assert_eq!(cos.candidates(&[0, 1]).strategy(), "all-pairs");
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! per component; the advanced search instead stores only the (sparse)
 //! **dissimilar** pairs inside each candidate component, which is exactly
 //! what the `DP(·)` counters of the paper range over.
+//!
+//! Since PR 4 both builders are **index-accelerated**: the oracle's
+//! [`SimilarityOracle::candidates`] hook produces a sound candidate set
+//! (spatial grid for Euclidean, inverted keyword index for Jaccard — see
+//! [`crate::candidates`]), only candidates are verified with the metric,
+//! and every out-of-candidate pair is classified dissimilar for free. The
+//! output is **byte-identical** to the brute-force reference (kept as
+//! [`build_similarity_graph_brute`] / [`build_dissimilarity_lists_brute`]
+//! and property-tested against the indexed path); only the number of
+//! metric evaluations changes, which [`DissimilarityLists::oracle_evals`]
+//! records.
 
 use crate::oracle::SimilarityOracle;
 use kr_graph::{Csr, Graph, GraphBuilder, VertexId};
@@ -18,6 +29,9 @@ pub struct DissimilarityLists {
     pub csr: Csr,
     /// Total number of dissimilar (unordered) pairs.
     pub num_pairs: usize,
+    /// Metric evaluations the build spent (brute force pays
+    /// `n·(n-1)/2`; the candidate indexes pay one per candidate pair).
+    pub oracle_evals: u64,
 }
 
 impl DissimilarityLists {
@@ -42,12 +56,109 @@ impl DissimilarityLists {
     }
 }
 
+/// Verifies the candidate set serially; returns the similar pairs — the
+/// index's known-similar pairs (free) followed by the verified
+/// candidates, as local `(i, j)`, `i < j` — and the number of metric
+/// evaluations spent.
+fn verify_candidates<O: SimilarityOracle + ?Sized>(
+    oracle: &O,
+    members: &[VertexId],
+) -> (Vec<(VertexId, VertexId)>, u64) {
+    let index = oracle.candidates(members);
+    let mut similar = index.known_similar().to_vec();
+    let mut evals = 0u64;
+    index.for_each(&mut |i, j| {
+        evals += 1;
+        if oracle.is_similar(members[i as usize], members[j as usize]) {
+            similar.push((i, j));
+        }
+    });
+    (similar, evals)
+}
+
+/// Candidate count below which sharding is pure overhead.
+const MIN_SHARDED_CANDIDATES: usize = 2048;
+
+/// [`verify_candidates`], shard-split across `pool`: the candidate list
+/// is chunked, each chunk verified on a worker, and the per-chunk results
+/// concatenated in chunk order — the output is identical to the serial
+/// path, including order.
+fn verify_candidates_on<O: SimilarityOracle + Sync + ?Sized>(
+    oracle: &O,
+    members: &[VertexId],
+    pool: &rayon::ThreadPool,
+) -> (Vec<(VertexId, VertexId)>, u64) {
+    let threads = pool.current_num_threads();
+    if threads <= 1 {
+        return verify_candidates(oracle, members);
+    }
+    let index = oracle.candidates(members);
+    // Only indexes that already hold a materialized pair list are worth
+    // sharding; collecting a lazy index (the all-pairs fallback) would
+    // allocate an O(n²) transient just to chunk it — stream it serially
+    // instead, exactly like the pre-index preprocessing did.
+    let Some(candidates) = index.as_pairs() else {
+        let mut similar = index.known_similar().to_vec();
+        let mut evals = 0u64;
+        index.for_each(&mut |i, j| {
+            evals += 1;
+            if oracle.is_similar(members[i as usize], members[j as usize]) {
+                similar.push((i, j));
+            }
+        });
+        return (similar, evals);
+    };
+    if candidates.len() < MIN_SHARDED_CANDIDATES {
+        let mut similar = index.known_similar().to_vec();
+        similar.extend(
+            candidates
+                .iter()
+                .copied()
+                .filter(|&(i, j)| oracle.is_similar(members[i as usize], members[j as usize])),
+        );
+        return (similar, candidates.len() as u64);
+    }
+    let chunk = (candidates.len() / (threads * 4)).max(MIN_SHARDED_CANDIDATES / 4);
+    // Slot 0 holds the index's known-similar pairs so the concatenation
+    // matches the serial path's order exactly (known first, then the
+    // verified candidates in candidate order).
+    let mut slots: Vec<Vec<(u32, u32)>> = vec![Vec::new(); candidates.len().div_ceil(chunk) + 1];
+    slots[0] = index.known_similar().to_vec();
+    pool.scope(|s| {
+        for (slot, shard) in slots[1..].iter_mut().zip(candidates.chunks(chunk)) {
+            s.spawn(move |_| {
+                *slot = shard
+                    .iter()
+                    .copied()
+                    .filter(|&(i, j)| oracle.is_similar(members[i as usize], members[j as usize]))
+                    .collect();
+            });
+        }
+    });
+    (slots.concat(), candidates.len() as u64)
+}
+
 /// Builds the similarity graph over `members` (a set of *global* vertex
 /// ids), renumbered to `0..members.len()` in the order given.
 ///
-/// `O(|members|^2)` metric evaluations — this is the cost the clique-based
-/// baseline pays and the paper's advanced algorithms avoid.
+/// Index-accelerated: only candidate pairs are verified (see module
+/// docs); the result equals [`build_similarity_graph_brute`].
 pub fn build_similarity_graph<O: SimilarityOracle>(oracle: &O, members: &[VertexId]) -> Graph {
+    let (similar, _) = verify_candidates(oracle, members);
+    let mut b = GraphBuilder::with_capacity(members.len(), similar.len());
+    for (i, j) in similar {
+        b.add_edge(i, j);
+    }
+    b.build()
+}
+
+/// Brute-force reference for [`build_similarity_graph`]:
+/// `O(|members|²)` metric evaluations — this is the cost the clique-based
+/// baseline used to pay and the candidate indexes avoid.
+pub fn build_similarity_graph_brute<O: SimilarityOracle>(
+    oracle: &O,
+    members: &[VertexId],
+) -> Graph {
     let n = members.len();
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
@@ -60,20 +171,115 @@ pub fn build_similarity_graph<O: SimilarityOracle>(oracle: &O, members: &[Vertex
     b.build()
 }
 
+/// Components up to this many vertices take the bitmap complement path
+/// (`n²/8` bytes of scratch, 2 MiB at the cap); larger ones fall back to
+/// the CSR-merge complement.
+const BITMAP_COMPLEMENT_MAX_N: usize = 4096;
+
+/// Lays similar pairs out as the complementary dissimilarity CSR: every
+/// unordered non-similar pair is emitted in both directions and packed
+/// with the same counting sort the brute-force path used, so the layout
+/// is byte-identical regardless of how the pairs were discovered.
+fn complement_to_csr(
+    n: usize,
+    similar: Vec<(VertexId, VertexId)>,
+    oracle_evals: u64,
+) -> DissimilarityLists {
+    let num_similar = similar.len();
+    let total = n * n.saturating_sub(1) / 2;
+    let num_pairs = total - num_similar;
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(num_pairs * 2);
+    if n <= BITMAP_COMPLEMENT_MAX_N {
+        // Dense n×n bitmap: no sorting anywhere — flags set per similar
+        // pair, complement rows emitted in naturally ascending order.
+        let mut bits = vec![0u64; (n * n).div_ceil(64)];
+        let mut set = |i: usize, j: usize| {
+            let at = i * n + j;
+            bits[at / 64] |= 1u64 << (at % 64);
+        };
+        for &(i, j) in &similar {
+            set(i as usize, j as usize);
+            set(j as usize, i as usize);
+        }
+        for u in 0..n {
+            for v in 0..n {
+                let at = u * n + v;
+                if v != u && bits[at / 64] & (1u64 << (at % 64)) == 0 {
+                    pairs.push((u as VertexId, v as VertexId));
+                }
+            }
+        }
+    } else {
+        let mut directed = Vec::with_capacity(num_similar * 2);
+        for &(i, j) in &similar {
+            directed.push((i, j));
+            directed.push((j, i));
+        }
+        let sim = Csr::from_pairs(n, &directed);
+        for u in 0..n as VertexId {
+            let row = sim.row(u);
+            let mut p = 0usize;
+            for v in 0..n as VertexId {
+                if v == u {
+                    continue;
+                }
+                if p < row.len() && row[p] == v {
+                    p += 1;
+                    continue;
+                }
+                pairs.push((u, v));
+            }
+        }
+    }
+    debug_assert_eq!(pairs.len(), num_pairs * 2);
+    DissimilarityLists {
+        csr: Csr::from_pairs(n, &pairs),
+        num_pairs,
+        oracle_evals,
+    }
+}
+
 /// Builds dissimilarity lists over `members` (global ids), renumbered to
 /// local ids `0..members.len()` in the order given.
 ///
-/// Emits CSR directly: one oracle pass collects the directed pairs, then
-/// a counting sort lays them into the flat arena — no intermediate
-/// `Vec<Vec<_>>` and no per-vertex allocations.
+/// Index-accelerated: candidates from [`SimilarityOracle::candidates`]
+/// are verified with the metric; every other pair goes straight into the
+/// dissimilarity CSR with zero evaluations. Output is identical to
+/// [`build_dissimilarity_lists_brute`], with
+/// [`DissimilarityLists::oracle_evals`] recording the saving.
 pub fn build_dissimilarity_lists<O: SimilarityOracle>(
+    oracle: &O,
+    members: &[VertexId],
+) -> DissimilarityLists {
+    let (similar, evals) = verify_candidates(oracle, members);
+    complement_to_csr(members.len(), similar, evals)
+}
+
+/// [`build_dissimilarity_lists`] with candidate verification shard-split
+/// across `pool` (the query's one-pool-per-query worker pool). The result
+/// — including the CSR layout — is identical to the serial build.
+pub fn build_dissimilarity_lists_on<O: SimilarityOracle + Sync>(
+    oracle: &O,
+    members: &[VertexId],
+    pool: &rayon::ThreadPool,
+) -> DissimilarityLists {
+    let (similar, evals) = verify_candidates_on(oracle, members, pool);
+    complement_to_csr(members.len(), similar, evals)
+}
+
+/// Brute-force reference for [`build_dissimilarity_lists`]: one oracle
+/// pass over all `|members|²/2` pairs, collecting the directed dissimilar
+/// pairs, then a counting sort into the flat arena.
+pub fn build_dissimilarity_lists_brute<O: SimilarityOracle>(
     oracle: &O,
     members: &[VertexId],
 ) -> DissimilarityLists {
     let n = members.len();
     let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut evals = 0u64;
     for i in 0..n {
         for j in (i + 1)..n {
+            evals += 1;
             if !oracle.is_similar(members[i], members[j]) {
                 pairs.push((i as VertexId, j as VertexId));
                 pairs.push((j as VertexId, i as VertexId));
@@ -84,6 +290,7 @@ pub fn build_dissimilarity_lists<O: SimilarityOracle>(
     DissimilarityLists {
         csr: Csr::from_pairs(n, &pairs),
         num_pairs,
+        oracle_evals: evals,
     }
 }
 
@@ -123,6 +330,42 @@ mod tests {
     }
 
     #[test]
+    fn indexed_build_skips_certain_pairs() {
+        let o = geo_oracle();
+        let d = build_dissimilarity_lists(&o, &[0, 1, 2, 3]);
+        let brute = build_dissimilarity_lists_brute(&o, &[0, 1, 2, 3]);
+        assert_eq!(brute.oracle_evals, 6);
+        // Vertex 3 sits 48km from the cluster (provably dissimilar) and
+        // the cluster pairs are within 2km « r (provably similar): the
+        // grid classifies every pair without a single metric evaluation.
+        assert_eq!(d.oracle_evals, 0);
+        assert_eq!(d.csr, brute.csr);
+        assert_eq!(d.num_pairs, brute.num_pairs);
+    }
+
+    #[test]
+    fn sharded_build_matches_serial() {
+        let pts: Vec<(f64, f64)> = (0..40)
+            .map(|i| ((i % 7) as f64 * 3.0, (i / 7) as f64 * 3.0))
+            .collect();
+        let o = TableOracle::new(
+            AttributeTable::points(pts),
+            Metric::Euclidean,
+            Threshold::MaxDistance(4.0),
+        );
+        let members: Vec<VertexId> = (0..40).collect();
+        let serial = build_dissimilarity_lists(&o, &members);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("pool");
+        let sharded = build_dissimilarity_lists_on(&o, &members, &pool);
+        assert_eq!(serial.csr, sharded.csr);
+        assert_eq!(serial.num_pairs, sharded.num_pairs);
+        assert_eq!(serial.oracle_evals, sharded.oracle_evals);
+    }
+
+    #[test]
     fn renumbering_respects_member_order() {
         let o = geo_oracle();
         // Members in reversed order: local 0 = global 3.
@@ -148,5 +391,6 @@ mod tests {
         assert_eq!(g.num_vertices(), 0);
         let d = build_dissimilarity_lists(&o, &[]);
         assert!(d.is_empty());
+        assert_eq!(d.oracle_evals, 0);
     }
 }

@@ -2,8 +2,9 @@
 
 use kr_similarity::metrics::{cosine, euclidean, jaccard, weighted_jaccard};
 use kr_similarity::{
-    build_dissimilarity_lists, build_similarity_graph, similarity_quantile_exact, AttributeTable,
-    Metric, SimilarityOracle, TableOracle, Threshold,
+    build_dissimilarity_lists, build_dissimilarity_lists_brute, build_dissimilarity_lists_on,
+    build_similarity_graph, build_similarity_graph_brute, similarity_quantile_exact,
+    AttributeTable, Metric, SimilarityOracle, TableOracle, Threshold,
 };
 use proptest::prelude::*;
 
@@ -13,6 +14,30 @@ fn arb_kwlist() -> impl Strategy<Value = Vec<(u32, f64)>> {
         l.dedup_by_key(|&mut (k, _)| k);
         l
     })
+}
+
+/// Indexed preprocessing must be indistinguishable from the brute-force
+/// reference: same similarity graph, same dissimilarity CSR (byte for
+/// byte), same pair count — and never more metric evaluations.
+fn assert_indexed_matches_brute(oracle: &TableOracle, n: usize) -> Result<(), TestCaseError> {
+    let members: Vec<u32> = (0..n as u32).collect();
+    let fast = build_dissimilarity_lists(oracle, &members);
+    let brute = build_dissimilarity_lists_brute(oracle, &members);
+    prop_assert_eq!(&fast.csr, &brute.csr);
+    prop_assert_eq!(fast.num_pairs, brute.num_pairs);
+    prop_assert!(fast.oracle_evals <= brute.oracle_evals);
+    let g_fast = build_similarity_graph(oracle, &members);
+    let g_brute = build_similarity_graph_brute(oracle, &members);
+    prop_assert_eq!(g_fast, g_brute);
+    // Pool-sharded verification must match the serial path exactly.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(3)
+        .build()
+        .expect("pool");
+    let sharded = build_dissimilarity_lists_on(oracle, &members, &pool);
+    prop_assert_eq!(&sharded.csr, &brute.csr);
+    prop_assert_eq!(sharded.oracle_evals, fast.oracle_evals);
+    Ok(())
 }
 
 proptest! {
@@ -93,6 +118,56 @@ proptest! {
                 prop_assert_eq!(s, oracle.is_similar(u, v));
             }
         }
+    }
+
+    #[test]
+    fn indexed_matches_brute_on_points(
+        pts in proptest::collection::vec((-40.0f64..40.0, -40.0f64..40.0), 1..28),
+        r in 0.0f64..30.0,
+    ) {
+        // MaxDistance direction (geo): exercises the spatial grid, and —
+        // at r = 0 — the brute-force fallback.
+        let n = pts.len();
+        let oracle = TableOracle::new(
+            AttributeTable::points(pts),
+            Metric::Euclidean,
+            Threshold::MaxDistance(r),
+        );
+        assert_indexed_matches_brute(&oracle, n)?;
+    }
+
+    #[test]
+    fn indexed_matches_brute_on_keywords(
+        lists in proptest::collection::vec(arb_kwlist(), 1..22),
+        r in 0.0f64..1.2,
+        unweighted in false..true,
+    ) {
+        // MinSimilarity direction: exercises the inverted keyword index
+        // (including empty lists, thresholds past 1.0, and — at r = 0 —
+        // the brute-force fallback).
+        let n = lists.len();
+        let metric = if unweighted { Metric::Jaccard } else { Metric::WeightedJaccard };
+        let oracle = TableOracle::new(
+            AttributeTable::keywords(lists),
+            metric,
+            Threshold::MinSimilarity(r),
+        );
+        assert_indexed_matches_brute(&oracle, n)?;
+    }
+
+    #[test]
+    fn indexed_matches_brute_on_vectors(
+        vecs in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3), 1..12),
+        r in 0.0f64..1.0,
+    ) {
+        // Cosine has no index: the all-pairs fallback must still agree.
+        let n = vecs.len();
+        let oracle = TableOracle::new(
+            AttributeTable::vectors(vecs),
+            Metric::Cosine,
+            Threshold::MinSimilarity(r),
+        );
+        assert_indexed_matches_brute(&oracle, n)?;
     }
 
     #[test]

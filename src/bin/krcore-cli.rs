@@ -396,6 +396,8 @@ fn cmd_query() {
             println!("evictions\t{}", stats.evictions);
             println!("entries\t{}", stats.entries);
             println!("resident_bytes\t{}", stats.resident_bytes);
+            println!("preprocess_ms\t{}", stats.preprocess_ms);
+            println!("oracle_evals\t{}", stats.oracle_evals);
         }
         cmd @ ("enum" | "max") => {
             let dataset = dataset.unwrap_or_else(|| usage());
