@@ -48,7 +48,7 @@ const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
 const MAX_ORACLE_EVALS_REGRESSION_PCT: f64 = 10.0;
 
 struct Point {
-    preset: &'static str,
+    preset: String,
     scale: f64,
     k: u32,
     r: f64,
@@ -87,9 +87,50 @@ fn calibration_ms() -> f64 {
     best
 }
 
-fn measure_point(preset: DatasetPreset, scale: f64, k: u32, r: f64) -> Point {
-    let ds = BenchDataset::new(preset, scale);
-    let p = ds.instance(k, r);
+/// Optional snapshot-backed point: when `BENCH_SMOKE_SNAPSHOT` names a
+/// `.krb` file, its dataset is measured alongside the synthetic presets
+/// (`BENCH_SMOKE_SNAPSHOT_K` / `BENCH_SMOKE_SNAPSHOT_R` override the
+/// default parameters; `r` defaults by metric direction). The point is
+/// written into the trajectory JSON like any other; `check` gates it
+/// only once a baseline recorded it, so machines without the file — CI
+/// included — are unaffected. This is how the perf trajectory moves onto
+/// real Table 3 data once the SNAP originals are ingested.
+fn snapshot_case() -> Option<(String, kr_core::ProblemInstance, u32, f64)> {
+    let path = std::env::var("BENCH_SMOKE_SNAPSHOT").ok()?;
+    let ds = match kr_similarity::read_snapshot_file(&path) {
+        Ok(ds) => ds,
+        Err(e) => {
+            eprintln!("BENCH_SMOKE_SNAPSHOT {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let env_num = |key: &str| std::env::var(key).ok().and_then(|v| v.parse().ok());
+    let k: u32 = env_num("BENCH_SMOKE_SNAPSHOT_K").unwrap_or(3.0) as u32;
+    let r: f64 = env_num("BENCH_SMOKE_SNAPSHOT_R").unwrap_or(if ds.metric.is_distance() {
+        10.0
+    } else {
+        0.3
+    });
+    let threshold = if ds.metric.is_distance() {
+        kr_similarity::Threshold::MaxDistance(r)
+    } else {
+        kr_similarity::Threshold::MinSimilarity(r)
+    };
+    let name = std::path::Path::new(&path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_string());
+    let problem = kr_core::ProblemInstance::new(ds.graph, ds.attributes, ds.metric, threshold, k);
+    Some((format!("snapshot:{name}"), problem, k, r))
+}
+
+fn measure_instance(
+    name: String,
+    scale: f64,
+    k: u32,
+    r: f64,
+    p: &kr_core::ProblemInstance,
+) -> Point {
     let mut preprocess_ms = f64::INFINITY;
     let mut comps = Vec::new();
     for _ in 0..3 {
@@ -107,7 +148,7 @@ fn measure_point(preset: DatasetPreset, scale: f64, k: u32, r: f64) -> Point {
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     Point {
-        preset: preset.name(),
+        preset: name,
         scale,
         k,
         r,
@@ -214,26 +255,41 @@ fn main() {
 
     let calib_ms = calibration_ms();
     println!("calibration: {calib_ms:.3} ms");
-    let points: Vec<Point> = quick_cases()
+    // One instance lives at a time: each dataset is built, measured, and
+    // dropped before the next — peak memory is the largest single case,
+    // not the sum (the snapshot case is meant for real Table 3 data).
+    let report = |p: &Point| {
+        println!(
+            "{:<16} scale {:<5} k {} r {:<5} wall {:>9.3} ms  (normalized {:.4})  \
+             preprocess {:>8.3} ms  {} oracle evals  peak component {} bytes",
+            p.preset,
+            p.scale,
+            p.k,
+            p.r,
+            p.wall_ms,
+            p.wall_ms / calib_ms,
+            p.preprocess_ms,
+            p.oracle_evals,
+            p.peak_component_bytes
+        );
+    };
+    let mut points: Vec<Point> = quick_cases()
         .into_iter()
         .map(|(preset, scale, k, r)| {
-            let p = measure_point(preset, scale, k, r);
-            println!(
-                "{:<16} scale {:<5} k {} r {:<5} wall {:>9.3} ms  (normalized {:.4})  \
-                 preprocess {:>8.3} ms  {} oracle evals  peak component {} bytes",
-                p.preset,
-                p.scale,
-                p.k,
-                p.r,
-                p.wall_ms,
-                p.wall_ms / calib_ms,
-                p.preprocess_ms,
-                p.oracle_evals,
-                p.peak_component_bytes
-            );
+            let ds = BenchDataset::new(preset, scale);
+            let instance = ds.instance(k, r);
+            let p = measure_instance(preset.name().to_string(), scale, k, r, &instance);
+            report(&p);
             p
         })
         .collect();
+    if let Some((name, problem, k, r)) = snapshot_case() {
+        // Snapshot points carry scale 1 by convention: the file pins the
+        // dataset, there is nothing to scale.
+        let p = measure_instance(name, 1.0, k, r, &problem);
+        report(&p);
+        points.push(p);
+    }
 
     if mode == "write" {
         std::fs::write(path, render(calib_ms, &points)).expect("write baseline");

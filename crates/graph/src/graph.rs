@@ -138,6 +138,67 @@ impl Graph {
         b.build()
     }
 
+    /// The raw CSR parts: per-vertex offsets and the flat neighbor arena.
+    /// This is the layout the snapshot format serializes verbatim.
+    pub fn csr_parts(&self) -> (&[usize], &[VertexId]) {
+        (&self.offsets, &self.neighbors)
+    }
+
+    /// Rebuilds a graph directly from CSR parts, validating every
+    /// invariant the rest of the crate relies on: monotone offsets
+    /// covering the arena exactly, strictly sorted rows, no self loops,
+    /// in-range targets, and symmetric adjacency (`v ∈ N(u) ⇔ u ∈ N(v)`).
+    ///
+    /// This is the canonical snapshot-load path: unlike
+    /// [`GraphBuilder::build`] it does no sorting or deduplication, so a
+    /// round trip through [`Graph::csr_parts`] is byte-identical — but it
+    /// must therefore reject malformed input instead of trusting it.
+    pub fn from_csr_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Result<Graph, String> {
+        if offsets.is_empty() {
+            return Err("offsets must hold at least one entry".to_string());
+        }
+        if offsets[0] != 0 {
+            return Err(format!("offsets[0] must be 0, found {}", offsets[0]));
+        }
+        let n = offsets.len() - 1;
+        if *offsets.last().expect("non-empty") != neighbors.len() {
+            return Err(format!(
+                "final offset {} does not cover the {}-entry neighbor arena",
+                offsets.last().expect("non-empty"),
+                neighbors.len()
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be monotone".to_string());
+        }
+        let g = Graph { offsets, neighbors };
+        for v in 0..n as VertexId {
+            let row = g.neighbors(v);
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("neighbor row of vertex {v} is not strictly sorted"));
+            }
+            for &u in row {
+                if u as usize >= n {
+                    return Err(format!("vertex {v} lists neighbor {u} >= n = {n}"));
+                }
+                if u == v {
+                    return Err(format!("vertex {v} lists a self loop"));
+                }
+            }
+        }
+        // Symmetry: every directed entry must have its mirror, and the two
+        // half-edge counts already match (total entries are even per pair)
+        // only if each (u, v) has (v, u).
+        for v in 0..n as VertexId {
+            for &u in g.neighbors(v) {
+                if g.neighbors(u).binary_search(&v).is_err() {
+                    return Err(format!("edge {v}->{u} has no mirror {u}->{v}"));
+                }
+            }
+        }
+        Ok(g)
+    }
+
     /// Retains only edges for which `keep(u, v)` returns true.
     pub fn filter_edges(&self, mut keep: impl FnMut(VertexId, VertexId) -> bool) -> Graph {
         let mut b = GraphBuilder::new(self.num_vertices());
@@ -319,6 +380,34 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn csr_parts_roundtrip_is_identical() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 4)]);
+        let (offsets, neighbors) = g.csr_parts();
+        let back = Graph::from_csr_parts(offsets.to_vec(), neighbors.to_vec()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_malformed() {
+        // Monotone violation.
+        assert!(Graph::from_csr_parts(vec![0, 2, 1], vec![1, 0]).is_err());
+        // Arena not covered.
+        assert!(Graph::from_csr_parts(vec![0, 1], vec![0, 0]).is_err());
+        // Unsorted row.
+        assert!(Graph::from_csr_parts(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).is_err());
+        // Self loop.
+        assert!(Graph::from_csr_parts(vec![0, 1, 2], vec![0, 0]).is_err());
+        // Out-of-range target.
+        assert!(Graph::from_csr_parts(vec![0, 1, 2], vec![5, 0]).is_err());
+        // Asymmetric: 0 lists 1, 1 does not list 0.
+        assert!(Graph::from_csr_parts(vec![0, 1, 1], vec![1]).is_err());
+        // Empty offsets.
+        assert!(Graph::from_csr_parts(vec![], vec![]).is_err());
+        // Valid empty graph.
+        assert!(Graph::from_csr_parts(vec![0], vec![]).is_ok());
     }
 
     #[test]

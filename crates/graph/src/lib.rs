@@ -17,8 +17,12 @@
 //! * [`coloring`] — greedy coloring used by the color-based upper bound.
 //! * [`order`] — degeneracy ordering (used by clique enumeration and
 //!   coloring heuristics).
-//! * [`io`] — SNAP-style edge-list reading/writing so that real datasets can
-//!   be dropped in for the synthetic ones.
+//! * [`io`] — SNAP-style edge-list reading/writing (line-buffered reference
+//!   reader plus the chunked streaming loader real ingestion uses) so that
+//!   real datasets can be dropped in for the synthetic ones.
+//! * [`snapshot`] — the `.krb` binary snapshot container: checksummed,
+//!   64-byte-aligned little-endian sections holding the densified CSR
+//!   graph, original-id map, and (via `kr_similarity`) attributes.
 //! * [`subgraph`] — induced-subgraph extraction with vertex renumbering.
 
 pub mod coloring;
@@ -28,14 +32,20 @@ pub mod graph;
 pub mod io;
 pub mod kcore;
 pub mod order;
+pub mod snapshot;
 pub mod subgraph;
 
 pub use coloring::{greedy_coloring, greedy_coloring_in_order};
 pub use components::{connected_components, is_connected, ComponentLabels};
 pub use csr::Csr;
 pub use graph::{Graph, GraphBuilder, VertexId};
+pub use io::{
+    read_edge_list, read_edge_list_file, read_edge_list_streaming, read_edge_list_streaming_file,
+    read_edge_list_streaming_with, ByteSource, IoError, LoadProgress, LoadedGraph,
+};
 pub use kcore::{
     core_decomposition, k_core, k_core_of_subset, k_core_on, k_core_parallel, CoreDecomposition,
 };
 pub use order::degeneracy_order;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotWriter};
 pub use subgraph::InducedSubgraph;

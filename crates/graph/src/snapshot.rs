@@ -1,0 +1,698 @@
+//! Binary snapshot container (`.krb`).
+//!
+//! A snapshot stores a fully ingested dataset — densified CSR graph,
+//! original-id map, attribute table — in one file with a verifiable
+//! layout, so loading skips every parse/densify/sort/validate step the
+//! text loaders pay (the data-skipping idea of the provenance literature
+//! applied to load time). The layout is append-friendly and strictly
+//! sequential to write (SSD-friendly: one pass, no seeks), and every
+//! section payload starts on a 64-byte boundary so a future reader can
+//! `mmap` the file and cast section bytes in place.
+//!
+//! ```text
+//! offset 0   header (32 B)
+//!            ┌──────┬───────┬───────┬───────┬──────────┬───────────┐
+//!            │magic │ major │ minor │ flags │ sections │ total_len │ hdr_cksum
+//!            │ KRBS │  u16  │  u16  │  u32  │   u32    │    u64    │   u64
+//!            └──────┴───────┴───────┴───────┴──────────┴───────────┘
+//! offset 32  section table (32 B per entry)
+//!            ┌──────┬───────┬────────┬───────┬──────────┐
+//!            │ kind │ flags │ offset │  len  │ checksum │   × section count
+//!            │ u32  │  u32  │  u64   │  u64  │ fnv1a64  │
+//!            └──────┴───────┴────────┴───────┴──────────┘
+//! ...        section payloads, each 64-byte aligned, zero-padded
+//! ```
+//!
+//! All integers are little-endian. Checksums are FNV-1a 64 (the header
+//! checksum covers header bytes 0..24; each section checksum covers its
+//! payload). **Versioning rules:** readers reject a different `major`
+//! ([`SnapshotError::UnsupportedMajor`]); a higher `minor` is readable —
+//! unknown sections flagged [`SECTION_FLAG_OPTIONAL`] are skipped, an
+//! unknown *required* section is a typed error (a future writer marks a
+//! section required exactly when old readers must not silently ignore
+//! it).
+//!
+//! This module owns the generic container plus the graph-level sections;
+//! `kr_similarity::snapshot` layers the attribute section and the
+//! one-call dataset snapshot on top.
+
+use crate::graph::Graph;
+use crate::io::LoadedGraph;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic, first four bytes of every snapshot.
+pub const MAGIC: [u8; 4] = *b"KRBS";
+/// Format major version written (readers reject a mismatch).
+pub const VERSION_MAJOR: u16 = 1;
+/// Format minor version written (readers accept any minor).
+pub const VERSION_MINOR: u16 = 0;
+/// Section payload alignment: mmap-castable for 8-byte-wide entries.
+pub const SECTION_ALIGN: u64 = 64;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Section-table entry length in bytes.
+pub const SECTION_ENTRY_LEN: usize = 32;
+
+/// Section flag: a reader that does not know the section's kind may skip
+/// it. Unknown sections *without* this flag are load errors.
+pub const SECTION_FLAG_OPTIONAL: u32 = 1;
+
+/// Well-known section kinds.
+pub mod section {
+    /// Graph CSR offsets, `n + 1` entries of u64 LE.
+    pub const GRAPH_OFFSETS: u32 = 1;
+    /// Graph CSR neighbor arena, u32 LE entries.
+    pub const GRAPH_NEIGHBORS: u32 = 2;
+    /// Original (file) vertex ids, `n` entries of u64 LE.
+    pub const ORIGINAL_IDS: u32 = 3;
+    /// Attribute table (layout owned by `kr_similarity::snapshot`).
+    pub const ATTRIBUTES: u32 = 4;
+}
+
+/// Typed snapshot failures. Corrupt or truncated input must surface as
+/// one of these — never a panic.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file's major version differs from [`VERSION_MAJOR`].
+    UnsupportedMajor {
+        /// Major version in the file.
+        found: u16,
+        /// Major version this reader speaks.
+        supported: u16,
+    },
+    /// The file ends before `context` is complete.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+        /// Bytes the structure requires.
+        needed: u64,
+        /// Bytes actually available.
+        have: u64,
+    },
+    /// The header checksum does not match the header bytes.
+    HeaderChecksumMismatch,
+    /// A section's checksum does not match its payload.
+    SectionChecksumMismatch {
+        /// Section kind whose payload failed verification.
+        kind: u32,
+    },
+    /// A section this reader does not know, not marked optional.
+    UnknownRequiredSection {
+        /// The unknown kind.
+        kind: u32,
+    },
+    /// A section the decode requires is absent.
+    MissingSection {
+        /// The absent kind.
+        kind: u32,
+    },
+    /// Structurally well-formed bytes that violate the format contract
+    /// (bad flags, misaligned offsets, invalid CSR, ...).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "i/o error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (expected {MAGIC:?})")
+            }
+            SnapshotError::UnsupportedMajor { found, supported } => {
+                write!(
+                    f,
+                    "snapshot major version {found} (this build reads {supported})"
+                )
+            }
+            SnapshotError::Truncated {
+                context,
+                needed,
+                have,
+            } => write!(f, "truncated {context}: need {needed} bytes, have {have}"),
+            SnapshotError::HeaderChecksumMismatch => write!(f, "header checksum mismatch"),
+            SnapshotError::SectionChecksumMismatch { kind } => {
+                write!(f, "checksum mismatch in section kind {kind}")
+            }
+            SnapshotError::UnknownRequiredSection { kind } => {
+                write!(f, "unknown required section kind {kind}")
+            }
+            SnapshotError::MissingSection { kind } => {
+                write!(f, "required section kind {kind} is missing")
+            }
+            SnapshotError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over `bytes` — dependency-free integrity check.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends a little-endian u32 (the format's integer codec — shared
+/// with the attribute-section writer in `kr_similarity::snapshot`).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([b[at], b[at + 1]])
+}
+
+/// Reads the little-endian u32 at byte offset `at`.
+///
+/// # Panics
+/// Panics when fewer than four bytes remain — callers bound-check first.
+pub fn get_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+/// Reads the little-endian u64 at byte offset `at` (same contract as
+/// [`get_u32`]).
+pub fn get_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes([
+        b[at],
+        b[at + 1],
+        b[at + 2],
+        b[at + 3],
+        b[at + 4],
+        b[at + 5],
+        b[at + 6],
+        b[at + 7],
+    ])
+}
+
+/// Encodes u64 values as a little-endian section payload.
+pub fn u64s_to_bytes(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        put_u64(&mut out, v);
+    }
+    out
+}
+
+/// Encodes u32 values as a little-endian section payload.
+pub fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        put_u32(&mut out, v);
+    }
+    out
+}
+
+/// Decodes a little-endian u64 section payload.
+pub fn bytes_to_u64s(bytes: &[u8], context: &'static str) -> Result<Vec<u64>, SnapshotError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SnapshotError::Malformed(format!(
+            "{context}: length {} is not a multiple of 8",
+            bytes.len()
+        )));
+    }
+    Ok(bytes.chunks_exact(8).map(|c| get_u64(c, 0)).collect())
+}
+
+/// Decodes a little-endian u32 section payload.
+pub fn bytes_to_u32s(bytes: &[u8], context: &'static str) -> Result<Vec<u32>, SnapshotError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(SnapshotError::Malformed(format!(
+            "{context}: length {} is not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| get_u32(c, 0)).collect())
+}
+
+/// Accumulates sections, then writes the whole container in one
+/// sequential pass. Output is deterministic byte for byte — the golden
+/// fixtures pin it.
+pub struct SnapshotWriter {
+    version_minor: u16,
+    sections: Vec<(u32, u32, Vec<u8>)>,
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        SnapshotWriter::new()
+    }
+}
+
+impl SnapshotWriter {
+    /// An empty writer at the current format version.
+    pub fn new() -> Self {
+        SnapshotWriter {
+            version_minor: VERSION_MINOR,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Overrides the minor version written (used by forward-compat tests
+    /// to craft "file from the future" bytes).
+    pub fn with_version_minor(mut self, minor: u16) -> Self {
+        self.version_minor = minor;
+        self
+    }
+
+    /// Appends a section. Order is preserved in the file.
+    pub fn add_section(&mut self, kind: u32, flags: u32, payload: Vec<u8>) {
+        self.sections.push((kind, flags, payload));
+    }
+
+    /// Serializes the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let count = self.sections.len();
+        let table_end = (HEADER_LEN + count * SECTION_ENTRY_LEN) as u64;
+        // Lay out payload offsets first (aligned, in order).
+        let mut offsets = Vec::with_capacity(count);
+        let mut cursor = table_end.next_multiple_of(SECTION_ALIGN);
+        for (_, _, payload) in &self.sections {
+            offsets.push(cursor);
+            cursor = (cursor + payload.len() as u64).next_multiple_of(SECTION_ALIGN);
+        }
+        let total_len = self
+            .sections
+            .last()
+            .map(|(_, _, p)| offsets[count - 1] + p.len() as u64)
+            .unwrap_or(table_end);
+
+        let mut out = Vec::with_capacity(total_len as usize);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
+        out.extend_from_slice(&self.version_minor.to_le_bytes());
+        put_u32(&mut out, 0); // header flags, none defined
+        put_u32(&mut out, count as u32);
+        put_u64(&mut out, total_len);
+        let header_checksum = fnv1a64(&out[..24]);
+        put_u64(&mut out, header_checksum);
+        debug_assert_eq!(out.len(), HEADER_LEN);
+
+        for (i, (kind, flags, payload)) in self.sections.iter().enumerate() {
+            put_u32(&mut out, *kind);
+            put_u32(&mut out, *flags);
+            put_u64(&mut out, offsets[i]);
+            put_u64(&mut out, payload.len() as u64);
+            put_u64(&mut out, fnv1a64(payload));
+        }
+        for (i, (_, _, payload)) in self.sections.iter().enumerate() {
+            out.resize(offsets[i] as usize, 0); // alignment padding
+            out.extend_from_slice(payload);
+        }
+        debug_assert_eq!(out.len() as u64, total_len);
+        out
+    }
+
+    /// Writes the container to `writer` in one sequential pass.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> Result<(), SnapshotError> {
+        writer.write_all(&self.to_bytes())?;
+        writer.flush()?;
+        Ok(())
+    }
+}
+
+/// One parsed section-table entry.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionInfo {
+    /// Section kind (see [`section`]).
+    pub kind: u32,
+    /// Section flags ([`SECTION_FLAG_OPTIONAL`]).
+    pub flags: u32,
+    offset: u64,
+    len: u64,
+}
+
+/// A verified, loaded snapshot container. Owns the file bytes once and
+/// hands out borrowed payload slices — decoding a section never copies
+/// the container (the same access pattern a future `mmap`-backed reader
+/// will keep).
+pub struct Snapshot {
+    bytes: Vec<u8>,
+    version_minor: u16,
+    sections: Vec<SectionInfo>,
+}
+
+impl Snapshot {
+    /// Parses and fully verifies a snapshot: magic, version, header
+    /// checksum, section-table bounds, alignment, and every known
+    /// section's payload checksum. Typed errors, never panics.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Snapshot, SnapshotError> {
+        let have = bytes.len() as u64;
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                context: "header",
+                needed: HEADER_LEN as u64,
+                have,
+            });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(SnapshotError::BadMagic {
+                found: [bytes[0], bytes[1], bytes[2], bytes[3]],
+            });
+        }
+        let major = get_u16(&bytes, 4);
+        if major != VERSION_MAJOR {
+            return Err(SnapshotError::UnsupportedMajor {
+                found: major,
+                supported: VERSION_MAJOR,
+            });
+        }
+        let minor = get_u16(&bytes, 6);
+        if get_u64(&bytes, 24) != fnv1a64(&bytes[..24]) {
+            return Err(SnapshotError::HeaderChecksumMismatch);
+        }
+        let flags = get_u32(&bytes, 8);
+        if flags != 0 {
+            return Err(SnapshotError::Malformed(format!(
+                "unknown header flags {flags:#x}"
+            )));
+        }
+        let count = get_u32(&bytes, 12) as usize;
+        let total_len = get_u64(&bytes, 16);
+        if total_len > have {
+            return Err(SnapshotError::Truncated {
+                context: "file body",
+                needed: total_len,
+                have,
+            });
+        }
+        if total_len < have {
+            // Not truncation — the opposite (an interrupted rewrite or a
+            // concatenation); say so instead of reporting a "truncated"
+            // file that is too long.
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes beyond the declared total length {total_len}",
+                have - total_len
+            )));
+        }
+        let table_end = HEADER_LEN as u64 + (count as u64) * SECTION_ENTRY_LEN as u64;
+        if table_end > have {
+            return Err(SnapshotError::Truncated {
+                context: "section table",
+                needed: table_end,
+                have,
+            });
+        }
+        let mut sections = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            let info = SectionInfo {
+                kind: get_u32(&bytes, at),
+                flags: get_u32(&bytes, at + 4),
+                offset: get_u64(&bytes, at + 8),
+                len: get_u64(&bytes, at + 16),
+            };
+            if !info.offset.is_multiple_of(SECTION_ALIGN) {
+                return Err(SnapshotError::Malformed(format!(
+                    "section kind {} payload at {} is not {}-byte aligned",
+                    info.kind, info.offset, SECTION_ALIGN
+                )));
+            }
+            if info.offset < table_end {
+                return Err(SnapshotError::Malformed(format!(
+                    "section kind {} payload at {} overlaps the section table",
+                    info.kind, info.offset
+                )));
+            }
+            let end = info.offset.checked_add(info.len).ok_or_else(|| {
+                SnapshotError::Malformed(format!(
+                    "section kind {} offset + len overflows",
+                    info.kind
+                ))
+            })?;
+            if end > have {
+                return Err(SnapshotError::Truncated {
+                    context: "section payload",
+                    needed: end,
+                    have,
+                });
+            }
+            let payload = &bytes[info.offset as usize..end as usize];
+            let stored = get_u64(&bytes, at + 24);
+            if fnv1a64(payload) != stored {
+                return Err(SnapshotError::SectionChecksumMismatch { kind: info.kind });
+            }
+            sections.push(info);
+        }
+        Ok(Snapshot {
+            bytes,
+            version_minor: minor,
+            sections,
+        })
+    }
+
+    /// Reads and verifies a snapshot file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        Snapshot::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Minor version the file was written with.
+    pub fn version_minor(&self) -> u16 {
+        self.version_minor
+    }
+
+    /// The parsed section table, in file order.
+    pub fn sections(&self) -> &[SectionInfo] {
+        &self.sections
+    }
+
+    /// Borrowed payload of the first section of `kind`, if present.
+    pub fn section(&self, kind: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| &self.bytes[s.offset as usize..(s.offset + s.len) as usize])
+    }
+
+    /// Payload of `kind`, or [`SnapshotError::MissingSection`].
+    pub fn require(&self, kind: u32) -> Result<&[u8], SnapshotError> {
+        self.section(kind)
+            .ok_or(SnapshotError::MissingSection { kind })
+    }
+
+    /// Enforces the forward-compat contract against the caller's set of
+    /// understood kinds: an unknown section is skippable only when
+    /// flagged optional. Returns the kinds that were skipped.
+    pub fn check_unknown_sections(&self, known: &[u32]) -> Result<Vec<u32>, SnapshotError> {
+        let mut skipped = Vec::new();
+        for s in &self.sections {
+            if known.contains(&s.kind) {
+                continue;
+            }
+            if s.flags & SECTION_FLAG_OPTIONAL == 0 {
+                return Err(SnapshotError::UnknownRequiredSection { kind: s.kind });
+            }
+            skipped.push(s.kind);
+        }
+        Ok(skipped)
+    }
+}
+
+/// Appends the graph sections (CSR offsets + neighbor arena +
+/// original-id map) to `writer`.
+pub fn add_graph_sections(writer: &mut SnapshotWriter, graph: &Graph, original_ids: &[u64]) {
+    let (offsets, neighbors) = graph.csr_parts();
+    let offsets64: Vec<u64> = offsets.iter().map(|&o| o as u64).collect();
+    writer.add_section(section::GRAPH_OFFSETS, 0, u64s_to_bytes(&offsets64));
+    writer.add_section(section::GRAPH_NEIGHBORS, 0, u32s_to_bytes(neighbors));
+    writer.add_section(section::ORIGINAL_IDS, 0, u64s_to_bytes(original_ids));
+}
+
+/// Decodes and validates the graph sections of a verified snapshot.
+pub fn read_graph_sections(snapshot: &Snapshot) -> Result<LoadedGraph, SnapshotError> {
+    let offsets64 = bytes_to_u64s(snapshot.require(section::GRAPH_OFFSETS)?, "graph offsets")?;
+    let neighbors = bytes_to_u32s(
+        snapshot.require(section::GRAPH_NEIGHBORS)?,
+        "graph neighbors",
+    )?;
+    let original_ids = bytes_to_u64s(snapshot.require(section::ORIGINAL_IDS)?, "original ids")?;
+    let mut offsets = Vec::with_capacity(offsets64.len());
+    for o in offsets64 {
+        if o > usize::MAX as u64 {
+            return Err(SnapshotError::Malformed(format!(
+                "graph offset {o} exceeds this platform's address space"
+            )));
+        }
+        offsets.push(o as usize);
+    }
+    let graph = Graph::from_csr_parts(offsets, neighbors).map_err(SnapshotError::Malformed)?;
+    if original_ids.len() != graph.num_vertices() {
+        return Err(SnapshotError::Malformed(format!(
+            "original-id map covers {} vertices, graph has {}",
+            original_ids.len(),
+            graph.num_vertices()
+        )));
+    }
+    let id_map = crate::io::build_id_map(&original_ids);
+    Ok(LoadedGraph {
+        graph,
+        original_ids,
+        id_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn sample_graph() -> (Graph, Vec<u64>) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        (g, vec![100, 200, 300, 7])
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        let (g, ids) = sample_graph();
+        let mut w = SnapshotWriter::new();
+        add_graph_sections(&mut w, &g, &ids);
+        w.to_bytes()
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let (g, ids) = sample_graph();
+        let snap = Snapshot::from_bytes(sample_bytes()).unwrap();
+        assert_eq!(snap.version_minor(), VERSION_MINOR);
+        assert_eq!(snap.sections().len(), 3);
+        let loaded = read_graph_sections(&snap).unwrap();
+        assert_eq!(loaded.graph, g);
+        assert_eq!(loaded.original_ids, ids);
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        assert_eq!(sample_bytes(), sample_bytes());
+    }
+
+    #[test]
+    fn sections_are_aligned() {
+        let snap = Snapshot::from_bytes(sample_bytes()).unwrap();
+        for s in snap.sections() {
+            assert_eq!(s.offset % SECTION_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = sample_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn major_version_mismatch_detected() {
+        let mut bytes = sample_bytes();
+        bytes[4] = 99; // major LE low byte
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::UnsupportedMajor { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn header_corruption_detected_by_checksum() {
+        // Flip the minor version: structurally plausible, caught only by
+        // the header checksum.
+        let mut bytes = sample_bytes();
+        bytes[6] ^= 1;
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::HeaderChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_detected_by_section_checksum() {
+        let mut bytes = sample_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::SectionChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_bytes();
+        let cut = bytes.len() / 2;
+        assert!(matches!(
+            Snapshot::from_bytes(bytes[..cut].to_vec()),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_reported_as_oversize_not_truncation() {
+        let mut bytes = sample_bytes();
+        bytes.push(0);
+        match Snapshot::from_bytes(bytes) {
+            Err(SnapshotError::Malformed(msg)) => {
+                assert!(msg.contains("trailing"), "{msg}")
+            }
+            Err(other) => panic!("expected Malformed(trailing bytes), got {other:?}"),
+            Ok(_) => panic!("oversize file must not load"),
+        }
+    }
+
+    #[test]
+    fn unknown_optional_section_skipped_required_rejected() {
+        let (g, ids) = sample_graph();
+        let mut w = SnapshotWriter::new();
+        add_graph_sections(&mut w, &g, &ids);
+        w.add_section(909, SECTION_FLAG_OPTIONAL, vec![1, 2, 3]);
+        let snap = Snapshot::from_bytes(w.to_bytes()).unwrap();
+        let known = [
+            section::GRAPH_OFFSETS,
+            section::GRAPH_NEIGHBORS,
+            section::ORIGINAL_IDS,
+        ];
+        assert_eq!(snap.check_unknown_sections(&known).unwrap(), vec![909]);
+
+        let mut w = SnapshotWriter::new();
+        add_graph_sections(&mut w, &g, &ids);
+        w.add_section(909, 0, vec![1, 2, 3]);
+        let snap = Snapshot::from_bytes(w.to_bytes()).unwrap();
+        assert!(matches!(
+            snap.check_unknown_sections(&known),
+            Err(SnapshotError::UnknownRequiredSection { kind: 909 })
+        ));
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let bytes = SnapshotWriter::new().to_bytes();
+        let snap = Snapshot::from_bytes(bytes).unwrap();
+        assert!(snap.sections().is_empty());
+        assert!(matches!(
+            snap.require(section::GRAPH_OFFSETS),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+    }
+}

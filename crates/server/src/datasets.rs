@@ -1,19 +1,29 @@
 //! Datasets hosted by the server.
 //!
-//! The server answers queries over the named synthetic presets
-//! ([`kr_datagen::DatasetPreset`], the repo's stand-ins for the paper's
-//! Table 3 networks). Generation is deterministic per `(preset, scale)`,
-//! so a dataset identity string `"name@scale"` pins the exact graph — it
-//! is both the registry key and the dataset half of the component-cache
-//! key. Generated graphs and attribute tables are kept resident and
-//! shared via `Arc`: a dataset is generated once per server lifetime, not
-//! once per query.
+//! Two families of entries share one registry:
+//!
+//! * **Presets** — the named synthetic datasets
+//!   ([`kr_datagen::DatasetPreset`], the repo's stand-ins for the paper's
+//!   Table 3 networks). Generation is deterministic per `(preset,
+//!   scale)`, so the identity string `"name@scale"` pins the exact graph.
+//! * **File-backed** — `.krb` dataset snapshots registered at `serve`
+//!   time (`--dataset name=path.krb`). The file pins the graph, so the
+//!   query's `scale` is irrelevant and the identity is always
+//!   `dataset_key(name, 1.0)` — every scale a client sends maps to the
+//!   same resident dataset and the same component-cache entries. Files
+//!   open **lazily**: the snapshot is read and verified on the first
+//!   query that names it, then kept resident like a generated preset.
+//!
+//! In both cases the identity string is the registry key and the dataset
+//! half of the component-cache key, and resident data is shared via
+//! `Arc`: loaded once per server lifetime, not once per query.
 
 use kr_core::ProblemInstance;
 use kr_datagen::DatasetPreset;
 use kr_graph::Graph;
-use kr_similarity::{AttributeTable, Metric, Threshold};
+use kr_similarity::{read_snapshot_file, AttributeTable, Metric, Threshold};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// One resident dataset.
@@ -48,10 +58,13 @@ impl HostedDataset {
     }
 }
 
-/// Lazily-generated, permanently-resident preset datasets.
+/// Lazily-generated presets plus lazily-opened snapshot files, all
+/// permanently resident once touched.
 #[derive(Default)]
 pub struct DatasetRegistry {
     inner: Mutex<HashMap<String, Arc<HostedDataset>>>,
+    /// File-backed registrations: dataset name → snapshot path.
+    files: HashMap<String, PathBuf>,
 }
 
 /// The identity string for a `(preset name, scale)` pair.
@@ -60,27 +73,67 @@ pub fn dataset_key(name: &str, scale: f64) -> String {
 }
 
 impl DatasetRegistry {
-    /// Empty registry.
+    /// Empty registry (presets only).
     pub fn new() -> Self {
         DatasetRegistry::default()
     }
 
-    /// Names the registry can serve.
+    /// Registers a file-backed dataset under `name`. The snapshot is not
+    /// read here — it opens lazily on first query — but the name must
+    /// not shadow a preset or an earlier file registration.
+    pub fn register_file(
+        &mut self,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+    ) -> Result<(), String> {
+        let name = name.into();
+        if DatasetPreset::all().iter().any(|p| p.name() == name) {
+            return Err(format!("dataset name '{name}' shadows a built-in preset"));
+        }
+        if self.files.contains_key(&name) {
+            return Err(format!("dataset name '{name}' registered twice"));
+        }
+        self.files.insert(name, path.into());
+        Ok(())
+    }
+
+    /// True when `name` resolves to a registered snapshot file. The
+    /// session uses this to skip scale policy for file-backed datasets —
+    /// their graph is pinned by the file, so a query's `scale` is
+    /// documentation-free noise rather than a generation request.
+    pub fn is_file_backed(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Preset names every registry can serve.
     pub fn known_names() -> Vec<&'static str> {
         DatasetPreset::all().iter().map(|p| p.name()).collect()
     }
 
-    /// Returns the dataset for `(name, scale)`, generating it on first
-    /// use. Errors (with the list of known names) when the preset does
-    /// not exist.
+    /// All names *this* registry can serve: presets plus registered
+    /// files.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Self::known_names().iter().map(|s| s.to_string()).collect();
+        let mut files: Vec<String> = self.files.keys().cloned().collect();
+        files.sort();
+        names.extend(files);
+        names
+    }
+
+    /// Returns the dataset for `(name, scale)`, generating a preset or
+    /// opening a registered snapshot file on first use. Errors (with the
+    /// list of known names) when the name matches neither.
     pub fn get(&self, name: &str, scale: f64) -> Result<Arc<HostedDataset>, String> {
+        if let Some(path) = self.files.get(name) {
+            return self.get_file(name, path);
+        }
         let preset = DatasetPreset::all()
             .into_iter()
             .find(|p| p.name() == name)
             .ok_or_else(|| {
                 format!(
                     "unknown dataset '{name}' (known: {})",
-                    Self::known_names().join(", ")
+                    self.names().join(", ")
                 )
             })?;
         let key = dataset_key(name, scale);
@@ -96,6 +149,33 @@ impl DatasetRegistry {
             graph: data.graph,
             attributes: data.attributes,
             metric: data.metric,
+        });
+        Ok(self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .entry(key)
+            .or_insert(hosted)
+            .clone())
+    }
+
+    /// File-backed lookup: the snapshot pins the graph, so the identity
+    /// (and component-cache key prefix) is `dataset_key(name, 1.0)` no
+    /// matter what scale the query carried.
+    fn get_file(&self, name: &str, path: &PathBuf) -> Result<Arc<HostedDataset>, String> {
+        let key = dataset_key(name, 1.0);
+        if let Some(ds) = self.inner.lock().expect("registry lock").get(&key) {
+            return Ok(ds.clone());
+        }
+        // Read + verify outside the lock; a racing load of the same file
+        // is redundant but harmless (identical bytes, first insert kept).
+        let snap = read_snapshot_file(path)
+            .map_err(|e| format!("dataset '{name}' failed to load from {path:?}: {e}"))?;
+        let hosted = Arc::new(HostedDataset {
+            key: key.clone(),
+            graph: snap.graph,
+            attributes: snap.attributes,
+            metric: snap.metric,
         });
         Ok(self
             .inner
@@ -134,5 +214,65 @@ mod tests {
     fn unknown_name_lists_presets() {
         let err = DatasetRegistry::new().get("nope", 1.0).unwrap_err();
         assert!(err.contains("gowalla-like"), "{err}");
+    }
+
+    fn write_tiny_snapshot(tag: &str) -> std::path::PathBuf {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let attrs = AttributeTable::points(vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        let path =
+            std::env::temp_dir().join(format!("kr_registry_{tag}_{}.krb", std::process::id()));
+        kr_similarity::write_snapshot_file(&path, &g, &[10, 20, 30], &attrs, Metric::Euclidean)
+            .expect("write snapshot");
+        path
+    }
+
+    #[test]
+    fn file_backed_dataset_loads_lazily_and_ignores_scale() {
+        let path = write_tiny_snapshot("lazy");
+        let mut reg = DatasetRegistry::new();
+        reg.register_file("tiny", &path).unwrap();
+        assert!(reg.names().contains(&"tiny".to_string()));
+        let a = reg.get("tiny", 0.25).unwrap();
+        // Any requested scale resolves to the same resident dataset and
+        // the same identity key.
+        let b = reg.get("tiny", 1.0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.key, "tiny@1");
+        assert_eq!(a.graph.num_vertices(), 3);
+        assert_eq!(a.metric, Metric::Euclidean);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn file_registration_rejects_preset_shadowing_and_duplicates() {
+        let mut reg = DatasetRegistry::new();
+        assert!(reg.register_file("gowalla-like", "/tmp/x.krb").is_err());
+        reg.register_file("mine", "/tmp/x.krb").unwrap();
+        assert!(reg.register_file("mine", "/tmp/y.krb").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_query_time_error() {
+        let mut reg = DatasetRegistry::new();
+        reg.register_file("ghost", "/nonexistent/ghost.krb")
+            .unwrap();
+        let err = reg.get("ghost", 1.0).unwrap_err();
+        assert!(err.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_query_time_error() {
+        let path = std::env::temp_dir().join(format!("kr_registry_bad_{}.krb", std::process::id()));
+        std::fs::write(
+            &path,
+            b"not a snapshot at all, padded past the header length",
+        )
+        .unwrap();
+        let mut reg = DatasetRegistry::new();
+        reg.register_file("bad", &path).unwrap();
+        let err = reg.get("bad", 1.0).unwrap_err();
+        assert!(err.contains("failed to load"), "{err}");
+        assert!(err.contains("bad magic"), "{err}");
+        let _ = std::fs::remove_file(path);
     }
 }

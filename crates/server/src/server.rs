@@ -32,6 +32,12 @@ pub struct ServerConfig {
     pub max_node_limit: Option<u64>,
     /// Largest dataset scale a query may ask the registry to generate.
     pub max_scale: f64,
+    /// File-backed datasets to register: `(name, snapshot path)`. Paths
+    /// are checked for existence at bind time (fail fast on a typo'd
+    /// `--dataset`), but the snapshots themselves open lazily on first
+    /// query. A query's `scale` is ignored for these — the file pins the
+    /// graph (identity `name@1`).
+    pub file_datasets: Vec<(String, String)>,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +48,7 @@ impl Default for ServerConfig {
             max_time_limit_ms: Some(120_000),
             max_node_limit: None,
             max_scale: 2.0,
+            file_datasets: Vec::new(),
         }
     }
 }
@@ -82,11 +89,21 @@ impl Server {
     /// Binds the listener and builds the shared state. No connection is
     /// accepted until [`Server::run`] (or [`Server::spawn`]).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let bad_input = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+        let mut datasets = DatasetRegistry::new();
+        for (name, path) in &config.file_datasets {
+            if !std::path::Path::new(path).is_file() {
+                return Err(bad_input(format!(
+                    "dataset '{name}': snapshot file {path:?} does not exist"
+                )));
+            }
+            datasets.register_file(name, path).map_err(bad_input)?;
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
             cache: ComponentCache::new(config.cache_capacity),
-            datasets: DatasetRegistry::new(),
+            datasets,
             config,
             shutdown: AtomicBool::new(false),
             local_addr,

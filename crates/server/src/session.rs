@@ -197,7 +197,10 @@ fn run_query(
     writer: &SharedWriter,
     state: &Arc<ServerState>,
 ) -> std::io::Result<()> {
-    if spec.scale > state.config.max_scale {
+    // `max_scale` bounds what the registry may *generate*; file-backed
+    // datasets are pinned by their snapshot and ignore scale entirely,
+    // so the policy does not apply to them.
+    if spec.scale > state.config.max_scale && !state.datasets.is_file_backed(&spec.dataset) {
         return write_frame(
             writer,
             &Frame::Error {

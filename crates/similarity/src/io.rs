@@ -12,6 +12,8 @@
 //!   (bare `kw` means weight 1)
 
 use crate::attributes::AttributeTable;
+use kr_graph::VertexId;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 /// Errors raised while parsing attribute files.
@@ -119,6 +121,121 @@ pub fn read_keywords<R: Read>(reader: R, n: usize) -> Result<AttributeTable, Att
     Ok(AttributeTable::keywords(lists))
 }
 
+/// Join statistics of a mapped attribute load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttrJoinStats {
+    /// Data lines seen (comments and blanks excluded).
+    pub lines: u64,
+    /// Lines whose vertex id joined against the graph's id map.
+    pub matched: u64,
+    /// Lines whose vertex id does not appear in the graph (real SNAP
+    /// attribute dumps routinely cover users the edge list dropped);
+    /// skipped, not errors.
+    pub unmatched: u64,
+}
+
+/// Shared line loop of the mapped loaders: streams `reader` line by line
+/// (one reused buffer, no per-line allocation), joins the leading
+/// original id through `id_map`, and hands matched rows to `row`.
+fn read_mapped_rows<R: Read>(
+    reader: R,
+    id_map: &HashMap<u64, VertexId>,
+    n: usize,
+    mut row: impl FnMut(VertexId, &mut std::str::SplitWhitespace<'_>, usize) -> Result<(), AttrIoError>,
+) -> Result<AttrJoinStats, AttrIoError> {
+    let mut reader = BufReader::new(reader);
+    let mut stats = AttrJoinStats::default();
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(stats);
+        }
+        line_no += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        stats.lines += 1;
+        let mut it = t.split_whitespace();
+        let id: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "missing vertex id"))?;
+        match id_map.get(&id) {
+            Some(&dense) if (dense as usize) < n => {
+                stats.matched += 1;
+                row(dense, &mut it, line_no)?;
+            }
+            Some(&dense) => {
+                return Err(parse_err(
+                    line_no,
+                    format!("id map sends {id} to dense id {dense}, out of range {n}"),
+                ));
+            }
+            None => stats.unmatched += 1,
+        }
+    }
+}
+
+/// Reads a point table keyed by **original** (file) vertex ids, joining
+/// each row against the graph's id map (see
+/// `kr_graph::io::LoadedGraph::id_map`). Vertices without a row default
+/// to the origin; rows for unknown ids are counted and skipped.
+pub fn read_points_mapped<R: Read>(
+    reader: R,
+    id_map: &HashMap<u64, VertexId>,
+    n: usize,
+) -> Result<(AttributeTable, AttrJoinStats), AttrIoError> {
+    let mut pts = vec![(0.0f64, 0.0f64); n];
+    let stats = read_mapped_rows(reader, id_map, n, |dense, it, line_no| {
+        let x: f64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "missing x"))?;
+        let y: f64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "missing y"))?;
+        pts[dense as usize] = (x, y);
+        Ok(())
+    })?;
+    Ok((AttributeTable::points(pts), stats))
+}
+
+/// Reads a weighted keyword table keyed by **original** vertex ids (same
+/// join semantics as [`read_points_mapped`]; token grammar of
+/// [`read_keywords`]). Vertices without a row get empty keyword lists.
+pub fn read_keywords_mapped<R: Read>(
+    reader: R,
+    id_map: &HashMap<u64, VertexId>,
+    n: usize,
+) -> Result<(AttributeTable, AttrJoinStats), AttrIoError> {
+    let mut lists: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let stats = read_mapped_rows(reader, id_map, n, |dense, it, line_no| {
+        let mut list = Vec::new();
+        for token in it {
+            let (kw, w) = match token.split_once(':') {
+                Some((kw, w)) => {
+                    let w: f64 = w
+                        .parse()
+                        .map_err(|_| parse_err(line_no, format!("bad weight in {token:?}")))?;
+                    (kw, w)
+                }
+                None => (token, 1.0),
+            };
+            let kw: u32 = kw
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("bad keyword id in {token:?}")))?;
+            list.push((kw, w));
+        }
+        lists[dense as usize] = list;
+        Ok(())
+    })?;
+    Ok((AttributeTable::keywords(lists), stats))
+}
+
 /// Writes an attribute table in the matching TSV format.
 pub fn write_attributes<W: Write>(table: &AttributeTable, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
@@ -217,5 +334,61 @@ mod tests {
     fn comments_and_blanks_ignored() {
         let data = "# header\n\n0\t1.0\t2.0\n";
         assert!(read_points(data.as_bytes(), 1).is_ok());
+    }
+
+    fn sparse_id_map() -> HashMap<u64, VertexId> {
+        // Original ids 100/200/300 → dense 0/1/2.
+        [(100u64, 0u32), (200, 1), (300, 2)].into_iter().collect()
+    }
+
+    #[test]
+    fn mapped_points_join_and_count() {
+        let data = "# id x y\n300\t9.0\t8.0\n100\t1.0\t2.0\n999\t5.0\t5.0\n";
+        let (t, stats) = read_points_mapped(data.as_bytes(), &sparse_id_map(), 3).unwrap();
+        assert_eq!(
+            stats,
+            AttrJoinStats {
+                lines: 3,
+                matched: 2,
+                unmatched: 1
+            }
+        );
+        match t {
+            AttributeTable::Points(p) => {
+                assert_eq!(p, vec![(1.0, 2.0), (0.0, 0.0), (9.0, 8.0)]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mapped_keywords_join_and_count() {
+        let data = "200\t5:2.5\t7\n12345\t1\n";
+        let (t, stats) = read_keywords_mapped(data.as_bytes(), &sparse_id_map(), 3).unwrap();
+        assert_eq!((stats.matched, stats.unmatched), (1, 1));
+        match t {
+            AttributeTable::Keywords(lists) => {
+                assert!(lists[0].is_empty());
+                assert_eq!(lists[1], vec![(5, 2.5), (7, 1.0)]);
+                assert!(lists[2].is_empty());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mapped_loader_rejects_inconsistent_map() {
+        // Map says dense id 7, but the table only covers 3 vertices.
+        let map: HashMap<u64, VertexId> = [(100u64, 7u32)].into_iter().collect();
+        assert!(read_points_mapped("100 1 2\n".as_bytes(), &map, 3).is_err());
+    }
+
+    #[test]
+    fn mapped_loader_propagates_parse_errors() {
+        let data = "200\tnot-a-number\t3.0\n";
+        match read_points_mapped(data.as_bytes(), &sparse_id_map(), 3) {
+            Err(AttrIoError::Parse { line_no, .. }) => assert_eq!(line_no, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 }

@@ -25,10 +25,14 @@ pub mod metrics;
 pub mod oracle;
 pub mod quantile;
 pub mod simgraph;
+pub mod snapshot;
 
 pub use attributes::AttributeTable;
 pub use candidates::{AllPairs, CandidatePairs, GridCandidates, InvertedIndexCandidates};
-pub use io::{read_keywords, read_points, write_attributes};
+pub use io::{
+    read_keywords, read_keywords_mapped, read_points, read_points_mapped, write_attributes,
+    AttrIoError, AttrJoinStats,
+};
 pub use metrics::Metric;
 pub use oracle::{SimilarityOracle, TableOracle, Threshold};
 pub use quantile::{
@@ -37,4 +41,8 @@ pub use quantile::{
 pub use simgraph::{
     build_dissimilarity_lists, build_dissimilarity_lists_brute, build_dissimilarity_lists_on,
     build_similarity_graph, build_similarity_graph_brute, DissimilarityLists,
+};
+pub use snapshot::{
+    read_snapshot, read_snapshot_bytes, read_snapshot_file, snapshot_to_bytes, write_snapshot,
+    write_snapshot_file, DatasetSnapshot,
 };

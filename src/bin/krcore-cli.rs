@@ -6,7 +6,9 @@
 //! krcore-cli enum   --edges dblp.txt  --keywords kw.tsv    --k 5 --r 0.4
 //! krcore-cli max    --edges dblp.txt  --keywords kw.tsv    --k 5 --permille 3
 //! krcore-cli stats  --edges graph.txt --points locs.tsv    --k 5 --r 10
-//! krcore-cli serve  [--addr 127.0.0.1:7878] [--cache-capacity 16] [--max-time-limit-ms MS]
+//! krcore-cli ingest edges.txt (--points locs.tsv | --keywords kw.tsv) -o data.krb
+//! krcore-cli serve  [--addr 127.0.0.1:7878] [--cache-capacity 16] [--max-time-limit-ms MS] \
+//!                   [--dataset name=path.krb]...
 //! krcore-cli query  --addr 127.0.0.1:7878 <enum|max> --dataset gowalla-like --k 3 --r 8 \
 //!                   [--scale 0.25] [--algo adv|basic] [--threads N] [--out FILE]
 //! krcore-cli query  --addr 127.0.0.1:7878 <stats|ping|shutdown>
@@ -20,20 +22,24 @@
 //! * `--threads N` runs the work-stealing parallel engine on `N` workers
 //!   (`0` = all cores; default 1 = sequential; `adv`/`basic` only);
 //! * `--time-limit-ms` bounds the run (prints a warning when exceeded);
-//! * `serve` hosts the preset datasets behind the line-delimited JSON
-//!   protocol of `kr_server` (preprocessed components cached per
-//!   `(dataset, k, r-band)`, enumeration results streamed);
+//! * `ingest` streams a SNAP edge list + attribute TSV (attribute rows
+//!   keyed by the file's original sparse ids) into a verified `.krb`
+//!   binary snapshot — the format `serve --dataset` hosts;
+//! * `serve` hosts the preset datasets — plus any `--dataset name=path.krb`
+//!   snapshots — behind the line-delimited JSON protocol of `kr_server`
+//!   (preprocessed components cached per `(dataset, k, r-band)`,
+//!   enumeration results streamed);
 //! * `query` is the matching client: cores stream to stdout as they
 //!   arrive, diagnostics (cache hit/miss, timing) to stderr.
 
 use krcore::core::{
     clique_based_maximal, enumerate_maximal, find_maximum, AlgoConfig, ProblemInstance,
 };
-use krcore::graph::io::read_edge_list_file;
+use krcore::graph::io::{read_edge_list_file, read_edge_list_streaming_with};
 use krcore::server::{Algo, Client, QuerySpec, Server, ServerConfig};
 use krcore::similarity::{
-    read_keywords, read_points, top_permille_threshold, AttributeTable, Metric, TableOracle,
-    Threshold,
+    read_keywords, read_keywords_mapped, read_points, read_points_mapped, top_permille_threshold,
+    write_snapshot_file, AttributeTable, Metric, TableOracle, Threshold,
 };
 use std::io::Write;
 use std::process::exit;
@@ -57,8 +63,10 @@ fn usage() -> ! {
         "usage: krcore-cli <enum|max|stats> --edges FILE (--points FILE | --keywords FILE) \
          --k K (--r R | --permille X) [--algo adv|basic|naive|clique] [--threads N] \
          [--out FILE] [--time-limit-ms MS]\n\
+         \x20      krcore-cli ingest EDGES (--points FILE | --keywords FILE) -o OUT.krb \
+         [--progress-every EDGES]\n\
          \x20      krcore-cli serve [--addr HOST:PORT] [--cache-capacity N] \
-         [--max-time-limit-ms MS] [--max-scale S]\n\
+         [--max-time-limit-ms MS] [--max-scale S] [--dataset NAME=PATH.krb]...\n\
          \x20      krcore-cli query --addr HOST:PORT <enum|max|stats|ping|shutdown> \
          [--dataset NAME --k K --r R] [--scale S] [--algo adv|basic] [--threads N] \
          [--time-limit-ms MS] [--node-limit N] [--out FILE]"
@@ -129,6 +137,7 @@ fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("serve") => return cmd_serve(),
         Some("query") => return cmd_query(),
+        Some("ingest") => return cmd_ingest(),
         _ => {}
     }
     let args = parse_args();
@@ -288,6 +297,109 @@ fn main() {
     }
 }
 
+/// `krcore-cli ingest`: stream an edge list + attribute file into a
+/// verified binary snapshot (`.krb`) that `serve --dataset` can host.
+fn cmd_ingest() {
+    let mut edges: Option<String> = None;
+    let mut points: Option<String> = None;
+    let mut keywords: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut progress_every: u64 = 1_000_000;
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--points" => points = Some(val()),
+            "--keywords" => keywords = Some(val()),
+            "-o" | "--out" => out = Some(val()),
+            "--progress-every" => progress_every = val().parse().unwrap_or_else(|_| usage()),
+            _ if edges.is_none() && !arg.starts_with('-') => edges = Some(arg),
+            _ => usage(),
+        }
+    }
+    let (Some(edges), Some(out)) = (edges, out) else {
+        usage()
+    };
+    if points.is_some() == keywords.is_some() {
+        eprintln!("exactly one of --points / --keywords is required");
+        exit(2);
+    }
+
+    let t0 = std::time::Instant::now();
+    let source = std::fs::File::open(&edges).unwrap_or_else(|e| {
+        eprintln!("failed to open {edges}: {e}");
+        exit(1)
+    });
+    let (loaded, progress) = read_edge_list_streaming_with(source, progress_every.max(1), |p| {
+        eprintln!(
+            "  ... {} edges / {} vertices ({} MiB read)",
+            p.edges,
+            p.vertices,
+            p.bytes >> 20
+        );
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("failed to read {edges}: {e}");
+        exit(1)
+    });
+    let n = loaded.graph.num_vertices();
+    eprintln!(
+        "streamed {} vertices / {} edges ({} raw records, {} bytes) in {:.2?}",
+        n,
+        loaded.graph.num_edges(),
+        progress.edges,
+        progress.bytes,
+        t0.elapsed()
+    );
+
+    let id_map = &loaded.id_map;
+    let (attrs, metric, stats) = if let Some(path) = &points {
+        let f = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("failed to open {path}: {e}");
+            exit(1)
+        });
+        match read_points_mapped(f, id_map, n) {
+            Ok((t, s)) => (t, Metric::Euclidean, s),
+            Err(e) => {
+                eprintln!("failed to parse {path}: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        let path = keywords.as_ref().expect("validated");
+        let f = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("failed to open {path}: {e}");
+            exit(1)
+        });
+        match read_keywords_mapped(f, id_map, n) {
+            Ok((t, s)) => (t, Metric::WeightedJaccard, s),
+            Err(e) => {
+                eprintln!("failed to parse {path}: {e}");
+                exit(1);
+            }
+        }
+    };
+    eprintln!(
+        "joined attributes: {} rows matched, {} rows for vertices absent from the graph",
+        stats.matched, stats.unmatched
+    );
+
+    if let Err(e) = write_snapshot_file(&out, &loaded.graph, &loaded.original_ids, &attrs, metric) {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    }
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    // Machine-readable summary on stdout so scripts can scrape it.
+    println!(
+        "wrote {out}: {} vertices, {} edges, {} attribute rows, {} bytes, metric {:?}",
+        n,
+        loaded.graph.num_edges(),
+        stats.matched,
+        bytes,
+        metric
+    );
+}
+
 /// `krcore-cli serve`: host the preset datasets behind the wire protocol.
 fn cmd_serve() {
     let mut config = ServerConfig {
@@ -307,6 +419,16 @@ fn cmd_serve() {
                 config.max_node_limit = Some(val().parse().unwrap_or_else(|_| usage()))
             }
             "--max-scale" => config.max_scale = val().parse().unwrap_or_else(|_| usage()),
+            "--dataset" => {
+                let spec = val();
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("--dataset expects NAME=PATH.krb, got {spec:?}");
+                    exit(2);
+                };
+                config
+                    .file_datasets
+                    .push((name.to_string(), path.to_string()));
+            }
             _ => usage(),
         }
     }

@@ -1,0 +1,298 @@
+//! Property tests for the ingestion pipeline.
+//!
+//! 1. The chunked streaming edge-list reader is behaviorally identical
+//!    to the line-buffered reference reader on arbitrary messy input
+//!    (sparse ids, duplicates, self loops, comments, CRLF, weird
+//!    whitespace), and `write_edge_list` output round-trips through it.
+//! 2. A snapshot round trip (`snapshot_to_bytes` → `read_snapshot_bytes`)
+//!    changes nothing: preprocessing the reloaded dataset yields
+//!    **identical** `LocalComponent`s (CSR arenas compare byte for byte
+//!    via `Eq`) on random `datagen` instances.
+//! 3. The full text pipeline — edge list + attribute TSV keyed by sparse
+//!    original ids → streaming load + mapped join → snapshot → load →
+//!    preprocess — yields the same cores as the direct in-memory path,
+//!    modulo the densification relabeling (compared in original-id
+//!    space, where the two are exactly equal).
+
+use krcore::graph::io::{read_edge_list, read_edge_list_streaming, write_edge_list, IoError};
+use krcore::prelude::*;
+use krcore::similarity::{
+    read_keywords_mapped, read_points_mapped, read_snapshot_bytes, snapshot_to_bytes,
+    write_attributes,
+};
+use proptest::prelude::*;
+
+/// One line of a synthetic edge-list file: an edge with formatting
+/// quirks, a comment, or a blank line.
+#[derive(Debug, Clone)]
+enum Line {
+    Edge { a: u64, b: u64, sep: u8, pad: bool },
+    Comment(String),
+    Blank,
+}
+
+fn arb_edge() -> impl Strategy<Value = Line> {
+    (0u64..40, 0u64..40, 0u8..4, false..true).prop_map(|(a, b, sep, pad)| {
+        // Sparse ids: stretch a dense-ish range so first-seen
+        // densification has real work to do.
+        Line::Edge {
+            a: a * 17 + 3,
+            b: b * 17 + 3,
+            sep,
+            pad,
+        }
+    })
+}
+
+fn arb_line() -> impl Strategy<Value = Line> {
+    let comment = (0u8..4).prop_map(|pick| {
+        Line::Comment(
+            match pick {
+                0 => "#",
+                1 => "# a comment",
+                2 => "#\tweird\twhitespace  ",
+                _ => "# 1 2 3 looks like data",
+            }
+            .to_string(),
+        )
+    });
+    // The offline proptest shim's `prop_oneof!` draws uniformly, so the
+    // edge arm is listed once per desired weight unit.
+    prop_oneof![
+        arb_edge(),
+        arb_edge(),
+        arb_edge(),
+        arb_edge(),
+        arb_edge(),
+        arb_edge(),
+        comment,
+        Just(Line::Blank),
+    ]
+}
+
+fn render(lines: &[Line], crlf: bool, trailing_newline: bool) -> String {
+    let mut out = String::new();
+    let eol = if crlf { "\r\n" } else { "\n" };
+    for (i, line) in lines.iter().enumerate() {
+        match line {
+            Line::Edge { a, b, sep, pad } => {
+                let sep = match sep {
+                    0 => " ",
+                    1 => "\t",
+                    2 => "   ",
+                    _ => " \t ",
+                };
+                if *pad {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{a}{sep}{b}"));
+                if *pad {
+                    out.push_str(" \t");
+                }
+            }
+            Line::Comment(c) => out.push_str(c),
+            Line::Blank => {}
+        }
+        if i + 1 < lines.len() || trailing_newline {
+            out.push_str(eol);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_reader_equals_reference_reader(
+        lines in proptest::collection::vec(arb_line(), 0..30),
+        crlf in false..true,
+        trailing_newline in false..true,
+    ) {
+        let text = render(&lines, crlf, trailing_newline);
+        let reference = read_edge_list(text.as_bytes());
+        let streaming = read_edge_list_streaming(text.as_bytes());
+        match (reference, streaming) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.graph, b.graph);
+                prop_assert_eq!(a.original_ids, b.original_ids);
+            }
+            (Err(IoError::Empty), Err(IoError::Empty)) => {}
+            (a, b) => prop_assert!(false, "readers disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn written_edge_lists_roundtrip_through_streaming_reader(
+        lines in proptest::collection::vec(arb_line(), 1..30),
+    ) {
+        let text = render(&lines, false, true);
+        let Ok(loaded) = read_edge_list(text.as_bytes()) else {
+            return Ok(()); // all-comment input: nothing to round-trip
+        };
+        if loaded.graph.num_edges() == 0 {
+            return Ok(()); // self-loop-only input writes an empty list
+        }
+        let mut buf = Vec::new();
+        write_edge_list(&loaded.graph, &mut buf).unwrap();
+        let back = read_edge_list_streaming(&buf[..]).unwrap();
+        // write_edge_list emits dense ids sorted, so reloading them
+        // densifies isolated-vertex-free graphs in vertex order...
+        prop_assert_eq!(back.graph.num_edges(), loaded.graph.num_edges());
+        // ...and re-mapping through the reload's id map reproduces every
+        // edge exactly.
+        let edges: std::collections::BTreeSet<(u64, u64)> = back
+            .graph
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (
+                    back.original_ids[u as usize],
+                    back.original_ids[v as usize],
+                );
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        let expected: std::collections::BTreeSet<(u64, u64)> = loaded
+            .graph
+            .edges()
+            .map(|(u, v)| ((u as u64).min(v as u64), (u as u64).max(v as u64)))
+            .collect();
+        prop_assert_eq!(edges, expected);
+    }
+}
+
+/// Deterministic per-case datagen instance for the snapshot properties.
+fn datagen_case(preset_idx: usize, scale_step: u32, k: u32) -> (SyntheticDataset, u32, f64) {
+    let preset = DatasetPreset::all()[preset_idx % 4];
+    let scale = 0.1 + f64::from(scale_step % 4) * 0.05;
+    let d = preset.generate_scaled(scale);
+    let r = if d.metric.is_distance() { 8.0 } else { 0.25 };
+    (d, k, r)
+}
+
+fn threshold_for(metric: Metric, r: f64) -> Threshold {
+    if metric.is_distance() {
+        Threshold::MaxDistance(r)
+    } else {
+        Threshold::MinSimilarity(r)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Snapshot round trip is lossless: preprocessing the reloaded
+    /// dataset yields LocalComponents that compare equal (the CSR arenas
+    /// derive `Eq`, so this pins offsets and target arenas exactly).
+    #[test]
+    fn snapshot_roundtrip_preserves_preprocessing(
+        preset_idx in 0usize..4,
+        scale_step in 0u32..4,
+        k in 2u32..4,
+    ) {
+        let (d, k, r) = datagen_case(preset_idx, scale_step, k);
+        // Sparse original ids exercise the id-map section.
+        let original_ids: Vec<u64> = (0..d.graph.num_vertices() as u64).map(|v| v * 3 + 11).collect();
+        let bytes = snapshot_to_bytes(&d.graph, &original_ids, &d.attributes, d.metric);
+        let ds = read_snapshot_bytes(bytes).expect("roundtrip");
+        prop_assert_eq!(&ds.graph, &d.graph);
+        prop_assert_eq!(&ds.original_ids, &original_ids);
+        prop_assert_eq!(&ds.attributes, &d.attributes);
+        prop_assert_eq!(ds.metric, d.metric);
+
+        let direct = ProblemInstance::new(
+            d.graph.clone(), d.attributes.clone(), d.metric, threshold_for(d.metric, r), k);
+        let reloaded = ProblemInstance::new(
+            ds.graph, ds.attributes, ds.metric, threshold_for(ds.metric, r), k);
+        prop_assert_eq!(direct.preprocess(), reloaded.preprocess());
+    }
+
+    /// Full text-ingestion pipeline vs the direct in-memory path. The
+    /// text round trip relabels vertices (first-seen densification), so
+    /// the comparison happens in original-id space, where the maximal
+    /// cores must match exactly.
+    #[test]
+    fn text_ingest_pipeline_matches_direct_path(
+        preset_idx in 0usize..4,
+        scale_step in 0u32..4,
+        k in 2u32..4,
+    ) {
+        let (d, k, r) = datagen_case(preset_idx, scale_step, k);
+        let n = d.graph.num_vertices();
+        let orig = |v: VertexId| (v as u64) * 7 + 5;
+
+        // Serialize the dataset as the text files a user would ingest:
+        // an edge list over sparse original ids, and an attribute TSV
+        // keyed by the same ids.
+        let mut edge_text = String::from("# synthetic ingest fixture\n");
+        for (u, v) in d.graph.edges() {
+            edge_text.push_str(&format!("{}\t{}\n", orig(u), orig(v)));
+        }
+        let mut attr_text = Vec::new();
+        write_attributes(&d.attributes, &mut attr_text).unwrap();
+        // write_attributes keys rows by dense id; rewrite the leading
+        // column to original ids.
+        let attr_text: String = String::from_utf8(attr_text)
+            .unwrap()
+            .lines()
+            .map(|line| {
+                if line.starts_with('#') || line.is_empty() {
+                    line.to_string()
+                } else {
+                    let (id, rest) = line.split_once('\t').unwrap_or((line, ""));
+                    let dense: u64 = id.parse().unwrap();
+                    format!("{}\t{}", dense * 7 + 5, rest)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        let loaded = read_edge_list_streaming(edge_text.as_bytes()).expect("streamed");
+        let id_map = &loaded.id_map;
+        let ln = loaded.graph.num_vertices();
+        let (attrs, stats) = match &d.attributes {
+            AttributeTable::Points(_) =>
+                read_points_mapped(attr_text.as_bytes(), id_map, ln).expect("points"),
+            AttributeTable::Keywords(_) =>
+                read_keywords_mapped(attr_text.as_bytes(), id_map, ln).expect("keywords"),
+            AttributeTable::Vectors(_) => unreachable!("datagen emits points/keywords"),
+        };
+        // Isolated vertices never appear in an edge list, so the loaded
+        // graph may be smaller; attribute rows for them count as
+        // unmatched, not errors.
+        prop_assert_eq!(stats.matched, ln as u64);
+        prop_assert_eq!(stats.unmatched, (n - ln) as u64);
+
+        let ds = read_snapshot_bytes(snapshot_to_bytes(
+            &loaded.graph, &loaded.original_ids, &attrs, d.metric)).expect("snapshot");
+
+        let ingested = ProblemInstance::new(
+            ds.graph, ds.attributes, ds.metric, threshold_for(ds.metric, r), k);
+        let direct = ProblemInstance::new(
+            d.graph.clone(), d.attributes.clone(), d.metric, threshold_for(d.metric, r), k);
+        let cfg = AlgoConfig::adv_enum();
+
+        // Compare maximal cores in original-id space.
+        let to_orig_sets = |cores: Vec<KrCore>, map: &dyn Fn(VertexId) -> u64| {
+            let mut sets: Vec<Vec<u64>> = cores
+                .into_iter()
+                .map(|c| {
+                    let mut ids: Vec<u64> = c.vertices.iter().map(|&v| map(v)).collect();
+                    ids.sort_unstable();
+                    ids
+                })
+                .collect();
+            sets.sort();
+            sets
+        };
+        let ingested_cores = to_orig_sets(
+            krcore::core::enumerate_maximal(&ingested, &cfg).cores,
+            &|v| ds.original_ids[v as usize],
+        );
+        let direct_cores = to_orig_sets(
+            krcore::core::enumerate_maximal(&direct, &cfg).cores,
+            &|v| orig(v),
+        );
+        prop_assert_eq!(ingested_cores, direct_cores);
+    }
+}
