@@ -25,6 +25,7 @@ pub mod bounds;
 pub mod cliquebased;
 pub mod component;
 pub mod config;
+pub mod decomp;
 pub mod early_term;
 pub mod enumerate;
 pub mod maximal;
@@ -39,6 +40,10 @@ pub mod verify;
 pub use cliquebased::{clique_based_maximal, clique_based_maximal_budgeted};
 pub use component::LocalComponent;
 pub use config::{AlgoConfig, BoundKind, BranchPolicy, CheckOrder, CoreHook, SearchOrder};
+pub use decomp::{
+    build_index_for, read_indexed_snapshot_bytes, read_indexed_snapshot_file,
+    write_indexed_snapshot_file, CandidateSet, DecompositionIndex,
+};
 pub use enumerate::{
     enumerate_maximal, enumerate_maximal_prepared, enumerate_maximal_prepared_on, EnumResult,
 };

@@ -91,7 +91,32 @@ impl ProblemInstance {
     /// the paper's "start from the subgraph holding the highest-degree
     /// vertex" strategy for the maximum search.
     pub fn preprocess(&self) -> Vec<LocalComponent> {
-        self.preprocess_impl(None)
+        self.preprocess_impl(None, None)
+    }
+
+    /// [`Self::preprocess`] restricted to a candidate vertex set (usually
+    /// resolved from a [`crate::decomp::DecompositionIndex`]): the
+    /// similarity oracle is evaluated only on candidate-internal edges,
+    /// so the cost of step 1 scales with the candidates' edge count
+    /// instead of the whole graph's.
+    ///
+    /// When `candidates` is a superset of the filtered graph's k-core —
+    /// which any sound index lookup guarantees — the returned components
+    /// are **identical** to [`Self::preprocess`]'s, in the same order:
+    /// vertices outside the k-core never influence the component split,
+    /// the arenas, or the seed-component ordering.
+    pub fn preprocess_with_candidates(&self, candidates: &[VertexId]) -> Vec<LocalComponent> {
+        self.preprocess_impl(None, Some(candidates))
+    }
+
+    /// [`Self::preprocess_with_candidates`] on a caller-provided pool
+    /// (the parallel analogue of [`Self::preprocess_on`]).
+    pub fn preprocess_with_candidates_on(
+        &self,
+        candidates: &[VertexId],
+        pool: &rayon::ThreadPool,
+    ) -> Vec<LocalComponent> {
+        self.preprocess_impl(Some(pool), Some(candidates))
     }
 
     /// [`Self::preprocess`] on `threads` workers (`0` = all cores): the
@@ -113,12 +138,24 @@ impl ProblemInstance {
     /// arena build, and the subtask phase — instead of building a
     /// short-lived pool per phase.
     pub fn preprocess_on(&self, pool: &rayon::ThreadPool) -> Vec<LocalComponent> {
-        self.preprocess_impl(Some(pool))
+        self.preprocess_impl(Some(pool), None)
     }
 
-    fn preprocess_impl(&self, pool: Option<&rayon::ThreadPool>) -> Vec<LocalComponent> {
-        // 1. Remove edges between dissimilar endpoints.
-        let filtered = self.graph.filter_edges(|u, v| self.oracle.is_similar(u, v));
+    fn preprocess_impl(
+        &self,
+        pool: Option<&rayon::ThreadPool>,
+        candidates: Option<&[VertexId]>,
+    ) -> Vec<LocalComponent> {
+        // 1. Remove edges between dissimilar endpoints — only evaluating
+        //    the oracle inside the candidate set, when one is given. The
+        //    filtered graph keeps the global vertex numbering either way,
+        //    so every step below is oblivious to how it was produced.
+        let filtered = match candidates {
+            None => self.graph.filter_edges(|u, v| self.oracle.is_similar(u, v)),
+            Some(c) => self
+                .graph
+                .filter_edges_within(c, |u, v| self.oracle.is_similar(u, v)),
+        };
         // 2. k-core of the filtered graph.
         let core_vertices = match pool {
             None => k_core(&filtered, self.k),
@@ -259,6 +296,26 @@ mod tests {
         let comps = p.preprocess();
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn candidate_restricted_preprocess_is_identical() {
+        for r in [10.0, 200.0] {
+            let p = two_cluster_instance(2, r);
+            let full = p.preprocess();
+            // Both the tightest sound candidate set (the preprocessed
+            // k-core itself) and a loose superset (every vertex) must
+            // reproduce the unrestricted result exactly.
+            for cand in [p.preprocessed_core(), (0..8).collect::<Vec<_>>()] {
+                let restricted = p.preprocess_with_candidates(&cand);
+                assert_eq!(restricted.len(), full.len(), "r={r}");
+                for (a, b) in full.iter().zip(&restricted) {
+                    let ids: Vec<VertexId> = (0..a.len() as VertexId).collect();
+                    assert_eq!(a.globalize(&ids), b.globalize(&ids), "r={r}");
+                    assert_eq!(a.num_edges(), b.num_edges(), "r={r}");
+                }
+            }
+        }
     }
 
     #[test]

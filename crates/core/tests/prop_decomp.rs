@@ -1,0 +1,137 @@
+//! Correctness of the (k,r)-core decomposition index: on random
+//! instances and random `(k, r)` pairs, the candidate set it resolves is
+//! a sound superset of the preprocessed k-core, and running the engines
+//! over candidate-restricted preprocessing yields results vertex-set
+//! identical to the from-scratch path.
+
+use kr_core::{
+    enumerate_maximal_prepared, find_maximum_prepared, AlgoConfig, DecompositionIndex,
+    ProblemInstance,
+};
+use kr_graph::{Graph, VertexId};
+use kr_similarity::{AttributeTable, Metric, Threshold};
+use proptest::prelude::*;
+
+/// Random Euclidean instance plus a random query `(k, r)` — `r` ranges
+/// past both ends of the position spread so queries land inside, between,
+/// and outside the index's r-bands.
+fn arb_distance_case() -> impl Strategy<Value = (ProblemInstance, Vec<f64>)> {
+    (5usize..=12).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        (
+            proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..=max_edges.min(40)),
+            proptest::collection::vec(0.0f64..10.0, n),
+            1u32..=3,
+            0.0f64..12.0,
+            proptest::collection::vec(0.0f64..12.0, 0..6),
+        )
+            .prop_map(move |(edges, xs, k, r, bands)| {
+                let g = Graph::from_edges(n, &edges);
+                let pts = xs.into_iter().map(|x| (x, 0.0)).collect();
+                let p = ProblemInstance::new(
+                    g,
+                    AttributeTable::points(pts),
+                    Metric::Euclidean,
+                    Threshold::MaxDistance(r),
+                    k,
+                );
+                (p, bands)
+            })
+    })
+}
+
+/// Random weighted-Jaccard instance (similarity thresholds shrink the
+/// filtered graph as `r` grows — the opposite band-selection rule).
+fn arb_similarity_case() -> impl Strategy<Value = (ProblemInstance, Vec<f64>)> {
+    (5usize..=10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..30),
+            proptest::collection::vec(0u32..4, n),
+            1u32..=2,
+            0.0f64..1.0,
+            proptest::collection::vec(0.0f64..1.0, 0..6),
+        )
+            .prop_map(move |(edges, seeds, k, r, bands)| {
+                let lists: Vec<Vec<(u32, f64)>> = seeds
+                    .iter()
+                    .map(|&s| match s {
+                        0 => vec![(0, 2.0), (1, 1.0)],
+                        1 => vec![(0, 1.0), (1, 2.0)],
+                        2 => vec![(2, 2.0), (3, 1.0)],
+                        _ => vec![(1, 1.0), (2, 1.0)],
+                    })
+                    .collect();
+                let p = ProblemInstance::new(
+                    Graph::from_edges(n, &edges),
+                    AttributeTable::keywords(lists),
+                    Metric::WeightedJaccard,
+                    Threshold::MinSimilarity(r),
+                    k,
+                );
+                (p, bands)
+            })
+    })
+}
+
+/// The two indexes every case is checked against: the default
+/// quantile-banded build and a build over the case's arbitrary bands
+/// (including the empty-band, structural-fallback-only index).
+fn indexes_for(p: &ProblemInstance, bands: &[f64]) -> Vec<DecompositionIndex> {
+    vec![
+        DecompositionIndex::build_default(p.graph(), p.oracle()),
+        DecompositionIndex::build(p.graph(), p.oracle(), bands),
+    ]
+}
+
+fn check_case(p: &ProblemInstance, bands: &[f64]) -> Result<(), TestCaseError> {
+    let threshold = p.oracle().threshold();
+    let reference = p.preprocess();
+    let ref_cores = enumerate_maximal_prepared(&reference, &AlgoConfig::adv_enum()).cores;
+    let ref_max = find_maximum_prepared(&reference, &AlgoConfig::adv_max())
+        .core
+        .map(|c| c.len());
+    for index in indexes_for(p, bands) {
+        let cand = index.candidates(p.k(), threshold);
+        // Soundness: the candidate set covers the preprocessed k-core.
+        for v in p.preprocessed_core() {
+            prop_assert!(
+                cand.vertices.contains(&v),
+                "core vertex {v} missing from candidates (band {:?})",
+                cand.band
+            );
+        }
+        // Identity: engines over candidate-restricted preprocessing give
+        // the same cores, in the same order, as the from-scratch path.
+        let restricted = p.preprocess_with_candidates(&cand.vertices);
+        let got_cores = enumerate_maximal_prepared(&restricted, &AlgoConfig::adv_enum()).cores;
+        prop_assert_eq!(&got_cores, &ref_cores);
+        let got_max = find_maximum_prepared(&restricted, &AlgoConfig::adv_max())
+            .core
+            .map(|c| c.len());
+        prop_assert_eq!(got_max, ref_max);
+        // Roundtripping the index through its snapshot section changes
+        // nothing about what it resolves.
+        let decoded = DecompositionIndex::from_section_bytes(&index.to_section_bytes())
+            .expect("section roundtrip");
+        prop_assert_eq!(decoded.candidates(p.k(), threshold), cand);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distance-threshold instances (Euclidean / Gowalla-style).
+    #[test]
+    fn index_assisted_identical_distance(case in arb_distance_case()) {
+        let (p, bands) = case;
+        check_case(&p, &bands)?;
+    }
+
+    /// Similarity-threshold instances (weighted Jaccard / DBLP-style).
+    #[test]
+    fn index_assisted_identical_similarity(case in arb_similarity_case()) {
+        let (p, bands) = case;
+        check_case(&p, &bands)?;
+    }
+}

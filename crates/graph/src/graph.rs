@@ -209,6 +209,36 @@ impl Graph {
         }
         b.build()
     }
+
+    /// [`Graph::filter_edges`] restricted to `subset`: keeps only edges
+    /// with **both** endpoints in `subset` that also pass `keep`. The
+    /// predicate is evaluated only on subset-internal edges, so when
+    /// `keep` is expensive (a similarity oracle) the cost scales with
+    /// the subset's edge count, not the whole graph's. The returned
+    /// graph keeps the original vertex numbering; vertices outside
+    /// `subset` are isolated.
+    ///
+    /// # Panics
+    /// Panics when `subset` names a vertex `>= num_vertices()`.
+    pub fn filter_edges_within(
+        &self,
+        subset: &[VertexId],
+        mut keep: impl FnMut(VertexId, VertexId) -> bool,
+    ) -> Graph {
+        let mut in_subset = vec![false; self.num_vertices()];
+        for &v in subset {
+            in_subset[v as usize] = true;
+        }
+        let mut b = GraphBuilder::new(self.num_vertices());
+        for &u in subset {
+            for &v in self.neighbors(u) {
+                if u < v && in_subset[v as usize] && keep(u, v) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
 }
 
 /// Incremental builder for [`Graph`].

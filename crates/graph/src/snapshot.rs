@@ -68,6 +68,11 @@ pub mod section {
     pub const ORIGINAL_IDS: u32 = 3;
     /// Attribute table (layout owned by `kr_similarity::snapshot`).
     pub const ATTRIBUTES: u32 = 4;
+    /// (k,r)-core decomposition index (layout owned by
+    /// `kr_core::decomp`). Always written with
+    /// [`super::SECTION_FLAG_OPTIONAL`]: a reader that predates the
+    /// index skips it and serves the snapshot unindexed.
+    pub const DECOMP_INDEX: u32 = 5;
 }
 
 /// Typed snapshot failures. Corrupt or truncated input must surface as

@@ -64,6 +64,14 @@ pub struct CacheStats {
     /// the brute-force `Σ n_c·(n_c-1)/2`; watching it reveals the index
     /// leverage per dataset.
     pub oracle_evals: u64,
+    /// Cache misses that were resolved through the dataset's (k,r)-core
+    /// decomposition index (PR 6) instead of whole-graph preprocessing.
+    pub index_hits: u64,
+    /// Total candidate vertices the decomposition index handed to those
+    /// miss-path preprocessing runs. `residual_vertices / index_hits`
+    /// against the graph size shows how much of the graph the index let
+    /// the server skip.
+    pub residual_vertices: u64,
 }
 
 struct Entry {
@@ -88,6 +96,8 @@ struct Inner {
     resident_bytes: u64,
     preprocess_ms: u64,
     oracle_evals: u64,
+    index_hits: u64,
+    residual_vertices: u64,
 }
 
 /// Thread-safe LRU cache of preprocessed component sets.
@@ -110,6 +120,8 @@ impl ComponentCache {
                 resident_bytes: 0,
                 preprocess_ms: 0,
                 oracle_evals: 0,
+                index_hits: 0,
+                residual_vertices: 0,
             }),
         }
     }
@@ -187,6 +199,15 @@ impl ComponentCache {
         inner.oracle_evals += oracle_evals;
     }
 
+    /// Records one cache miss resolved through the decomposition index:
+    /// the miss-path preprocessing ran over `residual_vertices` index
+    /// candidates instead of the whole graph.
+    pub fn record_index(&self, residual_vertices: u64) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.index_hits += 1;
+        inner.residual_vertices += residual_vertices;
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock");
@@ -198,6 +219,8 @@ impl ComponentCache {
             resident_bytes: inner.resident_bytes,
             preprocess_ms: inner.preprocess_ms,
             oracle_evals: inner.oracle_evals,
+            index_hits: inner.index_hits,
+            residual_vertices: inner.residual_vertices,
         }
     }
 }
@@ -286,6 +309,18 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.preprocess_ms, 15);
         assert_eq!(stats.oracle_evals, 500);
+    }
+
+    #[test]
+    fn index_counters_accumulate() {
+        let cache = ComponentCache::new(4);
+        assert_eq!(cache.stats().index_hits, 0);
+        assert_eq!(cache.stats().residual_vertices, 0);
+        cache.record_index(120);
+        cache.record_index(30);
+        let stats = cache.stats();
+        assert_eq!(stats.index_hits, 2);
+        assert_eq!(stats.residual_vertices, 150);
     }
 
     #[test]

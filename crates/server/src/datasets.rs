@@ -18,13 +18,13 @@
 //! half of the component-cache key, and resident data is shared via
 //! `Arc`: loaded once per server lifetime, not once per query.
 
-use kr_core::ProblemInstance;
+use kr_core::{DecompositionIndex, ProblemInstance};
 use kr_datagen::DatasetPreset;
 use kr_graph::Graph;
-use kr_similarity::{read_snapshot_file, AttributeTable, Metric, Threshold};
+use kr_similarity::{AttributeTable, Metric, TableOracle, Threshold};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One resident dataset.
 #[derive(Debug)]
@@ -38,23 +38,77 @@ pub struct HostedDataset {
     /// Natural metric for the attributes (decides how a query's `r` is
     /// interpreted: max distance vs min similarity).
     pub metric: Metric,
+    /// The (k,r)-core decomposition index: loaded from the snapshot's
+    /// optional section when present, built lazily on the first cache
+    /// miss otherwise. Shared by every query on the dataset.
+    index: OnceLock<Arc<DecompositionIndex>>,
 }
 
 impl HostedDataset {
-    /// Builds the `(k, r)` problem instance for a query on this dataset.
-    pub fn problem(&self, k: u32, r: f64) -> ProblemInstance {
-        let threshold = if self.metric.is_distance() {
+    /// A resident dataset with no decomposition index yet (it builds
+    /// lazily on first use — see [`HostedDataset::decomposition`]).
+    pub fn new(key: String, graph: Graph, attributes: AttributeTable, metric: Metric) -> Self {
+        HostedDataset {
+            key,
+            graph,
+            attributes,
+            metric,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// [`HostedDataset::new`] with an index recovered from a snapshot's
+    /// optional `DECOMP_INDEX` section, so queries never pay the build.
+    pub fn with_index(
+        key: String,
+        graph: Graph,
+        attributes: AttributeTable,
+        metric: Metric,
+        index: DecompositionIndex,
+    ) -> Self {
+        let ds = HostedDataset::new(key, graph, attributes, metric);
+        ds.index.set(Arc::new(index)).expect("fresh OnceLock");
+        ds
+    }
+
+    /// The query threshold for this dataset's metric family.
+    pub fn threshold(&self, r: f64) -> Threshold {
+        if self.metric.is_distance() {
             Threshold::MaxDistance(r)
         } else {
             Threshold::MinSimilarity(r)
-        };
+        }
+    }
+
+    /// Builds the `(k, r)` problem instance for a query on this dataset.
+    pub fn problem(&self, k: u32, r: f64) -> ProblemInstance {
         ProblemInstance::new(
             self.graph.clone(),
             self.attributes.clone(),
             self.metric,
-            threshold,
+            self.threshold(r),
             k,
         )
+    }
+
+    /// The dataset's decomposition index, building it on first call (one
+    /// build per dataset per server lifetime; concurrent first calls
+    /// block on the `OnceLock`, not on a poisoned lock).
+    pub fn decomposition(&self) -> Arc<DecompositionIndex> {
+        self.index
+            .get_or_init(|| {
+                let oracle = TableOracle::new(
+                    self.attributes.clone(),
+                    self.metric,
+                    self.threshold(if self.metric.is_distance() {
+                        f64::MAX
+                    } else {
+                        0.0
+                    }),
+                );
+                Arc::new(DecompositionIndex::build_default(&self.graph, &oracle))
+            })
+            .clone()
     }
 }
 
@@ -144,12 +198,12 @@ impl DatasetRegistry {
         // is redundant but harmless (deterministic output, first insert
         // kept).
         let data = preset.generate_scaled(scale);
-        let hosted = Arc::new(HostedDataset {
-            key: key.clone(),
-            graph: data.graph,
-            attributes: data.attributes,
-            metric: data.metric,
-        });
+        let hosted = Arc::new(HostedDataset::new(
+            key.clone(),
+            data.graph,
+            data.attributes,
+            data.metric,
+        ));
         Ok(self
             .inner
             .lock()
@@ -169,13 +223,15 @@ impl DatasetRegistry {
         }
         // Read + verify outside the lock; a racing load of the same file
         // is redundant but harmless (identical bytes, first insert kept).
-        let snap = read_snapshot_file(path)
+        // The indexed reader also recovers the optional decomposition
+        // section, so pre-indexed snapshots never pay a query-time build.
+        let (snap, index) = kr_core::read_indexed_snapshot_file(path)
             .map_err(|e| format!("dataset '{name}' failed to load from {path:?}: {e}"))?;
-        let hosted = Arc::new(HostedDataset {
-            key: key.clone(),
-            graph: snap.graph,
-            attributes: snap.attributes,
-            metric: snap.metric,
+        let hosted = Arc::new(match index {
+            Some(ix) => {
+                HostedDataset::with_index(key.clone(), snap.graph, snap.attributes, snap.metric, ix)
+            }
+            None => HostedDataset::new(key.clone(), snap.graph, snap.attributes, snap.metric),
         });
         Ok(self
             .inner
@@ -240,6 +296,46 @@ mod tests {
         assert_eq!(a.key, "tiny@1");
         assert_eq!(a.graph.num_vertices(), 3);
         assert_eq!(a.metric, Metric::Euclidean);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn decomposition_builds_once_and_is_shared() {
+        let reg = DatasetRegistry::new();
+        let ds = reg.get("gowalla-like", 0.05).unwrap();
+        let a = ds.decomposition();
+        let b = ds.decomposition();
+        assert!(Arc::ptr_eq(&a, &b), "one build per dataset");
+        assert_eq!(a.num_vertices(), ds.graph.num_vertices());
+        assert!(a.is_distance(), "gowalla-like is Euclidean");
+    }
+
+    #[test]
+    fn indexed_snapshot_preseeds_the_decomposition() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let attrs = AttributeTable::points(vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        let oracle = kr_similarity::TableOracle::new(
+            attrs.clone(),
+            Metric::Euclidean,
+            Threshold::MaxDistance(1.0),
+        );
+        let index = DecompositionIndex::build_default(&g, &oracle);
+        let path =
+            std::env::temp_dir().join(format!("kr_registry_indexed_{}.krb", std::process::id()));
+        kr_core::write_indexed_snapshot_file(
+            &path,
+            &g,
+            &[1, 2, 3],
+            &attrs,
+            Metric::Euclidean,
+            &index,
+        )
+        .expect("write indexed snapshot");
+        let mut reg = DatasetRegistry::new();
+        reg.register_file("tiny-ix", &path).unwrap();
+        let ds = reg.get("tiny-ix", 1.0).unwrap();
+        // The index came from the file: identical to what we wrote.
+        assert_eq!(*ds.decomposition(), index);
         let _ = std::fs::remove_file(path);
     }
 

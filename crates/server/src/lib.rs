@@ -13,7 +13,7 @@
 //!   sets keyed by `(dataset, k, r-band)`, shared across connections via
 //!   `Arc`, with hit/miss/eviction statistics;
 //! * [`datasets`] — resident, lazily-generated preset datasets;
-//! * [`session`] / [`server`] — one thread per connection dispatching
+//! * `session` / [`server`] — one thread per connection dispatching
 //!   queries onto the engines (which thread one worker pool per query
 //!   through preprocessing and search), with budget-clamped cancellation
 //!   and clean shutdown;

@@ -491,6 +491,8 @@ impl Frame {
                 fields.push(("resident_bytes", json::n(stats.resident_bytes as f64)));
                 fields.push(("preprocess_ms", json::n(stats.preprocess_ms as f64)));
                 fields.push(("oracle_evals", json::n(stats.oracle_evals as f64)));
+                fields.push(("index_hits", json::n(stats.index_hits as f64)));
+                fields.push(("residual_vertices", json::n(stats.residual_vertices as f64)));
             }
             Frame::Pong { id } => {
                 fields.push(("frame", json::s("pong")));
@@ -575,6 +577,12 @@ impl Frame {
                     // Absent on frames from pre-PR4 servers: default 0.
                     preprocess_ms: v.get("preprocess_ms").and_then(Json::as_u64).unwrap_or(0),
                     oracle_evals: v.get("oracle_evals").and_then(Json::as_u64).unwrap_or(0),
+                    // Absent on frames from pre-PR6 servers: default 0.
+                    index_hits: v.get("index_hits").and_then(Json::as_u64).unwrap_or(0),
+                    residual_vertices: v
+                        .get("residual_vertices")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
                 },
             }),
             Some("pong") => Ok(Frame::Pong { id }),
@@ -661,6 +669,8 @@ mod tests {
                     resident_bytes: 4096,
                     preprocess_ms: 17,
                     oracle_evals: 12345,
+                    index_hits: 2,
+                    residual_vertices: 678,
                 },
             },
             Frame::Pong { id: "p".into() },
@@ -690,6 +700,8 @@ mod tests {
                 assert_eq!(stats.resident_bytes, 0);
                 assert_eq!(stats.preprocess_ms, 0);
                 assert_eq!(stats.oracle_evals, 0);
+                assert_eq!(stats.index_hits, 0);
+                assert_eq!(stats.residual_vertices, 0);
             }
             other => panic!("wrong frame {other:?}"),
         }

@@ -109,6 +109,7 @@ fn frame() -> impl Strategy<Value = Frame> {
             (0u64..1_000_000, 0usize..1_000),
             0u64..u32::MAX as u64,
             (0u64..1_000_000, 0u64..u32::MAX as u64),
+            (0u64..1_000_000, 0u64..u32::MAX as u64),
         )
             .prop_map(
                 |(
@@ -117,6 +118,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                     (evictions, entries),
                     resident_bytes,
                     (preprocess_ms, oracle_evals),
+                    (index_hits, residual_vertices),
                 )| Frame::Stats {
                     id,
                     stats: CacheStats {
@@ -127,6 +129,8 @@ fn frame() -> impl Strategy<Value = Frame> {
                         resident_bytes,
                         preprocess_ms,
                         oracle_evals,
+                        index_hits,
+                        residual_vertices,
                     },
                 },
             ),

@@ -162,7 +162,7 @@ impl GridCandidates {
     /// dissimilar.
     ///
     /// Returns `None` when the grid argument is unsound for the input
-    /// (`r == 0`, or any coordinate non-finite / past [`MAX_CELLS`] cells)
+    /// (`r == 0`, or any coordinate non-finite / past `MAX_CELLS` cells)
     /// — the caller must fall back to [`AllPairs`]. For `r < 0` (or NaN)
     /// no pair can satisfy `dist ≤ r`, so every pair is dissimilar and
     /// both certain sets are empty.
@@ -285,7 +285,7 @@ const SIM_MARGIN: f64 = 1e-9;
 /// `num = Σ min(w_u, w_v)` token by token. Since
 /// `sim = num / (W_u + W_v - num)`, every *touched* pair is classified
 /// from the accumulator alone (known-similar / candidate / dissimilar,
-/// with [`SIM_MARGIN`] slack), and every untouched pair shares no
+/// with `SIM_MARGIN` slack), and every untouched pair shares no
 /// keyword — similarity 0, dissimilar for free. Total work is
 /// `O(shared-token incidences)`, which never exceeds (and on sparsely
 /// overlapping sets is far below) the `Σ (len_u + len_v)` the brute

@@ -24,7 +24,11 @@
 //! * `--time-limit-ms` bounds the run (prints a warning when exceeded);
 //! * `ingest` streams a SNAP edge list + attribute TSV (attribute rows
 //!   keyed by the file's original sparse ids) into a verified `.krb`
-//!   binary snapshot — the format `serve --dataset` hosts;
+//!   binary snapshot — the format `serve --dataset` hosts; with
+//!   `--with-index` it also precomputes the (k,r)-core decomposition
+//!   index and embeds it as an optional snapshot section, so the server
+//!   resolves every `(k, r)` cache miss by index lookup from the first
+//!   query on;
 //! * `serve` hosts the preset datasets — plus any `--dataset name=path.krb`
 //!   snapshots — behind the line-delimited JSON protocol of `kr_server`
 //!   (preprocessed components cached per `(dataset, k, r-band)`,
@@ -64,7 +68,7 @@ fn usage() -> ! {
          --k K (--r R | --permille X) [--algo adv|basic|naive|clique] [--threads N] \
          [--out FILE] [--time-limit-ms MS]\n\
          \x20      krcore-cli ingest EDGES (--points FILE | --keywords FILE) -o OUT.krb \
-         [--progress-every EDGES]\n\
+         [--with-index] [--progress-every EDGES]\n\
          \x20      krcore-cli serve [--addr HOST:PORT] [--cache-capacity N] \
          [--max-time-limit-ms MS] [--max-scale S] [--dataset NAME=PATH.krb]...\n\
          \x20      krcore-cli query --addr HOST:PORT <enum|max|stats|ping|shutdown> \
@@ -304,6 +308,7 @@ fn cmd_ingest() {
     let mut points: Option<String> = None;
     let mut keywords: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut with_index = false;
     let mut progress_every: u64 = 1_000_000;
     let mut it = std::env::args().skip(2);
     while let Some(arg) = it.next() {
@@ -312,6 +317,7 @@ fn cmd_ingest() {
             "--points" => points = Some(val()),
             "--keywords" => keywords = Some(val()),
             "-o" | "--out" => out = Some(val()),
+            "--with-index" => with_index = true,
             "--progress-every" => progress_every = val().parse().unwrap_or_else(|_| usage()),
             _ if edges.is_none() && !arg.starts_with('-') => edges = Some(arg),
             _ => usage(),
@@ -384,19 +390,46 @@ fn cmd_ingest() {
         stats.matched, stats.unmatched
     );
 
-    if let Err(e) = write_snapshot_file(&out, &loaded.graph, &loaded.original_ids, &attrs, metric) {
+    let write_result = if with_index {
+        let t_ix = std::time::Instant::now();
+        let threshold = if metric.is_distance() {
+            Threshold::MaxDistance(f64::MAX)
+        } else {
+            Threshold::MinSimilarity(0.0)
+        };
+        let oracle = TableOracle::new(attrs.clone(), metric, threshold);
+        let index = krcore::core::decomp::DecompositionIndex::build_default(&loaded.graph, &oracle);
+        eprintln!(
+            "built decomposition index: {} r-bands, {} KiB, in {:.2?}",
+            index.bands().len(),
+            index.memory_bytes() >> 10,
+            t_ix.elapsed()
+        );
+        krcore::core::decomp::write_indexed_snapshot_file(
+            &out,
+            &loaded.graph,
+            &loaded.original_ids,
+            &attrs,
+            metric,
+            &index,
+        )
+    } else {
+        write_snapshot_file(&out, &loaded.graph, &loaded.original_ids, &attrs, metric)
+    };
+    if let Err(e) = write_result {
         eprintln!("failed to write {out}: {e}");
         exit(1);
     }
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     // Machine-readable summary on stdout so scripts can scrape it.
     println!(
-        "wrote {out}: {} vertices, {} edges, {} attribute rows, {} bytes, metric {:?}",
+        "wrote {out}: {} vertices, {} edges, {} attribute rows, {} bytes, metric {:?}{}",
         n,
         loaded.graph.num_edges(),
         stats.matched,
         bytes,
-        metric
+        metric,
+        if with_index { ", indexed" } else { "" }
     );
 }
 
@@ -520,6 +553,8 @@ fn cmd_query() {
             println!("resident_bytes\t{}", stats.resident_bytes);
             println!("preprocess_ms\t{}", stats.preprocess_ms);
             println!("oracle_evals\t{}", stats.oracle_evals);
+            println!("index_hits\t{}", stats.index_hits);
+            println!("residual_vertices\t{}", stats.residual_vertices);
         }
         cmd @ ("enum" | "max") => {
             let dataset = dataset.unwrap_or_else(|| usage());

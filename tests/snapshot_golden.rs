@@ -15,6 +15,9 @@
 //!   optional sections loads (skipping them); a higher major version and
 //!   unknown required sections are typed errors.
 
+use krcore::core::decomp::{
+    indexed_snapshot_to_bytes, read_indexed_snapshot_bytes, DecompositionIndex,
+};
 use krcore::graph::io::read_edge_list_streaming_file;
 use krcore::graph::snapshot::{
     add_graph_sections, fnv1a64, section, SnapshotError, SnapshotWriter, HEADER_LEN,
@@ -23,7 +26,7 @@ use krcore::graph::snapshot::{
 use krcore::prelude::*;
 use krcore::similarity::snapshot::encode_attributes;
 use krcore::similarity::{
-    read_keywords_mapped, read_points_mapped, read_snapshot_bytes, snapshot_to_bytes,
+    read_keywords_mapped, read_points_mapped, read_snapshot_bytes, snapshot_to_bytes, TableOracle,
 };
 use std::path::PathBuf;
 
@@ -53,6 +56,30 @@ fn ingest_fixture(points: bool) -> Vec<u8> {
     assert_eq!(stats.unmatched, 1, "fixture has one unmatched row");
     assert_eq!(stats.matched, 5);
     snapshot_to_bytes(&loaded.graph, &loaded.original_ids, &attrs, metric)
+}
+
+/// `ingest_fixture(points)` the way `krcore-cli ingest --with-index`
+/// does it: the same four sections plus the optional decomposition
+/// section. Deterministic (the default band derivation is exact at this
+/// size), so the output is golden-pinnable.
+fn ingest_fixture_indexed() -> Vec<u8> {
+    let loaded = read_edge_list_streaming_file(fixture("tiny.edges")).expect("fixture edges");
+    let f = std::fs::File::open(fixture("tiny.points.tsv")).expect("fixture points");
+    let (attrs, _) =
+        read_points_mapped(f, &loaded.id_map, loaded.graph.num_vertices()).expect("parse points");
+    let oracle = TableOracle::new(
+        attrs.clone(),
+        Metric::Euclidean,
+        Threshold::MaxDistance(1.0),
+    );
+    let index = DecompositionIndex::build_default(&loaded.graph, &oracle);
+    indexed_snapshot_to_bytes(
+        &loaded.graph,
+        &loaded.original_ids,
+        &attrs,
+        Metric::Euclidean,
+        &index,
+    )
 }
 
 fn check_golden(golden_name: &str, built: &[u8]) {
@@ -113,6 +140,118 @@ fn golden_keywords_snapshot_loads() {
             assert_eq!(lists[4], vec![(9, 1.0)]);
         }
         other => panic!("wrong attribute family {other:?}"),
+    }
+}
+
+#[test]
+fn golden_indexed_snapshot_is_byte_exact() {
+    check_golden("tiny_points_indexed.krb", &ingest_fixture_indexed());
+}
+
+/// The indexed golden loads through the indexed reader with the index
+/// recovered, and through the plain (pre-index) reader with the section
+/// skipped — the live proof that old readers keep serving new snapshots.
+#[test]
+fn golden_indexed_snapshot_loads_both_ways() {
+    let bytes = std::fs::read(fixture("tiny_points_indexed.krb")).expect("golden");
+
+    let (ds, index) = read_indexed_snapshot_bytes(bytes.clone()).expect("indexed load");
+    let index = index.expect("golden carries an index");
+    assert!(ds.skipped_sections.is_empty());
+    assert_eq!(index.num_vertices(), ds.graph.num_vertices());
+    assert!(index.is_distance());
+    assert!(!index.bands().is_empty());
+    // The stored index resolves the same candidates a fresh build does.
+    let oracle = TableOracle::new(
+        ds.attributes.clone(),
+        ds.metric,
+        Threshold::MaxDistance(1.0),
+    );
+    let fresh = DecompositionIndex::build_default(&ds.graph, &oracle);
+    assert_eq!(index, fresh);
+
+    let plain = read_snapshot_bytes(bytes).expect("plain reader must still load");
+    assert_eq!(plain.skipped_sections, vec![section::DECOMP_INDEX]);
+    assert_eq!(plain.graph, ds.graph);
+    assert_eq!(plain.original_ids, ds.original_ids);
+}
+
+/// Corrupting any byte of the decomposition section's payload trips the
+/// container checksum; a *re-sealed* corrupt payload (valid checksum,
+/// garbage content) is caught by the section decoder instead. Either
+/// way: typed errors, never panics, and the plain reader stays unharmed
+/// by the checksum-level flips it verifies.
+#[test]
+fn corruption_matrix_decomp_section() {
+    let good = ingest_fixture_indexed();
+    // Locate the decomposition payload inside the container by content:
+    // rebuild the (deterministic) index and search for its section bytes.
+    let loaded = read_edge_list_streaming_file(fixture("tiny.edges")).expect("fixture edges");
+    let f = std::fs::File::open(fixture("tiny.points.tsv")).expect("fixture points");
+    let (attrs, _) =
+        read_points_mapped(f, &loaded.id_map, loaded.graph.num_vertices()).expect("points");
+    let oracle = TableOracle::new(
+        attrs.clone(),
+        Metric::Euclidean,
+        Threshold::MaxDistance(1.0),
+    );
+    let payload = DecompositionIndex::build_default(&loaded.graph, &oracle).to_section_bytes();
+    let offset = good
+        .windows(payload.len())
+        .position(|w| w == &payload[..])
+        .expect("decomp payload present in the container");
+    let len = payload.len();
+    for at in (offset..offset + len).step_by(7) {
+        let mut bad = good.clone();
+        bad[at] ^= 0xFF;
+        assert!(
+            matches!(
+                read_indexed_snapshot_bytes(bad),
+                Err(SnapshotError::SectionChecksumMismatch { .. })
+            ),
+            "decomp payload byte {at}: flip must trip the section checksum"
+        );
+    }
+    // Re-seal a corrupt payload behind valid container checksums: the
+    // decoder's structural validation must reject it as Malformed.
+    let mut payload = payload;
+    payload[0..4].copy_from_slice(&9u32.to_le_bytes()); // bogus direction code
+    let mut w = SnapshotWriter::new();
+    add_graph_sections(&mut w, &loaded.graph, &loaded.original_ids);
+    w.add_section(
+        section::ATTRIBUTES,
+        0,
+        encode_attributes(&attrs, Metric::Euclidean),
+    );
+    w.add_section(section::DECOMP_INDEX, SECTION_FLAG_OPTIONAL, payload);
+    let resealed = w.to_bytes();
+    assert!(matches!(
+        read_indexed_snapshot_bytes(resealed.clone()),
+        Err(SnapshotError::Malformed(_))
+    ));
+    // The plain reader never decodes the section, so the same bytes load
+    // fine for a pre-index consumer.
+    let plain = read_snapshot_bytes(resealed).expect("plain reader skips the section");
+    assert_eq!(plain.skipped_sections, vec![section::DECOMP_INDEX]);
+}
+
+/// Truncating indexed bytes at every boundary stays typed (the indexed
+/// analogue of `corruption_matrix_truncation_everywhere`).
+#[test]
+fn corruption_matrix_indexed_truncation() {
+    let good = ingest_fixture_indexed();
+    for cut in (0..good.len()).step_by(11) {
+        let err = read_indexed_snapshot_bytes(good[..cut].to_vec())
+            .expect_err(&format!("truncation to {cut} bytes must not load"));
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. }
+                    | SnapshotError::HeaderChecksumMismatch
+                    | SnapshotError::BadMagic { .. }
+            ),
+            "cut {cut}: unexpected error class {err}"
+        );
     }
 }
 
