@@ -37,6 +37,15 @@
 //!   `check` asserts in-run (same machine, same samples — no calibration
 //!   needed) that the indexed path beats full preprocessing on the
 //!   DblpLike point by at least [`MIN_INDEX_SPEEDUP`]×.
+//!
+//! Schema 4 (PR 7) adds per-point latency quantiles, informational only
+//! (never gated — `SAMPLES` runs are too few for stable tails, but the
+//! spread vs `wall_ms` flags noisy runs at a glance):
+//!
+//! * `p50_us` / `p99_us` — the enumeration samples fed through the same
+//!   `kr_obs` log-linear histogram the server uses for
+//!   `server.query_latency_us`, so bucket rounding matches production
+//!   metrics. Absent in older baselines; `check` never reads them.
 
 use kr_bench::BenchDataset;
 use kr_core::{enumerate_maximal_prepared, AlgoConfig};
@@ -77,6 +86,8 @@ struct Point {
     index_build_ms: f64,
     indexed_preprocess_ms: f64,
     oracle_evals: u64,
+    p50_us: u64,
+    p99_us: u64,
     peak_component_bytes: usize,
 }
 
@@ -182,11 +193,18 @@ fn measure_instance(
     let peak_component_bytes = comps.iter().map(|c| c.memory_bytes()).max().unwrap_or(0);
     let cfg = AlgoConfig::adv_enum();
     let mut best = f64::INFINITY;
+    // The same log-linear histogram the server feeds for
+    // `server.query_latency_us`, so the reported quantiles carry
+    // production bucket rounding.
+    let hist = kr_obs::Histogram::default();
     for _ in 0..SAMPLES {
         let t = Instant::now();
         black_box(enumerate_maximal_prepared(&comps, &cfg).cores.len());
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        let elapsed = t.elapsed();
+        hist.record_duration(elapsed);
+        best = best.min(elapsed.as_secs_f64() * 1e3);
     }
+    let snap = hist.snapshot();
     Point {
         preset: name,
         scale,
@@ -197,13 +215,15 @@ fn measure_instance(
         index_build_ms,
         indexed_preprocess_ms,
         oracle_evals,
+        p50_us: snap.quantile(0.5),
+        p99_us: snap.quantile(0.99),
         peak_component_bytes,
     }
 }
 
 fn render(calib_ms: f64, points: &[Point]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": 3,\n");
+    out.push_str("{\n  \"schema\": 4,\n");
     out.push_str(&format!("  \"calib_ms\": {calib_ms:.3},\n"));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -212,6 +232,7 @@ fn render(calib_ms: f64, points: &[Point]) -> String {
             "    {{\"preset\": \"{}\", \"scale\": {}, \"k\": {}, \"r\": {}, \
              \"wall_ms\": {:.3}, \"preprocess_ms\": {:.3}, \"index_build_ms\": {:.3}, \
              \"indexed_preprocess_ms\": {:.3}, \"oracle_evals\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \
              \"peak_component_bytes\": {}}}{comma}\n",
             p.preset,
             p.scale,
@@ -222,6 +243,8 @@ fn render(calib_ms: f64, points: &[Point]) -> String {
             p.index_build_ms,
             p.indexed_preprocess_ms,
             p.oracle_evals,
+            p.p50_us,
+            p.p99_us,
             p.peak_component_bytes
         ));
     }
@@ -307,7 +330,7 @@ fn main() {
         println!(
             "{:<16} scale {:<5} k {} r {:<5} wall {:>9.3} ms  (normalized {:.4})  \
              preprocess {:>8.3} ms  indexed {:>8.3} ms (build {:.3} ms)  \
-             {} oracle evals  peak component {} bytes",
+             {} oracle evals  p50/p99 {}/{} us  peak component {} bytes",
             p.preset,
             p.scale,
             p.k,
@@ -318,6 +341,8 @@ fn main() {
             p.indexed_preprocess_ms,
             p.index_build_ms,
             p.oracle_evals,
+            p.p50_us,
+            p.p99_us,
             p.peak_component_bytes
         );
     };

@@ -30,6 +30,7 @@ pub mod early_term;
 pub mod enumerate;
 pub mod maximal;
 pub mod maximum;
+pub(crate) mod obs;
 pub mod order;
 pub mod parallel;
 pub mod problem;

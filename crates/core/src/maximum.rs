@@ -279,7 +279,12 @@ impl<'a> MaxDriver<'a> {
                 self.best_len = piece.len();
                 self.best_local = piece;
                 if let Some(g) = self.global {
-                    g.fetch_max(self.best_len, Ordering::Relaxed);
+                    // `fetch_max` returns the previous value; a smaller
+                    // previous value means this worker actually advanced
+                    // the shared incumbent.
+                    if g.fetch_max(self.best_len, Ordering::Relaxed) < self.best_len {
+                        crate::obs::engine_obs().incumbent_updates.inc();
+                    }
                 }
             }
         }

@@ -1,0 +1,38 @@
+//! Process-global `engine.*` registry counters for the parallel engine.
+//!
+//! Counter taxonomy (all monotonic, cumulative across every query in
+//! the process; the server merges them into `metrics` wire snapshots):
+//!
+//! * `engine.subtasks_split` — search subtasks created by frontier
+//!   prefix-splitting (enumeration + maximum).
+//! * `engine.pool_tasks` — tasks submitted to a query worker pool
+//!   (subtasks plus preprocessing shards).
+//! * `engine.pool_tasks_stolen` — pool tasks executed by a worker other
+//!   than the spawning thread, i.e. tasks that crossed the pool's
+//!   work-stealing deques. `stolen / pool_tasks` measures how much the
+//!   pool actually load-balances.
+//! * `engine.incumbent_updates` — successful advances of the shared
+//!   atomic incumbent during parallel maximum search (how often workers
+//!   publish a new best size to each other).
+
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct EngineObs {
+    pub subtasks_split: Arc<kr_obs::Counter>,
+    pub pool_tasks: Arc<kr_obs::Counter>,
+    pub pool_tasks_stolen: Arc<kr_obs::Counter>,
+    pub incumbent_updates: Arc<kr_obs::Counter>,
+}
+
+pub(crate) fn engine_obs() -> &'static EngineObs {
+    static OBS: OnceLock<EngineObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = kr_obs::global();
+        EngineObs {
+            subtasks_split: reg.counter("engine.subtasks_split"),
+            pool_tasks: reg.counter("engine.pool_tasks"),
+            pool_tasks_stolen: reg.counter("engine.pool_tasks_stolen"),
+            incumbent_updates: reg.counter("engine.incumbent_updates"),
+        }
+    })
+}

@@ -95,10 +95,18 @@ where
     F: Fn(&'env T) -> U + Sync,
 {
     let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let obs = crate::obs::engine_obs();
+    obs.pool_tasks.add(items.len() as u64);
+    // The spawning thread runs `pool.scope`'s body itself; a task that
+    // executes on any other thread crossed the pool's stealing deques.
+    let spawner = std::thread::current().id();
     pool.scope(|s| {
         for (item, slot) in items.iter().zip(&slots) {
             let f = &f;
             s.spawn(move |_| {
+                if std::thread::current().id() != spawner {
+                    crate::obs::engine_obs().pool_tasks_stolen.inc();
+                }
                 *slot.lock().expect("slot lock") = Some(f(item));
             });
         }
@@ -162,6 +170,9 @@ pub(crate) fn enumerate_on(
     }
 
     // Phase 2: run subtasks on the query's pool.
+    crate::obs::engine_obs()
+        .subtasks_split
+        .add(tasks.len() as u64);
     let task_results = ordered_pool_map(pool, &tasks, |(ci, prefix)| {
         let mut driver = Driver::new(&comps[*ci], cfg, deadline);
         driver.run_prefix(prefix);
@@ -300,6 +311,9 @@ pub(crate) fn find_maximum_on(
         stats: SearchStats,
         aborted: bool,
     }
+    crate::obs::engine_obs()
+        .subtasks_split
+        .add(tasks.len() as u64);
     let global = AtomicUsize::new(gen_incumbent);
     let task_results = ordered_pool_map(pool, &tasks, |task| {
         let mut driver = MaxDriver::new(

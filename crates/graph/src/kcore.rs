@@ -121,7 +121,22 @@ pub fn k_core_of_subset(g: &Graph, k: u32, subset: &[VertexId]) -> Vec<VertexId>
     k_core_peel(g, k, alive)
 }
 
-fn k_core_peel(g: &Graph, k: u32, mut alive: Vec<bool>) -> Vec<VertexId> {
+/// The `graph.kcore_peel_us` histogram on the process-global registry:
+/// one sample per peel (sequential or parallel), in microseconds. The
+/// handle is cached so the registry lock is taken once per process.
+fn peel_hist() -> &'static std::sync::Arc<kr_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<kr_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| kr_obs::global().histogram("graph.kcore_peel_us"))
+}
+
+fn k_core_peel(g: &Graph, k: u32, alive: Vec<bool>) -> Vec<VertexId> {
+    let t0 = std::time::Instant::now();
+    let out = k_core_peel_inner(g, k, alive);
+    peel_hist().record_duration(t0.elapsed());
+    out
+}
+
+fn k_core_peel_inner(g: &Graph, k: u32, mut alive: Vec<bool>) -> Vec<VertexId> {
     let n = g.num_vertices();
     // Degrees must be computed against the *initial* alive mask before any
     // vertex is peeled; mutating the mask mid-scan would double-count
@@ -199,6 +214,7 @@ pub fn k_core_on(g: &Graph, k: u32, pool: &rayon::ThreadPool) -> Vec<VertexId> {
     if k == 0 {
         return (0..n as VertexId).collect();
     }
+    let t0 = std::time::Instant::now();
 
     let deg: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let chunk = n.div_ceil(threads).max(1);
@@ -267,9 +283,11 @@ pub fn k_core_on(g: &Graph, k: u32, pool: &rayon::ThreadPool) -> Vec<VertexId> {
         frontier = next.into_inner().expect("next lock");
     }
 
-    (0..n as VertexId)
+    let out: Vec<VertexId> = (0..n as VertexId)
         .filter(|&v| deg[v as usize].load(Ordering::Relaxed) >= k)
-        .collect()
+        .collect();
+    peel_hist().record_duration(t0.elapsed());
+    out
 }
 
 /// Naive reference k-core (repeated full scans); used as a test oracle.

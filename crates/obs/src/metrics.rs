@@ -1,0 +1,499 @@
+//! Atomic metrics and the registry.
+//!
+//! ## Histogram bucket scheme (log-linear)
+//!
+//! Buckets cover the full `u64` range with bounded relative error, the
+//! classic HdrHistogram layout: each power-of-two octave is divided into
+//! `HIST_SUBS = 8` linear sub-buckets, so a bucket's width is at most
+//! 1/8th of its lower bound (≤ 12.5% relative error — plenty for latency
+//! quantiles) while the whole table is a fixed array of
+//! [`HIST_BUCKETS`]` = 496` counters (~4 KB per histogram).
+//!
+//! * Values `0..8` get exact unit buckets (index == value).
+//! * A value `v ≥ 8` with top bit position `t = 63 - v.leading_zeros()`
+//!   lands in `index = (t - 2) * 8 + ((v >> (t - 3)) & 7)`, i.e. octave
+//!   `t` sliced into 8 equal sub-ranges of width `2^(t-3)`.
+//!
+//! [`bucket_bounds`] inverts the mapping; quantiles report a bucket's
+//! *upper* bound, which makes `quantile(q)` monotone in `q` by
+//! construction (`p99 ≥ p50` always holds).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Linear sub-buckets per power-of-two octave.
+pub const HIST_SUBS: usize = 8;
+const SUB_BITS: u32 = 3; // log2(HIST_SUBS)
+
+/// Total bucket count: 8 unit buckets + 61 octaves × 8 sub-buckets
+/// (octaves 3..=63; values below 2³ use the unit buckets).
+pub const HIST_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * HIST_SUBS;
+
+/// Maps a value to its bucket index. Monotone non-decreasing in `v`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < HIST_SUBS as u64 {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = top - SUB_BITS;
+    let sub = ((v >> shift) & (HIST_SUBS as u64 - 1)) as usize;
+    (shift as usize + 1) * HIST_SUBS + sub
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`.
+///
+/// Inverts [`bucket_index`]: every `v` has
+/// `bucket_bounds(bucket_index(v)).0 <= v <= bucket_bounds(bucket_index(v)).1`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HIST_BUCKETS, "bucket index out of range");
+    if i < HIST_SUBS {
+        return (i as u64, i as u64);
+    }
+    let shift = (i / HIST_SUBS - 1) as u32;
+    let sub = (i % HIST_SUBS) as u64;
+    let lo = (HIST_SUBS as u64 + sub) << shift;
+    (lo, lo + ((1u64 << shift) - 1))
+}
+
+/// A monotonically-increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. in-flight query count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Increments now, decrements when the returned guard drops — tracks
+    /// an in-flight section across every exit path.
+    pub fn track(&self) -> GaugeGuard<'_> {
+        self.add(1);
+        GaugeGuard(self)
+    }
+}
+
+/// Drop guard from [`Gauge::track`].
+#[derive(Debug)]
+pub struct GaugeGuard<'a>(&'a Gauge);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
+}
+
+/// A log-linear-bucket histogram of `u64` samples (see module docs for
+/// the bucket scheme). Recording is lock-free; `snapshot` reads the
+/// bucket array without stopping writers, so a snapshot taken mid-record
+/// may lag by in-flight samples (never torn within one bucket).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Plain-data copy of the current state (sparse: zero buckets are
+    /// omitted).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i as u32, c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data histogram state: total sample count, sample sum, and the
+/// non-empty `(bucket_index, bucket_count)` pairs in ascending index
+/// order. This is what crosses the wire in a `metrics` frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Sparse non-empty buckets, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Merges two snapshots (bucket-wise count addition). Associative and
+    /// commutative: merging per-shard snapshots equals one histogram fed
+    /// every sample.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut map: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(i, c) in &other.buckets {
+            *map.entry(i).or_insert(0) += c;
+        }
+        HistogramSnapshot {
+            count: self.count + other.count,
+            // Wrapping, to match the lock-free record path: `sum` is a
+            // plain `fetch_add` accumulator and wraps at u64::MAX.
+            sum: self.sum.wrapping_add(other.sum),
+            buckets: map.into_iter().collect(),
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
+    /// the bucket containing that rank (so the true sample value is never
+    /// over-reported by more than the bucket width, ≤ 12.5% of the
+    /// value). Returns 0 for an empty snapshot. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(i, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                return bucket_bounds(i as usize).1;
+            }
+        }
+        // Unreachable when bucket counts sum to `count`; fall back to the
+        // last non-empty bucket for torn concurrent snapshots.
+        self.buckets
+            .last()
+            .map(|&(i, _)| bucket_bounds(i as usize).1)
+            .unwrap_or(0)
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. `counter`/`gauge`/`histogram` are
+/// get-or-register: the first call for a name creates the metric, later
+/// calls return the same `Arc`. Callers on hot paths should cache the
+/// returned handle — the lookup takes the registry lock, recording on
+/// the handle does not.
+///
+/// # Panics
+///
+/// Registering a name that already exists with a *different* metric kind
+/// panics: metric names are static identifiers in this codebase, so a
+/// kind clash is a programming error, not an input error.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-register a counter under `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-register a gauge under `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-register a histogram under `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Plain-data copy of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// Plain-data copy of a [`Registry`]: name-sorted counters, gauges, and
+/// histogram snapshots. Mergeable (see [`MetricsSnapshot::merge`]) and
+/// wire-encodable by `kr-server`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)`, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)`, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)`, ascending by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Merges two snapshots: same-name counters and gauges add, same-name
+    /// histograms merge bucket-wise. Associative and commutative.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counters: BTreeMap<String, u64> = self.counters.iter().cloned().collect();
+        for (name, v) in &other.counters {
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
+        let mut gauges: BTreeMap<String, i64> = self.gauges.iter().cloned().collect();
+        for (name, v) in &other.gauges {
+            *gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.iter().cloned().collect();
+        for (name, h) in &other.histograms {
+            let merged = match histograms.get(name) {
+                Some(existing) => existing.merge(h),
+                None => h.clone(),
+            };
+            histograms.insert(name.clone(), merged);
+        }
+        MetricsSnapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+}
+
+/// The process-global registry. Library crates (`kr-graph`,
+/// `kr-similarity`, `kr-core`) record here under crate-prefixed names;
+/// the server merges this into its own registry's snapshot when
+/// answering a `metrics` wire request. Being process-global, its values
+/// accumulate across every server instance and direct library call in
+/// the process — per-instance totals belong in a per-instance
+/// [`Registry`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..HIST_SUBS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_contiguous() {
+        // Every bucket's hi + 1 is the next bucket's lo.
+        for i in 0..HIST_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (next_lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi.wrapping_add(1), next_lo, "bucket {i}");
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(HIST_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_relative_width_bounded() {
+        for i in HIST_SUBS..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            let width = hi - lo + 1;
+            assert!(width as u128 * 8 <= lo as u128, "bucket {i}: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn quantiles_from_known_distribution() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        let p50 = s.quantile(0.50);
+        let p90 = s.quantile(0.90);
+        let p99 = s.quantile(0.99);
+        // Bucket upper bounds: within 12.5% above the true quantile.
+        assert!((50..=57).contains(&p50), "p50={p50}");
+        assert!((90..=103).contains(&p90), "p90={p90}");
+        assert!((99..=111).contains(&p99), "p99={p99}");
+        assert!(p50 <= p90 && p90 <= p99);
+        assert_eq!(s.quantile(0.0), 1, "min sample's bucket");
+        assert!(s.mean() > 50.0 && s.mean() < 51.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_single_feed() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let all = Histogram::default();
+        for v in [0u64, 1, 7, 8, 100, 100, 5_000, u64::MAX] {
+            all.record(v);
+        }
+        for v in [0u64, 7, 100, u64::MAX] {
+            a.record(v);
+        }
+        for v in [1u64, 8, 100, 5_000] {
+            b.record(v);
+        }
+        assert_eq!(a.snapshot().merge(&b.snapshot()), all.snapshot());
+    }
+
+    #[test]
+    fn registry_get_or_register_and_snapshot() {
+        let reg = Registry::new();
+        let c1 = reg.counter("x.count");
+        let c2 = reg.counter("x.count");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3, "same underlying counter");
+        let g = reg.gauge("x.active");
+        {
+            let _guard = g.track();
+            assert_eq!(g.get(), 1);
+        }
+        assert_eq!(g.get(), 0, "guard decrements on drop");
+        reg.histogram("x.lat").record(42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("x.count".to_string(), 3)]);
+        assert_eq!(snap.gauges, vec![("x.active".to_string(), 0)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics() {
+        let reg = Registry::new();
+        reg.counter("clash");
+        reg.histogram("clash");
+    }
+
+    #[test]
+    fn snapshot_merge_sums_and_concatenates() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("shared").add(2);
+        b.counter("shared").add(3);
+        a.counter("only_a").inc();
+        b.gauge("g").set(-4);
+        a.histogram("h").record(10);
+        b.histogram("h").record(20);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(
+            m.counters,
+            vec![("only_a".to_string(), 1), ("shared".to_string(), 5)]
+        );
+        assert_eq!(m.gauges, vec![("g".to_string(), -4)]);
+        assert_eq!(m.histograms.len(), 1);
+        assert_eq!(m.histograms[0].1.count, 2);
+        assert_eq!(m.histograms[0].1.sum, 30);
+    }
+}

@@ -1,0 +1,388 @@
+//! Structured tracing: trace ids, span events, and the JSON-lines sink.
+//!
+//! ## Event format
+//!
+//! One JSON object per line, no nesting:
+//!
+//! ```text
+//! {"ts_us":1754550000123456,"trace":"a3f91c0088421b07","span":"preprocess","dur_us":1834,"oracle_evals":912}
+//! ```
+//!
+//! * `ts_us` — wall-clock microseconds since the Unix epoch, stamped at
+//!   emission time (for phase events that is the phase *end*).
+//! * `trace` — the 16-hex-digit per-query trace id. The server echoes
+//!   the same id in every response frame of the query, so a wire capture
+//!   joins against the span log on this field.
+//! * `span` — the event name (see `docs/OBSERVABILITY.md` for the span
+//!   taxonomy).
+//! * `dur_us` — present on phase events emitted by [`PhaseTimer`].
+//! * Any further fields are event-specific key/value pairs ([`Field`]).
+//!
+//! The slow-query log uses the same format with `span == "slow_query"`.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Returns a process-unique 16-hex-digit trace id. Ids are a counter
+/// seeded from the wall clock at first use, so they are unique within a
+/// process and almost certainly unique across server restarts.
+pub fn next_trace_id() -> String {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    let next = NEXT.get_or_init(|| {
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            | 1; // never start at 0, the "no trace" sentinel
+        AtomicU64::new(seed)
+    });
+    format!("{:016x}", next.fetch_add(1, Ordering::Relaxed))
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float (non-finite values are emitted as `null`).
+    F(f64),
+    /// String (JSON-escaped on emission).
+    S(String),
+    /// Boolean.
+    B(bool),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U(v as u64)
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::I(v)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::S(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::S(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::B(v)
+    }
+}
+
+/// Where span events go. Cheap to clone (shared handle). A disabled
+/// sink makes every emission a no-op, so instrumented code does not pay
+/// for formatting when tracing is off — guard expensive field
+/// construction with [`TraceSink::enabled`] where it matters.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    out: Option<Arc<Mutex<Box<dyn Write + Send>>>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// A sink that drops every event.
+    pub fn disabled() -> Self {
+        TraceSink::default()
+    }
+
+    /// A sink writing JSON lines to an arbitrary writer (tests, pipes).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
+        TraceSink {
+            out: Some(Arc::new(Mutex::new(w))),
+        }
+    }
+
+    /// A sink writing to stderr (the `serve --log -` path; stdout stays
+    /// machine-readable).
+    pub fn stderr() -> Self {
+        TraceSink::to_writer(Box::new(io::stderr()))
+    }
+
+    /// A sink appending to the file at `path`, created if absent.
+    pub fn file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(TraceSink::to_writer(Box::new(f)))
+    }
+
+    /// Whether events will actually be written.
+    pub fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// Emits one event line. `trace` may be empty for connection-scoped
+    /// events that precede any query. Write errors are swallowed —
+    /// tracing must never take down the serving path.
+    pub fn event(&self, trace: &str, span: &str, fields: &[(&str, Field)]) {
+        let Some(out) = &self.out else { return };
+        let mut line = String::with_capacity(96);
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let _ = write!(line, "{{\"ts_us\":{ts_us}");
+        if !trace.is_empty() {
+            line.push_str(",\"trace\":");
+            escape_into(trace, &mut line);
+        }
+        line.push_str(",\"span\":");
+        escape_into(span, &mut line);
+        for (k, v) in fields {
+            line.push(',');
+            escape_into(k, &mut line);
+            line.push(':');
+            match v {
+                Field::U(n) => {
+                    let _ = write!(line, "{n}");
+                }
+                Field::I(n) => {
+                    let _ = write!(line, "{n}");
+                }
+                Field::F(n) if n.is_finite() => {
+                    let _ = write!(line, "{n:?}");
+                }
+                Field::F(_) => line.push_str("null"),
+                Field::S(s) => escape_into(s, &mut line),
+                Field::B(b) => line.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        line.push_str("}\n");
+        if let Ok(mut w) = out.lock() {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Minimal JSON string escaping (control characters, quote, backslash).
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Times one phase of a query and emits a single event with `dur_us` on
+/// finish (or on drop, so early-return paths still log). The measured
+/// duration is also returned for callers that feed a
+/// [`crate::Histogram`].
+#[derive(Debug)]
+pub struct PhaseTimer<'a> {
+    sink: &'a TraceSink,
+    trace: &'a str,
+    span: &'static str,
+    start: Instant,
+    finished: bool,
+}
+
+impl<'a> PhaseTimer<'a> {
+    /// Starts timing `span` for query `trace`.
+    pub fn start(sink: &'a TraceSink, trace: &'a str, span: &'static str) -> Self {
+        PhaseTimer {
+            sink,
+            trace,
+            span,
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Elapsed microseconds so far (does not finish the span).
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Finishes the span, emitting its event. Returns the duration in
+    /// microseconds.
+    pub fn finish(self) -> u64 {
+        self.finish_with(&[])
+    }
+
+    /// Finishes the span with extra event fields. Returns the duration
+    /// in microseconds.
+    pub fn finish_with(mut self, fields: &[(&str, Field)]) -> u64 {
+        let dur_us = self.elapsed_us();
+        self.emit(dur_us, fields);
+        self.finished = true;
+        dur_us
+    }
+
+    fn emit(&self, dur_us: u64, fields: &[(&str, Field)]) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let mut all: Vec<(&str, Field)> = Vec::with_capacity(fields.len() + 1);
+        all.push(("dur_us", Field::U(dur_us)));
+        all.extend_from_slice(fields);
+        self.sink.event(self.trace, self.span, &all);
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let dur_us = self.elapsed_us();
+            self.emit(dur_us, &[("aborted", Field::B(true))]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A `Write` that appends into a shared buffer, for asserting on
+    /// emitted lines.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn capture() -> (TraceSink, SharedBuf) {
+        let buf = SharedBuf::default();
+        (TraceSink::to_writer(Box::new(buf.clone())), buf)
+    }
+
+    fn lines(buf: &SharedBuf) -> Vec<String> {
+        String::from_utf8(buf.0.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn trace_ids_are_unique_hex() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn event_emits_one_json_line() {
+        let (sink, buf) = capture();
+        sink.event(
+            "deadbeef00000001",
+            "cache_lookup",
+            &[
+                ("outcome", Field::from("hit")),
+                ("entries", Field::from(3u64)),
+                ("delta", Field::I(-2)),
+                ("ok", Field::from(true)),
+            ],
+        );
+        let ls = lines(&buf);
+        assert_eq!(ls.len(), 1);
+        let l = &ls[0];
+        assert!(l.starts_with("{\"ts_us\":"), "{l}");
+        assert!(l.contains("\"trace\":\"deadbeef00000001\""), "{l}");
+        assert!(l.contains("\"span\":\"cache_lookup\""), "{l}");
+        assert!(l.contains("\"outcome\":\"hit\""), "{l}");
+        assert!(l.contains("\"entries\":3"), "{l}");
+        assert!(l.contains("\"delta\":-2"), "{l}");
+        assert!(l.contains("\"ok\":true"), "{l}");
+        assert!(l.ends_with('}'), "{l}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let (sink, buf) = capture();
+        sink.event("", "x", &[("msg", Field::from("a\"b\\c\nd"))]);
+        let l = lines(&buf).remove(0);
+        assert!(l.contains("\"msg\":\"a\\\"b\\\\c\\nd\""), "{l}");
+        assert!(!l.contains('\n'), "framing: one line");
+    }
+
+    #[test]
+    fn phase_timer_emits_dur_us() {
+        let (sink, buf) = capture();
+        let t = PhaseTimer::start(&sink, "deadbeef00000002", "preprocess");
+        let dur = t.finish_with(&[("oracle_evals", Field::from(7u64))]);
+        let l = lines(&buf).remove(0);
+        assert!(l.contains("\"span\":\"preprocess\""), "{l}");
+        assert!(l.contains("\"dur_us\":"), "{l}");
+        assert!(l.contains("\"oracle_evals\":7"), "{l}");
+        assert!(!l.contains("aborted"), "{l}");
+        let _ = dur; // any value is fine; just must not panic
+    }
+
+    #[test]
+    fn dropped_timer_marks_aborted() {
+        let (sink, buf) = capture();
+        {
+            let _t = PhaseTimer::start(&sink, "deadbeef00000003", "search");
+        }
+        let l = lines(&buf).remove(0);
+        assert!(l.contains("\"aborted\":true"), "{l}");
+    }
+
+    #[test]
+    fn disabled_sink_is_silent() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.enabled());
+        sink.event("t", "s", &[]);
+        PhaseTimer::start(&sink, "t", "s").finish();
+        // nothing to assert beyond "no panic, no output destination"
+    }
+}

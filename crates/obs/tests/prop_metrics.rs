@@ -1,0 +1,112 @@
+//! Property-based tests for the histogram bucket math and snapshot
+//! merge algebra.
+
+use kr_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Registry, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// Strategy: samples spanning every magnitude, not just the small range
+/// a uniform `u64` draw would almost always hit.
+fn arb_sample() -> impl Strategy<Value = u64> {
+    (0u32..64, 0u64..=u64::MAX).prop_map(|(shift, raw)| raw >> shift)
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn bucket_contains_its_value(v in arb_sample()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "v={v} bucket {i} = {lo}..{hi}");
+    }
+
+    #[test]
+    fn bucket_index_monotone(a in arb_sample(), b in arb_sample()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn snapshot_totals_match(values in proptest::collection::vec(arb_sample(), 0..50)) {
+        let s = snapshot_of(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        let bucket_total: u64 = s.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v)));
+        // Sparse representation: ascending indexes, no zero counts.
+        for w in s.buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        prop_assert!(s.buckets.iter().all(|&(_, c)| c > 0));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(arb_sample(), 0..30),
+        b in proptest::collection::vec(arb_sample(), 0..30),
+        c in proptest::collection::vec(arb_sample(), 0..30),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        // Merging shards equals one histogram fed every sample.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(sa.merge(&sb), snapshot_of(&all));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(arb_sample(), 1..50),
+    ) {
+        let s = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let (p50, p90, p99) = (s.quantile(0.50), s.quantile(0.90), s.quantile(0.99));
+        prop_assert!(p50 <= p90 && p90 <= p99, "p50={p50} p90={p90} p99={p99}");
+        // Each reported quantile is the upper bound of the bucket holding
+        // the true rank-statistic, so it is >= the true value and <= that
+        // bucket's hi.
+        for (q, reported) in [(0.50, p50), (0.90, p90), (0.99, p99)] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = sorted[rank - 1];
+            let (lo, hi) = bucket_bounds(bucket_index(truth));
+            prop_assert!(reported >= truth, "q={q}: {reported} < true {truth}");
+            prop_assert!(reported <= hi, "q={q}: {reported} above bucket {lo}..{hi}");
+        }
+        prop_assert!(s.quantile(1.0) >= *sorted.last().unwrap() || {
+            let (_, hi) = bucket_bounds(bucket_index(*sorted.last().unwrap()));
+            s.quantile(1.0) == hi
+        });
+    }
+
+    #[test]
+    fn registry_merge_matches_single_registry(
+        a in proptest::collection::vec(arb_sample(), 0..20),
+        b in proptest::collection::vec(arb_sample(), 0..20),
+    ) {
+        let ra = Registry::new();
+        let rb = Registry::new();
+        let rall = Registry::new();
+        for &v in &a {
+            ra.histogram("lat").record(v);
+            ra.counter("n").inc();
+            rall.histogram("lat").record(v);
+            rall.counter("n").inc();
+        }
+        for &v in &b {
+            rb.histogram("lat").record(v);
+            rb.counter("n").inc();
+            rall.histogram("lat").record(v);
+            rall.counter("n").inc();
+        }
+        prop_assert_eq!(ra.snapshot().merge(&rb.snapshot()), rall.snapshot());
+    }
+}

@@ -10,6 +10,7 @@ use crate::protocol::{
     CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
 };
 use kr_graph::VertexId;
+use kr_obs::MetricsSnapshot;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -28,8 +29,10 @@ pub enum ClientError {
         message: String,
     },
     /// The server sent a well-formed frame that does not fit the
-    /// exchange (wrong id or wrong frame type).
-    Unexpected(Frame),
+    /// exchange (wrong id or wrong frame type). Boxed: a `metrics`
+    /// frame embeds a full registry snapshot, and the error path
+    /// should not inflate every `Result` on the happy path.
+    Unexpected(Box<Frame>),
 }
 
 impl std::fmt::Display for ClientError {
@@ -72,6 +75,10 @@ pub struct QueryResult {
     pub elapsed_ms: u64,
     /// Search nodes visited server-side.
     pub nodes: u64,
+    /// Server-assigned trace id from the `done` frame (`""` against an
+    /// older, untraced server). Grep the server's `--log` output for
+    /// this value to see the query's span events.
+    pub trace: String,
 }
 
 /// A connected protocol client.
@@ -97,7 +104,7 @@ impl Client {
             Frame::Hello { protocol, .. } => Err(ClientError::Proto(
                 ProtoError::UnsupportedVersion(Some(protocol)),
             )),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -137,6 +144,7 @@ impl Client {
                 } if fid == id => cores.push(vertices),
                 Frame::Done {
                     id: fid,
+                    trace,
                     completed,
                     cache,
                     elapsed_ms,
@@ -155,16 +163,18 @@ impl Client {
                         cache,
                         elapsed_ms,
                         nodes,
+                        trace,
                     });
                 }
                 Frame::Error {
                     id: fid,
                     code,
                     message,
+                    ..
                 } if fid == id => {
                     return Err(ClientError::Server { code, message });
                 }
-                other => return Err(ClientError::Unexpected(other)),
+                other => return Err(ClientError::Unexpected(Box::new(other))),
             }
         }
     }
@@ -195,13 +205,33 @@ impl Client {
         let id = self.fresh_id();
         self.send(&Request::Stats { id: id.clone() })?;
         match self.read_frame()? {
-            Frame::Stats { id: fid, stats } if fid == id => Ok(stats),
+            Frame::Stats { id: fid, stats, .. } if fid == id => Ok(stats),
             Frame::Error {
                 id: fid,
                 code,
                 message,
+                ..
             } if fid == id => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Fetches the server's metrics-registry snapshot (counters, gauges,
+    /// and latency histograms with full bucket detail).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Metrics { id: id.clone() })?;
+        match self.read_frame()? {
+            Frame::Metrics {
+                id: fid, snapshot, ..
+            } if fid == id => Ok(snapshot),
+            Frame::Error {
+                id: fid,
+                code,
+                message,
+                ..
+            } if fid == id => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -210,8 +240,8 @@ impl Client {
         let id = self.fresh_id();
         self.send(&Request::Ping { id: id.clone() })?;
         match self.read_frame()? {
-            Frame::Pong { id: fid } if fid == id => Ok(()),
-            other => Err(ClientError::Unexpected(other)),
+            Frame::Pong { id: fid, .. } if fid == id => Ok(()),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -220,8 +250,8 @@ impl Client {
         let id = self.fresh_id();
         self.send(&Request::Shutdown { id: id.clone() })?;
         match self.read_frame()? {
-            Frame::ShuttingDown { id: fid } if fid == id => Ok(()),
-            other => Err(ClientError::Unexpected(other)),
+            Frame::ShuttingDown { id: fid, .. } if fid == id => Ok(()),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 }

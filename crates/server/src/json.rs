@@ -61,6 +61,15 @@ impl Json {
         }
     }
 
+    /// The value as a signed integer, if it is a whole number in the
+    /// exact-`f64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
     /// The value as a bool, if it is one.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -13,6 +13,9 @@
 //!   sets keyed by `(dataset, k, r-band)`, shared across connections via
 //!   `Arc`, with hit/miss/eviction statistics;
 //! * [`datasets`] — resident, lazily-generated preset datasets;
+//! * [`obs`] — the per-instance `server.*` metrics registry surfaced by
+//!   the wire `metrics` request, and the structured-trace sink every
+//!   query's span events go to (see `docs/OBSERVABILITY.md`);
 //! * `session` / [`server`] — one thread per connection dispatching
 //!   queries onto the engines (which thread one worker pool per query
 //!   through preprocessing and search), with budget-clamped cancellation
@@ -45,6 +48,7 @@ pub mod cache;
 pub mod client;
 pub mod datasets;
 pub mod json;
+pub mod obs;
 pub mod protocol;
 pub mod server;
 pub(crate) mod session;
@@ -52,6 +56,8 @@ pub(crate) mod session;
 pub use cache::{CacheKey, CacheStats, ComponentCache};
 pub use client::{Client, ClientError, QueryResult};
 pub use datasets::{dataset_key, DatasetRegistry, HostedDataset};
+pub use kr_obs::{HistogramSnapshot, MetricsSnapshot, TraceSink, HIST_BUCKETS};
+pub use obs::ServerMetrics;
 pub use protocol::{
     Algo, CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
 };

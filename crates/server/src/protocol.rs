@@ -19,10 +19,20 @@
 //! query long before `done`. Unknown *request* fields are ignored (a
 //! `v2` client degrades gracefully against a `v1` server); an unknown
 //! version is rejected with an `error` frame.
+//!
+//! Every response frame (except `hello`) also carries a server-assigned
+//! `trace` id — the same id the server's span log uses for that request
+//! (see `docs/OBSERVABILITY.md`), so a wire capture joins against the
+//! trace log on this field. The `metrics` request returns a full
+//! [`kr_obs::MetricsSnapshot`] — counters, gauges, and histograms with
+//! their buckets — as a `metrics` frame. Both are additive: `trace` is
+//! optional on decode (frames from older servers parse with an empty
+//! trace), so v1 stays backward compatible.
 
 use crate::cache::CacheStats;
 use crate::json::{self, Json, JsonError};
 use kr_graph::VertexId;
+use kr_obs::{HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
 
 /// Protocol version spoken by this build. Bump on breaking changes; the
 /// server rejects requests with a different `v`.
@@ -122,6 +132,11 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// Full metrics-registry snapshot (counters, gauges, histograms).
+    Metrics {
+        /// Correlation id.
+        id: String,
+    },
     /// Liveness probe.
     Ping {
         /// Correlation id.
@@ -176,6 +191,8 @@ pub enum Frame {
     Core {
         /// Correlation id.
         id: String,
+        /// Server-assigned trace id ("" = untraced / older server).
+        trace: String,
         /// 0-based position in the stream.
         index: u64,
         /// Member vertices (global ids, sorted).
@@ -185,6 +202,8 @@ pub enum Frame {
     Done {
         /// Correlation id.
         id: String,
+        /// Server-assigned trace id ("" = untraced / older server).
+        trace: String,
         /// Number of `core` frames sent for this query.
         count: u64,
         /// False when a node/time budget cut the search short.
@@ -200,23 +219,41 @@ pub enum Frame {
     Stats {
         /// Correlation id.
         id: String,
+        /// Server-assigned trace id ("" = untraced / older server).
+        trace: String,
         /// Counters since server start.
         stats: CacheStats,
+    },
+    /// Metrics-registry snapshot (the server's own registry merged with
+    /// the process-global one).
+    Metrics {
+        /// Correlation id.
+        id: String,
+        /// Server-assigned trace id ("" = untraced / older server).
+        trace: String,
+        /// Counters, gauges, and histograms (buckets included).
+        snapshot: MetricsSnapshot,
     },
     /// Reply to `ping`.
     Pong {
         /// Correlation id.
         id: String,
+        /// Server-assigned trace id ("" = untraced / older server).
+        trace: String,
     },
     /// Acknowledges `shutdown`; the server exits after this frame.
     ShuttingDown {
         /// Correlation id.
         id: String,
+        /// Server-assigned trace id ("" = untraced / older server).
+        trace: String,
     },
     /// Request-level failure (the connection stays usable).
     Error {
         /// Correlation id ("" when the request was unparseable).
         id: String,
+        /// Server-assigned trace id ("" = untraced / older server).
+        trace: String,
         /// Machine-readable error class.
         code: ErrorCode,
         /// Human-readable detail.
@@ -314,6 +351,135 @@ fn get_id(v: &Json) -> String {
     v.get("id").and_then(Json::as_str).unwrap_or("").to_string()
 }
 
+fn get_trace(v: &Json) -> String {
+    v.get("trace")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string()
+}
+
+/// An empty trace is omitted on the wire, keeping frames from a tracing
+/// server distinguishable from (and backward compatible with) untraced
+/// ones.
+fn push_trace<'a>(trace: &'a str, fields: &mut Vec<(&'a str, Json)>) {
+    if !trace.is_empty() {
+        fields.push(("trace", json::s(trace)));
+    }
+}
+
+/// Encodes a metrics snapshot as three name-keyed objects. Values are
+/// exact up to 2^53 (the codec's integer range) — ~285 years of
+/// microseconds, so latency sums fit comfortably.
+fn metrics_to_fields(snap: &MetricsSnapshot, fields: &mut Vec<(&str, Json)>) {
+    fields.push((
+        "counters",
+        Json::Obj(
+            snap.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), json::n(*v as f64)))
+                .collect(),
+        ),
+    ));
+    fields.push((
+        "gauges",
+        Json::Obj(
+            snap.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), json::n(*v as f64)))
+                .collect(),
+        ),
+    ));
+    fields.push((
+        "histograms",
+        Json::Obj(
+            snap.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        json::obj(vec![
+                            ("count", json::n(h.count as f64)),
+                            ("sum", json::n(h.sum as f64)),
+                            (
+                                "buckets",
+                                Json::Arr(
+                                    h.buckets
+                                        .iter()
+                                        .map(|&(i, c)| {
+                                            Json::Arr(vec![json::n(i as f64), json::n(c as f64)])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        ),
+    ));
+}
+
+fn obj_entries<'a>(v: &'a Json, key: &str) -> Result<&'a [(String, Json)], ProtoError> {
+    match v.get(key) {
+        Some(Json::Obj(fields)) => Ok(fields),
+        _ => Err(malformed(format!("missing object field '{key}'"))),
+    }
+}
+
+fn metrics_from_json(v: &Json) -> Result<MetricsSnapshot, ProtoError> {
+    let mut snap = MetricsSnapshot::default();
+    for (name, val) in obj_entries(v, "counters")? {
+        let c = val
+            .as_u64()
+            .ok_or_else(|| malformed("counter values must be non-negative integers"))?;
+        snap.counters.push((name.clone(), c));
+    }
+    for (name, val) in obj_entries(v, "gauges")? {
+        let g = val
+            .as_i64()
+            .ok_or_else(|| malformed("gauge values must be integers"))?;
+        snap.gauges.push((name.clone(), g));
+    }
+    for (name, val) in obj_entries(v, "histograms")? {
+        let count = val
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| malformed("histogram missing integer field 'count'"))?;
+        let sum = val
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| malformed("histogram missing integer field 'sum'"))?;
+        let buckets =
+            val.get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| malformed("histogram missing array field 'buckets'"))?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        malformed("histogram buckets must be [index, count] pairs")
+                    })?;
+                    let i = pair[0]
+                        .as_u64()
+                        .filter(|&i| i < HIST_BUCKETS as u64)
+                        .ok_or_else(|| malformed("bucket index out of range"))?;
+                    let c = pair[1]
+                        .as_u64()
+                        .ok_or_else(|| malformed("bucket count must be a non-negative integer"))?;
+                    Ok((i as u32, c))
+                })
+                .collect::<Result<Vec<_>, ProtoError>>()?;
+        snap.histograms.push((
+            name.clone(),
+            HistogramSnapshot {
+                count,
+                sum,
+                buckets,
+            },
+        ));
+    }
+    Ok(snap)
+}
+
 fn spec_to_fields(spec: &QuerySpec, fields: &mut Vec<(&str, Json)>) {
     fields.push(("dataset", json::s(&spec.dataset)));
     fields.push(("scale", json::n(spec.scale)));
@@ -407,6 +573,10 @@ impl Request {
                 fields.push(("cmd", json::s("stats")));
                 fields.push(("id", json::s(id)));
             }
+            Request::Metrics { id } => {
+                fields.push(("cmd", json::s("metrics")));
+                fields.push(("id", json::s(id)));
+            }
             Request::Ping { id } => {
                 fields.push(("cmd", json::s("ping")));
                 fields.push(("id", json::s(id)));
@@ -434,6 +604,7 @@ impl Request {
                 spec: spec_from_json(&v)?,
             }),
             Some("stats") => Ok(Request::Stats { id }),
+            Some("metrics") => Ok(Request::Metrics { id }),
             Some("ping") => Ok(Request::Ping { id }),
             Some("shutdown") => Ok(Request::Shutdown { id }),
             Some(other) => Err(malformed(format!("unknown cmd '{other}'"))),
@@ -454,11 +625,13 @@ impl Frame {
             }
             Frame::Core {
                 id,
+                trace,
                 index,
                 vertices,
             } => {
                 fields.push(("frame", json::s("core")));
                 fields.push(("id", json::s(id)));
+                push_trace(trace, &mut fields);
                 fields.push(("index", json::n(*index as f64)));
                 fields.push((
                     "vertices",
@@ -467,6 +640,7 @@ impl Frame {
             }
             Frame::Done {
                 id,
+                trace,
                 count,
                 completed,
                 cache,
@@ -475,15 +649,17 @@ impl Frame {
             } => {
                 fields.push(("frame", json::s("done")));
                 fields.push(("id", json::s(id)));
+                push_trace(trace, &mut fields);
                 fields.push(("count", json::n(*count as f64)));
                 fields.push(("completed", Json::Bool(*completed)));
                 fields.push(("cache", json::s(cache.name())));
                 fields.push(("elapsed_ms", json::n(*elapsed_ms as f64)));
                 fields.push(("nodes", json::n(*nodes as f64)));
             }
-            Frame::Stats { id, stats } => {
+            Frame::Stats { id, trace, stats } => {
                 fields.push(("frame", json::s("stats")));
                 fields.push(("id", json::s(id)));
+                push_trace(trace, &mut fields);
                 fields.push(("hits", json::n(stats.hits as f64)));
                 fields.push(("misses", json::n(stats.misses as f64)));
                 fields.push(("evictions", json::n(stats.evictions as f64)));
@@ -494,17 +670,35 @@ impl Frame {
                 fields.push(("index_hits", json::n(stats.index_hits as f64)));
                 fields.push(("residual_vertices", json::n(stats.residual_vertices as f64)));
             }
-            Frame::Pong { id } => {
+            Frame::Metrics {
+                id,
+                trace,
+                snapshot,
+            } => {
+                fields.push(("frame", json::s("metrics")));
+                fields.push(("id", json::s(id)));
+                push_trace(trace, &mut fields);
+                metrics_to_fields(snapshot, &mut fields);
+            }
+            Frame::Pong { id, trace } => {
                 fields.push(("frame", json::s("pong")));
                 fields.push(("id", json::s(id)));
+                push_trace(trace, &mut fields);
             }
-            Frame::ShuttingDown { id } => {
+            Frame::ShuttingDown { id, trace } => {
                 fields.push(("frame", json::s("shutting_down")));
                 fields.push(("id", json::s(id)));
+                push_trace(trace, &mut fields);
             }
-            Frame::Error { id, code, message } => {
+            Frame::Error {
+                id,
+                trace,
+                code,
+                message,
+            } => {
                 fields.push(("frame", json::s("error")));
                 fields.push(("id", json::s(id)));
+                push_trace(trace, &mut fields);
                 fields.push(("code", json::s(code.name())));
                 fields.push(("message", json::s(message)));
             }
@@ -517,6 +711,7 @@ impl Frame {
         let v = Json::parse(line)?;
         check_version(&v)?;
         let id = get_id(&v);
+        let trace = get_trace(&v);
         let req_u64 = |key: &str| -> Result<u64, ProtoError> {
             v.get(key)
                 .and_then(Json::as_u64)
@@ -546,12 +741,14 @@ impl Frame {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Frame::Core {
                     id,
+                    trace,
                     index: req_u64("index")?,
                     vertices,
                 })
             }
             Some("done") => Ok(Frame::Done {
                 id,
+                trace,
                 count: req_u64("count")?,
                 completed: v
                     .get("completed")
@@ -567,6 +764,7 @@ impl Frame {
             }),
             Some("stats") => Ok(Frame::Stats {
                 id,
+                trace,
                 stats: CacheStats {
                     hits: req_u64("hits")?,
                     misses: req_u64("misses")?,
@@ -585,10 +783,16 @@ impl Frame {
                         .unwrap_or(0),
                 },
             }),
-            Some("pong") => Ok(Frame::Pong { id }),
-            Some("shutting_down") => Ok(Frame::ShuttingDown { id }),
+            Some("metrics") => Ok(Frame::Metrics {
+                id,
+                trace,
+                snapshot: metrics_from_json(&v)?,
+            }),
+            Some("pong") => Ok(Frame::Pong { id, trace }),
+            Some("shutting_down") => Ok(Frame::ShuttingDown { id, trace }),
             Some("error") => Ok(Frame::Error {
                 id,
+                trace,
                 code: v
                     .get("code")
                     .and_then(Json::as_str)
@@ -629,6 +833,7 @@ mod tests {
                 },
             },
             Request::Stats { id: "s".into() },
+            Request::Metrics { id: "m".into() },
             Request::Ping { id: String::new() },
             Request::Shutdown { id: "bye".into() },
         ];
@@ -648,11 +853,13 @@ mod tests {
             },
             Frame::Core {
                 id: "q1".into(),
+                trace: "00f1a2b3c4d5e6f7".into(),
                 index: 3,
                 vertices: vec![0, 5, 17],
             },
             Frame::Done {
                 id: "q1".into(),
+                trace: "00f1a2b3c4d5e6f7".into(),
                 count: 4,
                 completed: true,
                 cache: CacheOutcome::Hit,
@@ -661,6 +868,7 @@ mod tests {
             },
             Frame::Stats {
                 id: "s".into(),
+                trace: String::new(),
                 stats: CacheStats {
                     hits: 1,
                     misses: 2,
@@ -673,10 +881,36 @@ mod tests {
                     residual_vertices: 678,
                 },
             },
-            Frame::Pong { id: "p".into() },
-            Frame::ShuttingDown { id: String::new() },
+            Frame::Metrics {
+                id: "m".into(),
+                trace: "deadbeefdeadbeef".into(),
+                snapshot: MetricsSnapshot {
+                    counters: vec![
+                        ("server.queries".into(), 5),
+                        ("server.requests_malformed".into(), 1),
+                    ],
+                    gauges: vec![("server.active_queries".into(), -2)],
+                    histograms: vec![(
+                        "server.query_latency_us".into(),
+                        HistogramSnapshot {
+                            count: 5,
+                            sum: 12_345,
+                            buckets: vec![(0, 1), (63, 3), (495, 1)],
+                        },
+                    )],
+                },
+            },
+            Frame::Pong {
+                id: "p".into(),
+                trace: "0000000000000001".into(),
+            },
+            Frame::ShuttingDown {
+                id: String::new(),
+                trace: String::new(),
+            },
             Frame::Error {
                 id: "x".into(),
+                trace: "ffffffffffffffff".into(),
                 code: ErrorCode::UnknownDataset,
                 message: "no such preset: nope".into(),
             },
@@ -689,21 +923,122 @@ mod tests {
     }
 
     #[test]
-    fn pre_pr4_stats_frame_still_parses() {
-        // A stats frame without the PR 4 counters (and without the PR 3
-        // resident_bytes) must decode with zero defaults.
-        let line =
-            r#"{"v":1,"frame":"stats","id":"s","hits":3,"misses":1,"evictions":0,"entries":1}"#;
-        match Frame::parse(line).unwrap() {
-            Frame::Stats { stats, .. } => {
-                assert_eq!(stats.hits, 3);
-                assert_eq!(stats.resident_bytes, 0);
-                assert_eq!(stats.preprocess_ms, 0);
-                assert_eq!(stats.oracle_evals, 0);
-                assert_eq!(stats.index_hits, 0);
-                assert_eq!(stats.residual_vertices, 0);
-            }
-            other => panic!("wrong frame {other:?}"),
+    fn empty_trace_omitted_on_wire() {
+        let line = Frame::Pong {
+            id: "p".into(),
+            trace: String::new(),
+        }
+        .to_line();
+        assert!(!line.contains("trace"), "{line}");
+    }
+
+    #[test]
+    fn optional_frame_fields_default_against_old_literals() {
+        // Table-driven backward-compatibility pin: every optional field
+        // added after the v1 freeze (PR 3 resident_bytes, PR 4
+        // preprocess_ms/oracle_evals, PR 6 index_hits/residual_vertices,
+        // PR 7 trace) must decode as 0/absent from a frame literal the
+        // original v1 server would have emitted. A row failing here means
+        // a new field silently became mandatory — a wire break.
+        struct Case {
+            name: &'static str,
+            line: &'static str,
+            check: fn(Frame),
+        }
+        let cases = [
+            Case {
+                name: "pre-PR3/4/6 stats frame: all optional counters zero",
+                line: r#"{"v":1,"frame":"stats","id":"s","hits":3,"misses":1,"evictions":0,"entries":1}"#,
+                check: |f| match f {
+                    Frame::Stats { trace, stats, .. } => {
+                        assert_eq!(stats.hits, 3);
+                        assert_eq!(stats.resident_bytes, 0, "PR 3 field");
+                        assert_eq!(stats.preprocess_ms, 0, "PR 4 field");
+                        assert_eq!(stats.oracle_evals, 0, "PR 4 field");
+                        assert_eq!(stats.index_hits, 0, "PR 6 field");
+                        assert_eq!(stats.residual_vertices, 0, "PR 6 field");
+                        assert_eq!(trace, "", "PR 7 field");
+                    }
+                    other => panic!("wrong frame {other:?}"),
+                },
+            },
+            Case {
+                name: "pre-PR7 core frame: no trace",
+                line: r#"{"v":1,"frame":"core","id":"q","index":0,"vertices":[1,2]}"#,
+                check: |f| match f {
+                    Frame::Core {
+                        trace, vertices, ..
+                    } => {
+                        assert_eq!(trace, "");
+                        assert_eq!(vertices, vec![1, 2]);
+                    }
+                    other => panic!("wrong frame {other:?}"),
+                },
+            },
+            Case {
+                name: "pre-PR7 done frame: no trace",
+                line: r#"{"v":1,"frame":"done","id":"q","count":1,"completed":true,"cache":"miss","elapsed_ms":5,"nodes":9}"#,
+                check: |f| match f {
+                    Frame::Done { trace, count, .. } => {
+                        assert_eq!(trace, "");
+                        assert_eq!(count, 1);
+                    }
+                    other => panic!("wrong frame {other:?}"),
+                },
+            },
+            Case {
+                name: "pre-PR7 pong frame: no trace",
+                line: r#"{"v":1,"frame":"pong","id":"p"}"#,
+                check: |f| match f {
+                    Frame::Pong { trace, .. } => assert_eq!(trace, ""),
+                    other => panic!("wrong frame {other:?}"),
+                },
+            },
+            Case {
+                name: "pre-PR7 error frame: no trace",
+                line: r#"{"v":1,"frame":"error","id":"","code":"bad_request","message":"m"}"#,
+                check: |f| match f {
+                    Frame::Error { trace, code, .. } => {
+                        assert_eq!(trace, "");
+                        assert_eq!(code, ErrorCode::BadRequest);
+                    }
+                    other => panic!("wrong frame {other:?}"),
+                },
+            },
+            Case {
+                name: "metrics frame with empty sections parses as empty snapshot",
+                line: r#"{"v":1,"frame":"metrics","id":"m","counters":{},"gauges":{},"histograms":{}}"#,
+                check: |f| match f {
+                    Frame::Metrics { snapshot, .. } => {
+                        assert_eq!(snapshot, MetricsSnapshot::default())
+                    }
+                    other => panic!("wrong frame {other:?}"),
+                },
+            },
+        ];
+        for case in cases {
+            let frame = Frame::parse(case.line)
+                .unwrap_or_else(|e| panic!("{}: parse failed: {e}", case.name));
+            (case.check)(frame);
+        }
+    }
+
+    #[test]
+    fn malformed_metrics_frames_rejected() {
+        for bad in [
+            // missing sections
+            r#"{"v":1,"frame":"metrics","id":"m"}"#,
+            // bucket index beyond the table
+            r#"{"v":1,"frame":"metrics","id":"m","counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"buckets":[[496,1]]}}}"#,
+            // bucket pair wrong arity
+            r#"{"v":1,"frame":"metrics","id":"m","counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"buckets":[[1]]}}}"#,
+            // counter not an integer
+            r#"{"v":1,"frame":"metrics","id":"m","counters":{"c":1.5},"gauges":{},"histograms":{}}"#,
+        ] {
+            assert!(
+                matches!(Frame::parse(bad), Err(ProtoError::Malformed(_))),
+                "{bad}"
+            );
         }
     }
 

@@ -10,7 +10,9 @@
 
 use crate::cache::ComponentCache;
 use crate::datasets::DatasetRegistry;
+use crate::obs::ServerMetrics;
 use crate::session;
+use kr_obs::TraceSink;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -38,6 +40,15 @@ pub struct ServerConfig {
     /// query. A query's `scale` is ignored for these — the file pins the
     /// graph (identity `name@1`).
     pub file_datasets: Vec<(String, String)>,
+    /// Where structured trace events (JSON lines) go: `None` disables
+    /// tracing, `"-"` writes to stderr, anything else is a file path
+    /// opened in append mode at bind time (fail fast on an unwritable
+    /// path).
+    pub trace_log: Option<String>,
+    /// Queries at or above this wall-clock latency emit a `slow_query`
+    /// trace event and bump `server.slow_queries`. `0` flags every query
+    /// (useful in smoke tests to force an emission).
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +60,8 @@ impl Default for ServerConfig {
             max_node_limit: None,
             max_scale: 2.0,
             file_datasets: Vec::new(),
+            trace_log: None,
+            slow_query_ms: 1_000,
         }
     }
 }
@@ -61,6 +74,12 @@ pub struct ServerState {
     pub cache: ComponentCache,
     /// Resident datasets.
     pub datasets: DatasetRegistry,
+    /// This instance's `server.*` metrics (merged with the process-global
+    /// registry when answering a `metrics` request).
+    pub metrics: ServerMetrics,
+    /// Destination for structured trace events (disabled unless
+    /// [`ServerConfig::trace_log`] was set).
+    pub trace: TraceSink,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
 }
@@ -99,11 +118,18 @@ impl Server {
             }
             datasets.register_file(name, path).map_err(bad_input)?;
         }
+        let trace = match config.trace_log.as_deref() {
+            None => TraceSink::disabled(),
+            Some("-") => TraceSink::stderr(),
+            Some(path) => TraceSink::file(path)?,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
             cache: ComponentCache::new(config.cache_capacity),
             datasets,
+            metrics: ServerMetrics::new(),
+            trace,
             config,
             shutdown: AtomicBool::new(false),
             local_addr,

@@ -12,6 +12,14 @@
 //! session clamps every query's budgets to the server's configured
 //! ceilings; the engine checks them at each search node and returns
 //! `completed = false` when exceeded, which the `done` frame reports.
+//!
+//! **Observability.** Every request line gets a fresh trace id, echoed
+//! in each of its response frames and stamped on every span event the
+//! request emits to the server's [`kr_obs::TraceSink`] — see
+//! `docs/OBSERVABILITY.md` for the span taxonomy. The session also feeds
+//! the server's `server.*` metrics registry (query latency and
+//! preprocessing histograms, request/rejection counters, the in-flight
+//! gauge), which a `metrics` request returns over the wire.
 
 use crate::cache::{r_band, CacheKey};
 use crate::json::Json;
@@ -23,6 +31,7 @@ use kr_core::{
     enumerate_maximal_prepared, enumerate_maximal_prepared_on, find_maximum_prepared,
     find_maximum_prepared_on, AlgoConfig, CoreHook, KrCore,
 };
+use kr_obs::{next_trace_id, Field, PhaseTimer};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -95,6 +104,14 @@ pub(crate) fn run_session(stream: TcpStream, state: Arc<ServerState>) {
         return;
     }
     let _ = stream.set_nodelay(true);
+    state.metrics.connections.inc();
+    if state.trace.enabled() {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
+        state.trace.event("", "accept", &[("peer", Field::S(peer))]);
+    }
     let writer: SharedWriter = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
@@ -135,13 +152,26 @@ pub(crate) fn run_session(stream: TcpStream, state: Arc<ServerState>) {
 }
 
 fn handle_line(line: &str, writer: &SharedWriter, state: &Arc<ServerState>) -> std::io::Result<()> {
+    // Every request line — even an unparseable one — gets a trace id, so
+    // the error frame on the wire still joins against the span log.
+    let trace = next_trace_id();
     let req = match Request::parse(line) {
         Ok(req) => req,
         Err(e) => {
+            state.metrics.record_request_error(&e);
             let code = match &e {
                 ProtoError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
                 _ => ErrorCode::BadRequest,
             };
+            let message = e.to_string();
+            state.trace.event(
+                &trace,
+                "request_error",
+                &[
+                    ("code", Field::S(code.name().to_string())),
+                    ("message", Field::S(message.clone())),
+                ],
+            );
             // Best-effort id echo so the client can correlate the failure.
             let id = Json::parse(line)
                 .ok()
@@ -151,28 +181,57 @@ fn handle_line(line: &str, writer: &SharedWriter, state: &Arc<ServerState>) -> s
                 writer,
                 &Frame::Error {
                     id,
+                    trace,
                     code,
-                    message: e.to_string(),
+                    message,
                 },
             );
         }
     };
+    if state.trace.enabled() {
+        let (cmd, id) = match &req {
+            Request::Ping { id } => ("ping", id),
+            Request::Stats { id } => ("stats", id),
+            Request::Metrics { id } => ("metrics", id),
+            Request::Shutdown { id } => ("shutdown", id),
+            Request::Enumerate { id, .. } => ("enumerate", id),
+            Request::Maximum { id, .. } => ("maximum", id),
+        };
+        state.trace.event(
+            &trace,
+            "request",
+            &[("cmd", Field::from(cmd)), ("id", Field::S(id.clone()))],
+        );
+    }
     match req {
-        Request::Ping { id } => write_frame(writer, &Frame::Pong { id }),
+        Request::Ping { id } => write_frame(writer, &Frame::Pong { id, trace }),
         Request::Stats { id } => write_frame(
             writer,
             &Frame::Stats {
                 id,
+                trace,
                 stats: state.cache.stats(),
             },
         ),
+        Request::Metrics { id } => write_frame(
+            writer,
+            &Frame::Metrics {
+                id,
+                trace,
+                snapshot: state.metrics.wire_snapshot(),
+            },
+        ),
         Request::Shutdown { id } => {
-            write_frame(writer, &Frame::ShuttingDown { id })?;
+            write_frame(writer, &Frame::ShuttingDown { id, trace })?;
             state.begin_shutdown();
             Ok(())
         }
-        Request::Enumerate { id, spec } => run_query(QueryKind::Enumerate, id, spec, writer, state),
-        Request::Maximum { id, spec } => run_query(QueryKind::Maximum, id, spec, writer, state),
+        Request::Enumerate { id, spec } => {
+            run_query(QueryKind::Enumerate, id, trace, spec, writer, state)
+        }
+        Request::Maximum { id, spec } => {
+            run_query(QueryKind::Maximum, id, trace, spec, writer, state)
+        }
     }
 }
 
@@ -193,18 +252,25 @@ fn clamp_limit(requested: Option<u64>, ceiling: Option<u64>) -> Option<u64> {
 fn run_query(
     kind: QueryKind,
     id: String,
+    trace: String,
     spec: QuerySpec,
     writer: &SharedWriter,
     state: &Arc<ServerState>,
 ) -> std::io::Result<()> {
+    let metrics = &state.metrics;
+    let sink = &state.trace;
+    metrics.queries.inc();
+    let _active = metrics.active_queries.track();
     // `max_scale` bounds what the registry may *generate*; file-backed
     // datasets are pinned by their snapshot and ignore scale entirely,
     // so the policy does not apply to them.
     if spec.scale > state.config.max_scale && !state.datasets.is_file_backed(&spec.dataset) {
+        metrics.query_errors.inc();
         return write_frame(
             writer,
             &Frame::Error {
                 id,
+                trace,
                 code: ErrorCode::BadRequest,
                 message: format!(
                     "scale {} exceeds this server's max_scale {}",
@@ -216,10 +282,12 @@ fn run_query(
     let dataset = match state.datasets.get(&spec.dataset, spec.scale) {
         Ok(ds) => ds,
         Err(message) => {
+            metrics.query_errors.inc();
             return write_frame(
                 writer,
                 &Frame::Error {
                     id,
+                    trace,
                     code: ErrorCode::UnknownDataset,
                     message,
                 },
@@ -249,25 +317,31 @@ fn run_query(
     };
     let preprocess_ms = std::cell::Cell::new(None::<u64>);
     let residual = std::cell::Cell::new(None::<u64>);
+    let lookup = PhaseTimer::start(sink, &trace, "cache_lookup");
     let (comps, hit) = state.cache.get_or_build(&key, || {
         // Resolve the query to a candidate vertex set through the
         // dataset's (k,r)-core decomposition index before the timer
         // starts: the index is built once per dataset (or loaded from
         // the snapshot), so its cost is not part of this miss's
         // preprocessing bill.
+        let t_index = PhaseTimer::start(sink, &trace, "index_candidates");
         let candidates = dataset
             .decomposition()
             .candidates(spec.k, dataset.threshold(spec.r));
+        t_index.finish_with(&[("vertices", Field::from(candidates.vertices.len()))]);
         residual.set(Some(candidates.vertices.len() as u64));
-        let t = Instant::now();
+        let t_pre = PhaseTimer::start(sink, &trace, "preprocess");
         let problem = dataset.problem(spec.k, spec.r);
         let comps = match &pool {
             None => problem.preprocess_with_candidates(&candidates.vertices),
             Some(pool) => problem.preprocess_with_candidates_on(&candidates.vertices, pool),
         };
-        preprocess_ms.set(Some(t.elapsed().as_millis() as u64));
+        let dur_us = t_pre.finish_with(&[("components", Field::from(comps.len()))]);
+        metrics.preprocess_us.record(dur_us);
+        preprocess_ms.set(Some(dur_us / 1_000));
         comps
     });
+    lookup.finish_with(&[("outcome", Field::from(if hit { "hit" } else { "miss" }))]);
     if let Some(ms) = preprocess_ms.get() {
         // Attribute this miss's cost to the stats frame so operators see
         // cold-query preprocessing time and candidate-index leverage.
@@ -297,21 +371,29 @@ fn run_query(
         cfg = cfg.with_node_limit(limit);
     }
 
-    match kind {
+    // Frame-streaming accounting, shared by every path that writes a
+    // `core` frame: how many went out and how long the socket writes
+    // took (the `stream` span event reports both).
+    let frames = Arc::new(AtomicU64::new(0));
+    let write_us = Arc::new(AtomicU64::new(0));
+
+    let (count, completed, nodes) = match kind {
         QueryKind::Enumerate => {
             // AdvEnum streams: every core the engine confirms goes out as
             // its own frame immediately. BasicEnum buffers (maximality is
             // only known after the post-filter) and the frames are
             // written below instead.
-            let streamed = Arc::new(AtomicU64::new(0));
             let write_failed = Arc::new(AtomicBool::new(false));
             let streaming = cfg.maximal_check;
             if streaming {
-                let (w, counter, failed, qid) = (
+                let (w, counter, failed, qid, qtrace, wus, streamed) = (
                     writer.clone(),
-                    streamed.clone(),
+                    frames.clone(),
                     write_failed.clone(),
                     id.clone(),
+                    trace.clone(),
+                    write_us.clone(),
+                    metrics.cores_streamed.clone(),
                 );
                 cfg = cfg.with_on_core(CoreHook::new(move |core: &KrCore| {
                     if failed.load(Ordering::Relaxed) {
@@ -319,18 +401,27 @@ fn run_query(
                     }
                     let frame = Frame::Core {
                         id: qid.clone(),
+                        trace: qtrace.clone(),
                         index: counter.fetch_add(1, Ordering::Relaxed),
                         vertices: core.vertices.clone(),
                     };
+                    let t = Instant::now();
                     if write_frame(&w, &frame).is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
+                    wus.fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    streamed.inc();
                 }));
             }
+            let search = PhaseTimer::start(sink, &trace, "search");
             let res = match &pool {
                 None => enumerate_maximal_prepared(&comps, &cfg),
                 Some(pool) => enumerate_maximal_prepared_on(&comps, &cfg, pool),
             };
+            search.finish_with(&[
+                ("nodes", Field::U(res.stats.nodes)),
+                ("completed", Field::B(res.completed)),
+            ]);
             if write_failed.load(Ordering::Relaxed) {
                 return Err(std::io::Error::new(
                     ErrorKind::BrokenPipe,
@@ -339,55 +430,106 @@ fn run_query(
             }
             if !streaming {
                 for (index, core) in res.cores.iter().enumerate() {
+                    let t = Instant::now();
                     write_frame(
                         writer,
                         &Frame::Core {
                             id: id.clone(),
+                            trace: trace.clone(),
                             index: index as u64,
                             vertices: core.vertices.clone(),
                         },
                     )?;
+                    write_us.fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    frames.fetch_add(1, Ordering::Relaxed);
+                    metrics.cores_streamed.inc();
                 }
             }
-            write_frame(
-                writer,
-                &Frame::Done {
-                    id,
-                    count: res.cores.len() as u64,
-                    completed: res.completed,
-                    cache,
-                    elapsed_ms: t0.elapsed().as_millis() as u64,
-                    nodes: res.stats.nodes,
-                },
-            )
+            (res.cores.len() as u64, res.completed, res.stats.nodes)
         }
         QueryKind::Maximum => {
+            let search = PhaseTimer::start(sink, &trace, "search");
             let res = match &pool {
                 None => find_maximum_prepared(&comps, &cfg),
                 Some(pool) => find_maximum_prepared_on(&comps, &cfg, pool),
             };
+            search.finish_with(&[
+                ("nodes", Field::U(res.stats.nodes)),
+                ("completed", Field::B(res.completed)),
+            ]);
             let count = res.core.iter().len() as u64;
             if let Some(core) = &res.core {
+                let t = Instant::now();
                 write_frame(
                     writer,
                     &Frame::Core {
                         id: id.clone(),
+                        trace: trace.clone(),
                         index: 0,
                         vertices: core.vertices.clone(),
                     },
                 )?;
+                write_us.fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
+                frames.fetch_add(1, Ordering::Relaxed);
+                metrics.cores_streamed.inc();
             }
-            write_frame(
-                writer,
-                &Frame::Done {
-                    id,
-                    count,
-                    completed: res.completed,
-                    cache,
-                    elapsed_ms: t0.elapsed().as_millis() as u64,
-                    nodes: res.stats.nodes,
-                },
-            )
+            (count, res.completed, res.stats.nodes)
         }
+    };
+
+    let elapsed = t0.elapsed();
+    let elapsed_ms = elapsed.as_millis() as u64;
+    // The acceptance invariant: exactly one latency sample per answered
+    // query, so the histogram's bucket counts sum to queries served.
+    metrics.query_latency_us.record_duration(elapsed);
+    if sink.enabled() {
+        sink.event(
+            &trace,
+            "stream",
+            &[
+                ("frames", Field::U(frames.load(Ordering::Relaxed))),
+                ("write_us", Field::U(write_us.load(Ordering::Relaxed))),
+            ],
+        );
+        sink.event(
+            &trace,
+            "query",
+            &[
+                ("dataset", Field::S(spec.dataset.clone())),
+                ("k", Field::U(u64::from(spec.k))),
+                ("r", Field::F(spec.r)),
+                ("cache", Field::from(if hit { "hit" } else { "miss" })),
+                ("count", Field::U(count)),
+                ("nodes", Field::U(nodes)),
+                ("completed", Field::B(completed)),
+                ("elapsed_ms", Field::U(elapsed_ms)),
+            ],
+        );
     }
+    if elapsed_ms >= state.config.slow_query_ms {
+        metrics.slow_queries.inc();
+        sink.event(
+            &trace,
+            "slow_query",
+            &[
+                ("dataset", Field::S(spec.dataset.clone())),
+                ("k", Field::U(u64::from(spec.k))),
+                ("r", Field::F(spec.r)),
+                ("elapsed_ms", Field::U(elapsed_ms)),
+                ("threshold_ms", Field::U(state.config.slow_query_ms)),
+            ],
+        );
+    }
+    write_frame(
+        writer,
+        &Frame::Done {
+            id,
+            trace,
+            count,
+            completed,
+            cache,
+            elapsed_ms,
+            nodes,
+        },
+    )
 }

@@ -52,7 +52,7 @@ fn serve_file(name: &str, path: &Path) -> kr_server::ServerHandle {
 /// The exact `core` frame lines the server must produce for query `id`:
 /// an in-process run over the same components, streamed through the same
 /// hook in the same order.
-fn expected_core_lines(comps: &[kr_core::LocalComponent], id: &str) -> Vec<String> {
+fn expected_core_lines(comps: &[kr_core::LocalComponent], id: &str, trace: &str) -> Vec<String> {
     let streamed: Arc<Mutex<Vec<KrCore>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = streamed.clone();
     let cfg = AlgoConfig::adv_enum().with_on_core(CoreHook::new(move |core: &KrCore| {
@@ -68,6 +68,7 @@ fn expected_core_lines(comps: &[kr_core::LocalComponent], id: &str) -> Vec<Strin
         .map(|(index, core)| {
             Frame::Core {
                 id: id.to_string(),
+                trace: trace.to_string(),
                 index: index as u64,
                 vertices: core.vertices.clone(),
             }
@@ -99,10 +100,9 @@ fn served_snapshot_frames_are_byte_identical_to_in_process_engine() {
         .expect("send");
 
     let comps = problem.preprocess();
-    let expected = expected_core_lines(&comps, "q1");
-    assert!(!expected.is_empty(), "test instance must be non-trivial");
 
     let mut received = Vec::new();
+    let done_count: u64;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).expect("frame");
@@ -115,7 +115,7 @@ fn served_snapshot_frames_are_byte_identical_to_in_process_engine() {
                     cache,
                     ..
                 } => {
-                    assert_eq!(count, expected.len() as u64);
+                    done_count = count;
                     assert!(completed);
                     assert_eq!(cache, CacheOutcome::Miss);
                 }
@@ -125,6 +125,16 @@ fn served_snapshot_frames_are_byte_identical_to_in_process_engine() {
         }
         received.push(line);
     }
+    // The server stamps one trace id per query; pin the expected bytes
+    // with the id it actually assigned (taken from the first frame).
+    let trace = match Frame::parse(&received[0]).expect("core frame") {
+        Frame::Core { trace, .. } => trace,
+        other => panic!("wrong frame {other:?}"),
+    };
+    assert_eq!(trace.len(), 16, "trace ids are 16 hex digits: {trace:?}");
+    let expected = expected_core_lines(&comps, "q1", &trace);
+    assert!(!expected.is_empty(), "test instance must be non-trivial");
+    assert_eq!(done_count, expected.len() as u64);
     assert_eq!(
         received, expected,
         "core frames must be byte-identical to the in-process engine's stream"

@@ -1,0 +1,250 @@
+//! End-to-end observability tests: a real server with a trace log and a
+//! zero slow-query threshold, driven through the shipped client. Pins
+//! the PR's acceptance invariants:
+//!
+//! * the `metrics` request returns the latency histogram with bucket
+//!   counts summing to the number of queries served, and p99 ≥ p50;
+//! * every response frame of a query carries the same server-assigned
+//!   trace id, and that id joins against the span events in the log;
+//! * a sub-threshold `slow_query_ms` forces parseable slow-query lines.
+
+use kr_server::json::Json;
+use kr_server::{
+    CacheOutcome, Client, Frame, HistogramSnapshot, MetricsSnapshot, QuerySpec, Request, Server,
+    ServerConfig,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SCALE: f64 = 0.2;
+
+fn spec(k: u32) -> QuerySpec {
+    QuerySpec {
+        scale: SCALE,
+        ..QuerySpec::new("gowalla-like", k, 8.0)
+    }
+}
+
+/// A unique trace-log path per test (tests share one process and temp dir).
+fn log_path(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "kr_obs_e2e_{}_{}_{}.jsonl",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn spawn_traced(log: &std::path::Path) -> kr_server::ServerHandle {
+    Server::bind(ServerConfig {
+        trace_log: Some(log.display().to_string()),
+        slow_query_ms: 0, // every query is "slow": forces emission
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+    .spawn()
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+        .1
+}
+
+fn histogram<'a>(snap: &'a MetricsSnapshot, name: &str) -> &'a HistogramSnapshot {
+    &snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("histogram {name} missing from snapshot"))
+        .1
+}
+
+/// Parses the trace log into `(trace, span)` pairs, asserting every line
+/// is well-formed JSON with the mandatory fields.
+fn read_spans(log: &std::path::Path) -> Vec<(String, String)> {
+    let text = std::fs::read_to_string(log).expect("trace log readable");
+    text.lines()
+        .map(|line| {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("bad log line {line:?}: {e}"));
+            assert!(
+                v.get("ts_us").and_then(Json::as_u64).is_some(),
+                "log line must carry ts_us: {line}"
+            );
+            let span = v
+                .get("span")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("log line must carry span: {line}"))
+                .to_string();
+            let trace = v
+                .get("trace")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            (trace, span)
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_snapshot_matches_queries_issued_and_log_joins_on_trace() {
+    let log = log_path("metrics");
+    let handle = spawn_traced(&log);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Five answered queries: cold miss, warm hit, a different k (miss),
+    // and a maximum; plus one rejected query that must NOT reach the
+    // latency histogram.
+    let mut traces = Vec::new();
+    let first = client.enumerate(spec(3)).expect("cold");
+    assert_eq!(first.cache, CacheOutcome::Miss);
+    traces.push(first.trace.clone());
+    let warm = client.enumerate(spec(3)).expect("warm");
+    assert_eq!(warm.cache, CacheOutcome::Hit);
+    traces.push(warm.trace.clone());
+    traces.push(client.enumerate(spec(4)).expect("k=4").trace);
+    traces.push(client.maximum(spec(3)).expect("maximum").trace);
+    traces.push(client.enumerate(spec(3)).expect("again").trace);
+    let err = client
+        .enumerate(QuerySpec {
+            scale: SCALE,
+            ..QuerySpec::new("middle-earth", 3, 8.0)
+        })
+        .expect_err("unknown dataset");
+    assert!(matches!(err, kr_server::ClientError::Server { .. }));
+
+    for t in &traces {
+        assert_eq!(t.len(), 16, "trace ids are 16 hex digits: {t:?}");
+        assert!(t.chars().all(|c| c.is_ascii_hexdigit()), "{t:?}");
+    }
+    let mut unique = traces.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), traces.len(), "one fresh trace id per query");
+
+    let snap = client.metrics().expect("metrics");
+
+    // Acceptance invariant: bucket counts sum to the queries issued.
+    let lat = histogram(&snap, "server.query_latency_us");
+    assert_eq!(lat.count, 5, "five queries were answered");
+    let bucket_total: u64 = lat.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, 5, "bucket counts must sum to queries issued");
+    let (p50, p99) = (lat.quantile(0.5), lat.quantile(0.99));
+    assert!(p99 >= p50, "p99 {p99:?} must be >= p50 {p50:?}");
+
+    // Preprocessing ran once per cache miss (k=3 cold, k=4 cold).
+    assert_eq!(histogram(&snap, "server.preprocess_us").count, 2);
+
+    assert_eq!(counter(&snap, "server.queries"), 6, "rejects count too");
+    assert_eq!(counter(&snap, "server.query_errors"), 1);
+    assert_eq!(counter(&snap, "server.slow_queries"), 5, "threshold 0");
+    assert!(counter(&snap, "server.cores_streamed") > 0);
+    assert!(counter(&snap, "server.connections") >= 1);
+
+    // Library-layer metrics merge into the same snapshot (process-global:
+    // at least this server's two preprocessing runs contributed).
+    assert!(counter(&snap, "similarity.oracle_evals") > 0);
+
+    handle.shutdown_and_join().expect("clean shutdown");
+
+    let spans = read_spans(&log);
+    assert!(spans.iter().any(|(_, s)| s == "accept"));
+    for t in &traces {
+        for want in ["request", "search", "stream", "query", "slow_query"] {
+            assert!(
+                spans.iter().any(|(tr, s)| tr == t && s == want),
+                "trace {t} missing span {want}"
+            );
+        }
+    }
+    // Cache misses (and only they) resolve candidates and preprocess:
+    // the cold k=3 and k=4 queries.
+    let preprocessed: Vec<_> = spans
+        .iter()
+        .filter(|(_, s)| s == "preprocess")
+        .map(|(t, _)| t.clone())
+        .collect();
+    assert_eq!(preprocessed.len(), 2);
+    assert!(preprocessed.contains(&traces[0]));
+    assert!(
+        !preprocessed.contains(&traces[1]),
+        "warm hit: no preprocess"
+    );
+
+    let _ = std::fs::remove_file(log);
+}
+
+#[test]
+fn every_frame_of_a_query_carries_its_trace_and_joins_the_log() {
+    let log = log_path("frames");
+    let handle = spawn_traced(&log);
+
+    // Raw socket: inspect each frame's trace, not just the client digest.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("hello");
+
+    let req = Request::Enumerate {
+        id: "q-trace".to_string(),
+        spec: spec(3),
+    };
+    stream
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .expect("send");
+    let mut frame_traces = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("frame");
+        match Frame::parse(line.trim()).expect("parse") {
+            Frame::Core { trace, .. } => frame_traces.push(trace),
+            Frame::Done { trace, .. } => {
+                frame_traces.push(trace);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(frame_traces.len() > 1, "test instance must stream cores");
+    let trace = frame_traces[0].clone();
+    assert_eq!(trace.len(), 16);
+    assert!(
+        frame_traces.iter().all(|t| *t == trace),
+        "every frame of the query must carry the same trace id: {frame_traces:?}"
+    );
+
+    // A malformed line gets an error frame whose trace also joins the log.
+    stream.write_all(b"this is not json\n").expect("send");
+    line.clear();
+    reader.read_line(&mut line).expect("error frame");
+    let err_trace = match Frame::parse(line.trim()).expect("parse") {
+        Frame::Error { trace, .. } => trace,
+        other => panic!("unexpected frame {other:?}"),
+    };
+    assert_eq!(err_trace.len(), 16);
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let snap = client.metrics().expect("metrics");
+    assert_eq!(counter(&snap, "server.requests_malformed"), 1);
+
+    handle.shutdown_and_join().expect("clean shutdown");
+
+    let spans = read_spans(&log);
+    for want in ["request", "cache_lookup", "preprocess", "search", "query"] {
+        assert!(
+            spans.iter().any(|(t, s)| t == &trace && s == want),
+            "trace {trace} missing span {want}"
+        );
+    }
+    assert!(
+        spans
+            .iter()
+            .any(|(t, s)| t == &err_trace && s == "request_error"),
+        "malformed request must log a request_error event"
+    );
+
+    let _ = std::fs::remove_file(log);
+}

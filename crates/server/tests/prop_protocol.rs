@@ -3,9 +3,13 @@
 //! non-ASCII characters (the codec must keep one message = one line).
 
 use kr_server::protocol::{Algo, CacheOutcome, ErrorCode, Frame, QuerySpec, Request};
-use kr_server::CacheStats;
+use kr_server::{CacheStats, HistogramSnapshot, MetricsSnapshot};
 use proptest::collection::vec;
 use proptest::prelude::*;
+
+/// Wire numbers ride in a `f64` JSON field, so values must stay exactly
+/// representable (< 2^53) for the roundtrip to be lossless.
+const MAX_WIRE_NUM: u64 = 1 << 53;
 
 /// Strings that stress the escaper: printable ASCII plus the characters
 /// that must be escaped on the wire.
@@ -64,28 +68,75 @@ fn request() -> impl Strategy<Value = Request> {
         (wire_string(), query_spec()).prop_map(|(id, spec)| Request::Enumerate { id, spec }),
         (wire_string(), query_spec()).prop_map(|(id, spec)| Request::Maximum { id, spec }),
         wire_string().prop_map(|id| Request::Stats { id }),
+        wire_string().prop_map(|id| Request::Metrics { id }),
         wire_string().prop_map(|id| Request::Ping { id }),
         wire_string().prop_map(|id| Request::Shutdown { id }),
     ]
 }
 
+/// Trace ids as produced by the server ("" = untraced; the codec omits
+/// the field entirely in that case, and weird strings must still escape).
+fn trace_id() -> impl Strategy<Value = String> {
+    prop_oneof![Just(String::new()), wire_string()]
+}
+
+fn histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        0u64..MAX_WIRE_NUM,
+        0u64..MAX_WIRE_NUM,
+        vec(
+            (0u32..kr_server::HIST_BUCKETS as u32, 1u64..MAX_WIRE_NUM),
+            0..8,
+        ),
+    )
+        .prop_map(|(count, sum, buckets)| HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        })
+}
+
+fn metrics_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        vec((wire_string(), 0u64..MAX_WIRE_NUM), 0..4),
+        vec(
+            (
+                wire_string(),
+                (0i64..MAX_WIRE_NUM as i64).prop_map(|v| v - (1i64 << 52)),
+            ),
+            0..4,
+        ),
+        vec((wire_string(), histogram_snapshot()), 0..3),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
 fn frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (0u64..10, wire_string()).prop_map(|(protocol, server)| Frame::Hello { protocol, server }),
-        (wire_string(), 0u64..10_000, vec(0u32..5_000_000, 0..64)).prop_map(
-            |(id, index, vertices)| Frame::Core {
+        (
+            (wire_string(), trace_id()),
+            0u64..10_000,
+            vec(0u32..5_000_000, 0..64)
+        )
+            .prop_map(|((id, trace), index, vertices)| Frame::Core {
                 id,
+                trace,
                 index,
                 vertices
-            }
-        ),
+            }),
         (
-            (wire_string(), 0u64..10_000),
+            (wire_string(), trace_id(), 0u64..10_000),
             (0u64..1_000_000, 0u64..1_000_000_000),
         )
-            .prop_flat_map(|((id, count), (elapsed_ms, nodes))| {
+            .prop_flat_map(|((id, trace, count), (elapsed_ms, nodes))| {
                 (
                     Just(id),
+                    Just(trace),
                     Just(count),
                     prop_oneof![Just(true), Just(false)],
                     prop_oneof![Just(CacheOutcome::Hit), Just(CacheOutcome::Miss)],
@@ -94,8 +145,9 @@ fn frame() -> impl Strategy<Value = Frame> {
                 )
             })
             .prop_map(
-                |(id, count, completed, cache, elapsed_ms, nodes)| Frame::Done {
+                |(id, trace, count, completed, cache, elapsed_ms, nodes)| Frame::Done {
                     id,
+                    trace,
                     count,
                     completed,
                     cache,
@@ -104,7 +156,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                 }
             ),
         (
-            wire_string(),
+            (wire_string(), trace_id()),
             (0u64..1_000_000, 0u64..1_000_000),
             (0u64..1_000_000, 0usize..1_000),
             0u64..u32::MAX as u64,
@@ -113,7 +165,7 @@ fn frame() -> impl Strategy<Value = Frame> {
         )
             .prop_map(
                 |(
-                    id,
+                    (id, trace),
                     (hits, misses),
                     (evictions, entries),
                     resident_bytes,
@@ -121,6 +173,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                     (index_hits, residual_vertices),
                 )| Frame::Stats {
                     id,
+                    trace,
                     stats: CacheStats {
                         hits,
                         misses,
@@ -134,10 +187,17 @@ fn frame() -> impl Strategy<Value = Frame> {
                     },
                 },
             ),
-        wire_string().prop_map(|id| Frame::Pong { id }),
-        wire_string().prop_map(|id| Frame::ShuttingDown { id }),
+        (wire_string(), trace_id(), metrics_snapshot()).prop_map(|(id, trace, snapshot)| {
+            Frame::Metrics {
+                id,
+                trace,
+                snapshot,
+            }
+        }),
+        (wire_string(), trace_id()).prop_map(|(id, trace)| Frame::Pong { id, trace }),
+        (wire_string(), trace_id()).prop_map(|(id, trace)| Frame::ShuttingDown { id, trace }),
         (
-            wire_string(),
+            (wire_string(), trace_id()),
             prop_oneof![
                 Just(ErrorCode::BadRequest),
                 Just(ErrorCode::UnsupportedVersion),
@@ -146,7 +206,12 @@ fn frame() -> impl Strategy<Value = Frame> {
             ],
             wire_string(),
         )
-            .prop_map(|(id, code, message)| Frame::Error { id, code, message }),
+            .prop_map(|((id, trace), code, message)| Frame::Error {
+                id,
+                trace,
+                code,
+                message
+            }),
     ]
 }
 

@@ -227,7 +227,7 @@ fn protocol_errors_leave_the_connection_usable() {
         .send(&Request::Ping { id: "x".into() })
         .expect("still usable");
     match client.read_frame().expect("pong") {
-        Frame::Pong { id } => assert_eq!(id, "x"),
+        Frame::Pong { id, .. } => assert_eq!(id, "x"),
         other => panic!("wrong frame {other:?}"),
     }
     handle.shutdown_and_join().expect("clean shutdown");
@@ -296,12 +296,14 @@ fn raw_result_frames_byte_identical_cold_vs_cached() {
             let mut line = String::new();
             reader.read_line(&mut line).expect("frame");
             match Frame::parse(line.trim()).expect("parse") {
-                Frame::Core { .. } => {
-                    // Strip the correlation id so runs with different ids
-                    // stay comparable; everything else must match exactly.
+                Frame::Core { trace, .. } => {
+                    // Strip the correlation id and the per-query trace id
+                    // so runs with different ids stay comparable;
+                    // everything else must match exactly.
                     let stripped = line
                         .trim()
-                        .replace(&format!("\"id\":\"{id}\""), "\"id\":\"_\"");
+                        .replace(&format!("\"id\":\"{id}\""), "\"id\":\"_\"")
+                        .replace(&format!("\"trace\":\"{trace}\""), "\"trace\":\"_\"");
                     core_lines.push(stripped.into_bytes());
                 }
                 Frame::Done { cache, .. } => return (core_lines, cache),

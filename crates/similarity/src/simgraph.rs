@@ -56,6 +56,29 @@ impl DissimilarityLists {
     }
 }
 
+/// Process-global `similarity.*` registry counters (see `kr_obs`):
+/// cumulative metric evaluations, dissimilarity-list builds, and
+/// materialized dissimilar pairs. Per-query figures stay on
+/// [`DissimilarityLists::oracle_evals`] and flow into the server's
+/// stats frame; these aggregates feed the `metrics` wire request.
+struct SimObs {
+    oracle_evals: std::sync::Arc<kr_obs::Counter>,
+    dissim_builds: std::sync::Arc<kr_obs::Counter>,
+    dissim_pairs: std::sync::Arc<kr_obs::Counter>,
+}
+
+fn sim_obs() -> &'static SimObs {
+    static OBS: std::sync::OnceLock<SimObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = kr_obs::global();
+        SimObs {
+            oracle_evals: reg.counter("similarity.oracle_evals"),
+            dissim_builds: reg.counter("similarity.dissim_builds"),
+            dissim_pairs: reg.counter("similarity.dissim_pairs"),
+        }
+    })
+}
+
 /// Verifies the candidate set serially; returns the similar pairs — the
 /// index's known-similar pairs (free) followed by the verified
 /// candidates, as local `(i, j)`, `i < j` — and the number of metric
@@ -144,7 +167,8 @@ fn verify_candidates_on<O: SimilarityOracle + Sync + ?Sized>(
 /// Index-accelerated: only candidate pairs are verified (see module
 /// docs); the result equals [`build_similarity_graph_brute`].
 pub fn build_similarity_graph<O: SimilarityOracle>(oracle: &O, members: &[VertexId]) -> Graph {
-    let (similar, _) = verify_candidates(oracle, members);
+    let (similar, evals) = verify_candidates(oracle, members);
+    sim_obs().oracle_evals.add(evals);
     let mut b = GraphBuilder::with_capacity(members.len(), similar.len());
     for (i, j) in similar {
         b.add_edge(i, j);
@@ -232,6 +256,10 @@ fn complement_to_csr(
         }
     }
     debug_assert_eq!(pairs.len(), num_pairs * 2);
+    let obs = sim_obs();
+    obs.oracle_evals.add(oracle_evals);
+    obs.dissim_builds.inc();
+    obs.dissim_pairs.add(num_pairs as u64);
     DissimilarityLists {
         csr: Csr::from_pairs(n, &pairs),
         num_pairs,
@@ -287,6 +315,10 @@ pub fn build_dissimilarity_lists_brute<O: SimilarityOracle>(
         }
     }
     let num_pairs = pairs.len() / 2;
+    let obs = sim_obs();
+    obs.oracle_evals.add(evals);
+    obs.dissim_builds.inc();
+    obs.dissim_pairs.add(num_pairs as u64);
     DissimilarityLists {
         csr: Csr::from_pairs(n, &pairs),
         num_pairs,

@@ -8,10 +8,10 @@
 //! krcore-cli stats  --edges graph.txt --points locs.tsv    --k 5 --r 10
 //! krcore-cli ingest edges.txt (--points locs.tsv | --keywords kw.tsv) -o data.krb
 //! krcore-cli serve  [--addr 127.0.0.1:7878] [--cache-capacity 16] [--max-time-limit-ms MS] \
-//!                   [--dataset name=path.krb]...
+//!                   [--dataset name=path.krb]... [--log PATH|-] [--slow-query-ms MS]
 //! krcore-cli query  --addr 127.0.0.1:7878 <enum|max> --dataset gowalla-like --k 3 --r 8 \
 //!                   [--scale 0.25] [--algo adv|basic] [--threads N] [--out FILE]
-//! krcore-cli query  --addr 127.0.0.1:7878 <stats|ping|shutdown>
+//! krcore-cli query  --addr 127.0.0.1:7878 <stats|metrics|ping|shutdown>
 //! ```
 //!
 //! * `--points FILE` selects Euclidean distance (`--r` is a max distance);
@@ -32,9 +32,16 @@
 //! * `serve` hosts the preset datasets — plus any `--dataset name=path.krb`
 //!   snapshots — behind the line-delimited JSON protocol of `kr_server`
 //!   (preprocessed components cached per `(dataset, k, r-band)`,
-//!   enumeration results streamed);
+//!   enumeration results streamed); `--log PATH` (or `-` for stderr)
+//!   turns on the structured span/slow-query trace log, and
+//!   `--slow-query-ms MS` sets the slow-query threshold (default 1000;
+//!   `0` logs every query);
 //! * `query` is the matching client: cores stream to stdout as they
-//!   arrive, diagnostics (cache hit/miss, timing) to stderr.
+//!   arrive, diagnostics (cache hit/miss, timing, the server-assigned
+//!   trace id) to stderr; `query metrics` prints the server's metrics
+//!   registry — counters and gauges as `name<TAB>value`, histograms
+//!   exploded into `.count`/`.sum`/`.p50`/`.p90`/`.p99` rows (all
+//!   microseconds for the latency histograms).
 
 use krcore::core::{
     clique_based_maximal, enumerate_maximal, find_maximum, AlgoConfig, ProblemInstance,
@@ -70,8 +77,9 @@ fn usage() -> ! {
          \x20      krcore-cli ingest EDGES (--points FILE | --keywords FILE) -o OUT.krb \
          [--with-index] [--progress-every EDGES]\n\
          \x20      krcore-cli serve [--addr HOST:PORT] [--cache-capacity N] \
-         [--max-time-limit-ms MS] [--max-scale S] [--dataset NAME=PATH.krb]...\n\
-         \x20      krcore-cli query --addr HOST:PORT <enum|max|stats|ping|shutdown> \
+         [--max-time-limit-ms MS] [--max-scale S] [--dataset NAME=PATH.krb]... \
+         [--log PATH|-] [--slow-query-ms MS]\n\
+         \x20      krcore-cli query --addr HOST:PORT <enum|max|stats|metrics|ping|shutdown> \
          [--dataset NAME --k K --r R] [--scale S] [--algo adv|basic] [--threads N] \
          [--time-limit-ms MS] [--node-limit N] [--out FILE]"
     );
@@ -452,6 +460,8 @@ fn cmd_serve() {
                 config.max_node_limit = Some(val().parse().unwrap_or_else(|_| usage()))
             }
             "--max-scale" => config.max_scale = val().parse().unwrap_or_else(|_| usage()),
+            "--log" => config.trace_log = Some(val()),
+            "--slow-query-ms" => config.slow_query_ms = val().parse().unwrap_or_else(|_| usage()),
             "--dataset" => {
                 let spec = val();
                 let Some((name, path)) = spec.split_once('=') else {
@@ -516,7 +526,7 @@ fn cmd_query() {
             "--time-limit-ms" => time_limit_ms = Some(val().parse().unwrap_or_else(|_| usage())),
             "--node-limit" => node_limit = Some(val().parse().unwrap_or_else(|_| usage())),
             "--out" => out = Some(val()),
-            "enum" | "max" | "stats" | "ping" | "shutdown" if action.is_none() => {
+            "enum" | "max" | "stats" | "metrics" | "ping" | "shutdown" if action.is_none() => {
                 action = Some(arg)
             }
             _ => usage(),
@@ -556,6 +566,23 @@ fn cmd_query() {
             println!("index_hits\t{}", stats.index_hits);
             println!("residual_vertices\t{}", stats.residual_vertices);
         }
+        "metrics" => {
+            // Flat TAB-separated rows so scripts can `awk -F'\t'` them.
+            let snap = client.metrics().unwrap_or_else(|e| fail(e));
+            for (name, value) in &snap.counters {
+                println!("{name}\t{value}");
+            }
+            for (name, value) in &snap.gauges {
+                println!("{name}\t{value}");
+            }
+            for (name, h) in &snap.histograms {
+                println!("{name}.count\t{}", h.count);
+                println!("{name}.sum\t{}", h.sum);
+                println!("{name}.p50\t{}", h.quantile(0.5));
+                println!("{name}.p90\t{}", h.quantile(0.9));
+                println!("{name}.p99\t{}", h.quantile(0.99));
+            }
+        }
         cmd @ ("enum" | "max") => {
             let dataset = dataset.unwrap_or_else(|| usage());
             let r = r.unwrap_or_else(|| usage());
@@ -577,11 +604,16 @@ fn cmd_query() {
             }
             .unwrap_or_else(|e| fail(e));
             eprintln!(
-                "{} core(s) | cache {} | {} search nodes | {} ms server-side",
+                "{} core(s) | cache {} | {} search nodes | {} ms server-side{}",
                 result.cores.len(),
                 result.cache.name(),
                 result.nodes,
                 result.elapsed_ms,
+                if result.trace.is_empty() {
+                    String::new()
+                } else {
+                    format!(" | trace {}", result.trace)
+                },
             );
             if !result.completed {
                 eprintln!("warning: budget exceeded server-side; results are incomplete");
