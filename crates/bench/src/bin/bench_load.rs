@@ -1,0 +1,569 @@
+//! CI load gate: concurrent mixed workloads against in-process servers,
+//! with **exact** rejection/abort accounting and a throughput trajectory
+//! point (`BENCH_pr8.json`).
+//!
+//! ```text
+//! bench_load check <baseline.json>   # run, compare, exit 1 on regression
+//! bench_load write <baseline.json>   # run, (re)write the baseline
+//! ```
+//!
+//! Four phases, each against its own [`kr_server::Server`] so every
+//! per-instance counter is attributable:
+//!
+//! 1. **load** — `BENCH_LOAD_CLIENTS` concurrent clients (default 4) each
+//!    run `BENCH_LOAD_QUERIES` queries (default 6) drawn from a mixed
+//!    hit/miss/sweep/maximum workload. Reports throughput and p50/p99
+//!    from the server's own `server.query_latency_us` histogram, so the
+//!    quantiles carry production bucket rounding.
+//! 2. **cap** — a server with `max_connections = 2` holds two live
+//!    sessions; every overflow connect must be answered with a `busy`
+//!    frame, and a slot freed by a disconnect must become connectable
+//!    again.
+//! 3. **abort** — a client hangs up mid-stream on a heavy enumeration;
+//!    the server must classify the query as a client abort (counted in
+//!    `server.client_aborts`, never `server.query_errors`) and drain it.
+//! 4. **admission** — a server with `max_queries_per_dataset = 1` must
+//!    answer a second in-flight query on the same dataset with a `busy`
+//!    error while the first is still streaming.
+//!
+//! The **accounting gate** runs in both modes and is exact, not
+//! noise-tolerant: every issued query must be answered (a latency
+//! sample — one per delivered `done` frame), rejected (admission), or
+//! aborted (client hangup), with zero server-side query errors; and
+//! every overflow connect must be a busy rejection. Any imbalance —
+//! a dropped query, a double count, a misclassified disconnect — fails
+//! the run regardless of baseline.
+//!
+//! The **throughput gate** (`check` mode) follows the `bench_smoke`
+//! convention: wall-clock is normalized by a fixed CPU-bound calibration
+//! loop, and the normalized load-phase throughput may not regress by more
+//! than `BENCH_LOAD_MAX_REGRESSION_PCT` percent (default 40 — thread
+//! scheduling makes concurrent throughput noisier than single-thread
+//! enumeration). The gate only arms when the baseline was recorded with
+//! the same client/query counts; a missing baseline is not an error.
+
+use kr_server::{
+    Client, ClientError, ErrorCode, Frame, QuerySpec, Request, Server, ServerConfig, ServerHandle,
+};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default concurrent clients in the load phase (`BENCH_LOAD_CLIENTS`).
+const DEFAULT_CLIENTS: usize = 4;
+
+/// Default queries per client in the load phase (`BENCH_LOAD_QUERIES`).
+const DEFAULT_QUERIES: usize = 6;
+
+/// Default throughput regression gate, percent under baseline normalized
+/// throughput (`BENCH_LOAD_MAX_REGRESSION_PCT`).
+const DEFAULT_MAX_REGRESSION_PCT: f64 = 40.0;
+
+/// Retries for the race-prone phases (abort, admission): each attempt
+/// synchronizes on the victim query's first streamed frame, but the
+/// query can still finish before the contender acts. Every attempt stays
+/// inside the accounting identity either way.
+const MAX_ATTEMPTS: usize = 10;
+
+/// How long to wait for one server's counters to settle into the
+/// accounting identity after the last client action.
+const SETTLE: Duration = Duration::from_secs(10);
+
+/// Per-server tally read straight off the instance registry (not over
+/// the wire: the wire snapshot merges the process-global registry, and
+/// this binary runs several servers whose books must stay separate).
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    queries: u64,
+    answered: u64,
+    admission_rejections: u64,
+    client_aborts: u64,
+    query_errors: u64,
+    busy_rejections: u64,
+}
+
+fn tally(handle: &ServerHandle) -> Tally {
+    let m = &handle.state().metrics;
+    Tally {
+        queries: m.queries.get(),
+        answered: m.query_latency_us.snapshot().count,
+        admission_rejections: m.admission_rejections.get(),
+        client_aborts: m.client_aborts.get(),
+        query_errors: m.query_errors.get(),
+        busy_rejections: m.busy_rejections.get(),
+    }
+}
+
+impl Tally {
+    /// The identity every server must settle into: each accepted query
+    /// resolved exactly one way.
+    fn balanced(&self) -> bool {
+        self.queries
+            == self.answered + self.admission_rejections + self.client_aborts + self.query_errors
+    }
+
+    fn add(&self, other: &Tally) -> Tally {
+        Tally {
+            queries: self.queries + other.queries,
+            answered: self.answered + other.answered,
+            admission_rejections: self.admission_rejections + other.admission_rejections,
+            client_aborts: self.client_aborts + other.client_aborts,
+            query_errors: self.query_errors + other.query_errors,
+            busy_rejections: self.busy_rejections + other.busy_rejections,
+        }
+    }
+}
+
+/// Polls until the server's books balance (in-flight queries resolved).
+fn settle(handle: &ServerHandle) -> Tally {
+    let deadline = Instant::now() + SETTLE;
+    loop {
+        let t = tally(handle);
+        if t.balanced() {
+            return t;
+        }
+        if Instant::now() > deadline {
+            panic!("accounting did not settle within {SETTLE:?}: {t:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn env_num<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Fixed CPU-bound workload used to normalize wall-clock across machines
+/// (same loop as `bench_smoke`, so the two trajectories share units).
+fn calibration_ms() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut acc = 0u64;
+        for _ in 0..20_000_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc = acc.wrapping_add(x);
+        }
+        black_box(acc);
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The heavy streaming query the abort/admission phases hold in flight:
+/// big enough (scale 1, wide `r`) that the sweep streams several frames
+/// with real compute between them.
+fn heavy_spec() -> QuerySpec {
+    QuerySpec {
+        scale: 1.0,
+        ..QuerySpec::new("gowalla-like", 3, 12.0)
+    }
+}
+
+/// The load-phase mix for client `ci`, query `j`: repeated hits, a
+/// rotating band of distinct `(k, r)` keys (cold misses that warm into
+/// hits), streaming sweeps, and every fourth query a `maximum`.
+fn load_spec(ci: usize, j: usize) -> (bool, QuerySpec) {
+    let base = QuerySpec {
+        scale: 0.25,
+        ..QuerySpec::new("gowalla-like", 3, 8.0)
+    };
+    let maximum = j % 4 == 3;
+    let spec = match (ci + j) % 3 {
+        0 => base, // hot key: a hit for everyone after the first miss
+        1 => QuerySpec {
+            k: 3 + ((ci + j) % 3) as u32,
+            r: 8.0 + ((ci * 7 + j) % 4) as f64,
+            ..base
+        },
+        _ => QuerySpec {
+            k: 2,
+            r: 12.0,
+            ..base
+        }, // sweep: streams the most cores
+    };
+    (maximum, spec)
+}
+
+struct LoadResult {
+    issued: u64,
+    wall_s: f64,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    tally: Tally,
+}
+
+/// Phase 1: N concurrent clients, mixed workload, throughput + quantiles.
+fn phase_load(clients: usize, queries: usize) -> LoadResult {
+    let handle = Server::bind(ServerConfig::default()).expect("bind").spawn();
+    let addr = handle.addr();
+    let issued = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|ci| {
+            let issued = issued.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for j in 0..queries {
+                    let (maximum, spec) = load_spec(ci, j);
+                    issued.fetch_add(1, Ordering::Relaxed);
+                    let res = if maximum {
+                        client.maximum(spec)
+                    } else {
+                        client.enumerate(spec)
+                    };
+                    res.unwrap_or_else(|e| panic!("client {ci} query {j} failed: {e}"));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("load worker panicked");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let lat = handle.state().metrics.query_latency_us.snapshot();
+    let tally = settle(&handle);
+    handle.shutdown_and_join().expect("shutdown");
+    let issued = issued.load(Ordering::Relaxed);
+    LoadResult {
+        issued,
+        wall_s,
+        qps: issued as f64 / wall_s,
+        p50_us: lat.quantile(0.5),
+        p99_us: lat.quantile(0.99),
+        tally,
+    }
+}
+
+/// Phase 2: connection cap. Returns the number of connects the server
+/// answered with a `busy` frame (counted client-side, so the gate can
+/// demand the server's counter matches exactly) and the phase tally.
+fn phase_cap() -> (u64, Tally) {
+    let config = ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config).expect("bind").spawn();
+    let addr = handle.addr();
+    let held_a = Client::connect(addr).expect("first connect");
+    let held_b = Client::connect(addr).expect("second connect");
+    let mut rejected_connects = 0u64;
+    for i in 0..3 {
+        match Client::connect(addr) {
+            Err(ClientError::Busy {
+                max_connections, ..
+            }) => {
+                assert_eq!(max_connections, 2, "busy frame must echo the cap");
+                rejected_connects += 1;
+            }
+            Ok(_) => panic!("overflow connect {i} was admitted past the cap"),
+            Err(e) => panic!("overflow connect {i} was not rejected busy: {e}"),
+        }
+    }
+    // A freed slot must become connectable again: drop one held session
+    // and poll until the server notices the EOF (its read-poll interval
+    // is 150 ms) and admits a fresh client. Each poll that still bounces
+    // is one more busy rejection on the server's book.
+    drop(held_a);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let recycled = loop {
+        match Client::connect(addr) {
+            Ok(c) => break c,
+            Err(ClientError::Busy { .. }) if Instant::now() < deadline => {
+                rejected_connects += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("freed slot never became connectable: {e}"),
+        }
+    };
+    drop(recycled);
+    drop(held_b);
+    // Let the dropped sessions drain before shutdown, so the shutdown
+    // handshake's own connect is not busy-bounced off the cap.
+    let deadline = Instant::now() + SETTLE;
+    while handle.state().active_sessions() > 0 {
+        assert!(Instant::now() < deadline, "sessions never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let tally = settle(&handle);
+    handle.shutdown_and_join().expect("shutdown");
+    (rejected_connects, tally)
+}
+
+/// How an attempt to hold a streaming query in flight resolved.
+enum Started {
+    /// First frame was a `core`: the query is mid-stream right now.
+    Streaming(Client),
+    /// First frame was `done`: the query finished before we could act
+    /// (it was answered; the attempt just retries).
+    Finished,
+    /// First frame was a `busy` error: admission control bounced the
+    /// query (possible when the previous attempt's in-flight slot has
+    /// not been released yet — one more exactly-accounted rejection).
+    Rejected,
+}
+
+/// Sends `spec` as a raw enumerate and blocks until its first frame, so
+/// the caller knows how the query stands before acting on it.
+fn start_streaming(addr: std::net::SocketAddr, spec: QuerySpec) -> Started {
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .send(&Request::Enumerate {
+            id: "q1".to_string(),
+            spec,
+        })
+        .expect("send");
+    match client.read_frame().expect("first frame") {
+        Frame::Core { .. } => Started::Streaming(client),
+        Frame::Done { .. } => Started::Finished,
+        Frame::Error {
+            code: ErrorCode::Busy,
+            ..
+        } => Started::Rejected,
+        other => panic!("unexpected first frame: {other:?}"),
+    }
+}
+
+/// Phase 3: client hangup mid-stream. Returns `(issued, tally)`.
+fn phase_abort() -> (u64, Tally) {
+    let handle = Server::bind(ServerConfig::default()).expect("bind").spawn();
+    let addr = handle.addr();
+    let mut issued = 0u64;
+    // Warm the component cache so every attempt goes straight to the
+    // streaming sweep instead of repaying preprocessing.
+    let mut warm = Client::connect(addr).expect("connect");
+    warm.enumerate(heavy_spec()).expect("warm query");
+    issued += 1;
+    for _ in 0..MAX_ATTEMPTS {
+        let started = start_streaming(addr, heavy_spec());
+        issued += 1;
+        match started {
+            Started::Streaming(client) => {
+                // Hang up mid-stream: the abort probe (or the next frame
+                // write) must notice, cancel the sweep, and book a
+                // client abort.
+                drop(client);
+                if settle(&handle).client_aborts > 0 {
+                    break;
+                }
+            }
+            Started::Finished => {} // done beat the hangup; answered
+            Started::Rejected => panic!("admission rejection on an unlimited server"),
+        }
+    }
+    let tally = settle(&handle);
+    assert!(
+        tally.client_aborts > 0,
+        "no mid-stream hangup was classified as a client abort in {MAX_ATTEMPTS} attempts: {tally:?}"
+    );
+    handle.shutdown_and_join().expect("shutdown");
+    (issued, tally)
+}
+
+/// Phase 4: per-dataset admission limit. Returns `(issued, tally)`.
+fn phase_admission() -> (u64, Tally) {
+    let config = ServerConfig {
+        max_queries_per_dataset: Some(1),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(config).expect("bind").spawn();
+    let addr = handle.addr();
+    let mut issued = 0u64;
+    let mut warm = Client::connect(addr).expect("connect");
+    warm.enumerate(heavy_spec()).expect("warm query");
+    issued += 1;
+    for _ in 0..MAX_ATTEMPTS {
+        let mut rejected = false;
+        match start_streaming(addr, heavy_spec()) {
+            Started::Streaming(mut holder) => {
+                issued += 1;
+                // The holder's admission slot is live until its `done`
+                // goes out; a second query on the same dataset must
+                // bounce with a `busy` error on a still-usable
+                // connection.
+                let mut contender = Client::connect(addr).expect("connect");
+                issued += 1;
+                match contender.enumerate(heavy_spec()) {
+                    Err(ClientError::Server {
+                        code: ErrorCode::Busy,
+                        ..
+                    }) => rejected = true,
+                    Ok(_) => {} // holder finished first; answered is fine
+                    Err(e) => panic!("contender failed unexpectedly: {e}"),
+                }
+                // Drain the holder to its `done` so the attempt is
+                // answered.
+                loop {
+                    match holder.read_frame().expect("drain holder") {
+                        Frame::Done { .. } => break,
+                        Frame::Core { .. } => {}
+                        other => panic!("unexpected frame draining holder: {other:?}"),
+                    }
+                }
+            }
+            Started::Finished => issued += 1, // answered; retry
+            Started::Rejected => {
+                // The previous holder's slot was still live: this *is*
+                // an admission rejection, booked exactly.
+                issued += 1;
+                rejected = true;
+            }
+        }
+        if rejected {
+            break;
+        }
+    }
+    let tally = settle(&handle);
+    assert!(
+        tally.admission_rejections > 0,
+        "no concurrent same-dataset query was admission-rejected in {MAX_ATTEMPTS} attempts: {tally:?}"
+    );
+    handle.shutdown_and_join().expect("shutdown");
+    (issued, tally)
+}
+
+fn render(
+    calib_ms: f64,
+    clients: usize,
+    queries: usize,
+    load: &LoadResult,
+    total: &Tally,
+    issued: u64,
+) -> String {
+    format!(
+        "{{\n  \"schema\": 1,\n  \"calib_ms\": {calib_ms:.3},\n  \"clients\": {clients},\n  \
+         \"queries_per_client\": {queries},\n  \"throughput_qps\": {qps:.3},\n  \
+         \"qps_normalized\": {norm:.3},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
+         \"issued\": {issued},\n  \"answered\": {answered},\n  \
+         \"busy_rejections\": {busy},\n  \"admission_rejections\": {adm},\n  \
+         \"client_aborts\": {aborts},\n  \"query_errors\": {errors}\n}}\n",
+        qps = load.qps,
+        norm = load.qps * calib_ms,
+        p50 = load.p50_us,
+        p99 = load.p99_us,
+        answered = total.answered,
+        busy = total.busy_rejections,
+        adm = total.admission_rejections,
+        aborts = total.client_aborts,
+        errors = total.query_errors,
+    )
+}
+
+/// Minimal scanner for the flat schema this binary itself writes (same
+/// convention as `bench_smoke`): finds `"key": <number>` after `from`.
+fn scan_num(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let off = at + (text[at..].len() - rest.len());
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok().map(|v| (v, off + end))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [mode, path] if mode == "check" || mode == "write" => (mode.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: bench_load <check|write> <baseline.json>");
+            std::process::exit(2);
+        }
+    };
+    let clients = env_num("BENCH_LOAD_CLIENTS", DEFAULT_CLIENTS).max(1);
+    let queries = env_num("BENCH_LOAD_QUERIES", DEFAULT_QUERIES).max(1);
+
+    let calib_ms = calibration_ms();
+    println!("calibration: {calib_ms:.3} ms");
+
+    let load = phase_load(clients, queries);
+    println!(
+        "load: {} clients x {} queries  {:.2} s wall  {:.1} q/s  p50/p99 {}/{} us  {:?}",
+        clients, queries, load.wall_s, load.qps, load.p50_us, load.p99_us, load.tally
+    );
+    let (rejected_connects, cap_tally) = phase_cap();
+    println!("cap: {rejected_connects} busy-rejected connects  {cap_tally:?}");
+    let (abort_issued, abort_tally) = phase_abort();
+    println!("abort: {abort_issued} issued  {abort_tally:?}");
+    let (adm_issued, adm_tally) = phase_admission();
+    println!("admission: {adm_issued} issued  {adm_tally:?}");
+
+    // The exact accounting gate, across every server this run started.
+    let issued = load.issued + abort_issued + adm_issued;
+    let total = load.tally.add(&cap_tally).add(&abort_tally).add(&adm_tally);
+    assert_eq!(
+        total.queries, issued,
+        "server books must record every issued query exactly once"
+    );
+    assert_eq!(
+        issued,
+        total.answered + total.admission_rejections + total.client_aborts,
+        "every issued query must be answered, rejected, or aborted: {total:?}"
+    );
+    assert_eq!(total.query_errors, 0, "no query may error: {total:?}");
+    assert_eq!(
+        total.busy_rejections, rejected_connects,
+        "every busy-rejected connect must be booked exactly once"
+    );
+    println!(
+        "accounting: issued {issued} = answered {} + rejected {} + aborted {}  \
+         (busy connects {}; query errors 0)  ok",
+        total.answered, total.admission_rejections, total.client_aborts, total.busy_rejections
+    );
+
+    if mode == "write" {
+        let text = render(calib_ms, clients, queries, &load, &total, issued);
+        std::fs::write(path, text).expect("write baseline");
+        println!("baseline written to {path}");
+        return;
+    }
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("no baseline at {path}; gate inactive (commit one with `bench_load write`)");
+            return;
+        }
+    };
+    let parse = |key| scan_num(&text, key, 0).map(|(v, _)| v);
+    let (Some(base_calib), Some(base_clients), Some(base_queries), Some(base_qps)) = (
+        parse("calib_ms"),
+        parse("clients"),
+        parse("queries_per_client"),
+        parse("throughput_qps"),
+    ) else {
+        eprintln!("baseline {path} is unreadable");
+        std::process::exit(2);
+    };
+    if base_clients != clients as f64 || base_queries != queries as f64 {
+        println!(
+            "baseline recorded {base_clients}x{base_queries}, this run is {clients}x{queries}; \
+             throughput gate skipped (accounting gate already passed)"
+        );
+        return;
+    }
+    let max_pct: f64 = env_num("BENCH_LOAD_MAX_REGRESSION_PCT", DEFAULT_MAX_REGRESSION_PCT);
+    // Normalized throughput: queries per calibration-unit of CPU. Higher
+    // is better, so the gate is a floor.
+    let now = load.qps * calib_ms;
+    let then = base_qps * base_calib;
+    let delta_pct = (now / then - 1.0) * 100.0;
+    let floor = then * (1.0 - max_pct / 100.0);
+    let verdict = if now < floor { "REGRESSION" } else { "ok" };
+    println!(
+        "throughput normalized {now:.1} vs baseline {then:.1}  ({delta_pct:+.1}%, gate -{max_pct}%)  {verdict}"
+    );
+    if now < floor {
+        eprintln!("bench-load gate failed: normalized throughput regressed > {max_pct}%");
+        std::process::exit(1);
+    }
+}

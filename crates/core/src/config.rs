@@ -7,6 +7,7 @@
 
 use crate::result::KrCore;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Streaming callback invoked once per *confirmed-maximal* core as the
@@ -46,6 +47,52 @@ impl std::fmt::Debug for CoreHook {
 /// Hooks compare by identity: two configs are equal only when they share
 /// the same callback instance (or both have none).
 impl PartialEq for CoreHook {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Cooperative cancellation token checked at every search node, next to
+/// the node/time budgets. A caller that learns mid-search that the result
+/// is no longer wanted (the serving layer's client hung up, a speculative
+/// run lost a race) cancels the flag and the engine winds down at the next
+/// node, reporting `completed = false` exactly like an exhausted budget.
+///
+/// The flag is shared: clones observe the same state, so the same token
+/// reaches every task driver of a parallel run through the config. Checks
+/// are `Relaxed` loads — cancellation needs no ordering with other memory,
+/// only eventual visibility, and a relaxed load keeps the per-node cost
+/// negligible.
+#[derive(Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation; every engine sharing this token aborts at
+    /// its next search node. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelFlag::cancel`] was called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for CancelFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CancelFlag({})", self.is_cancelled())
+    }
+}
+
+/// Tokens compare by identity, like [`CoreHook`]: two configs are equal
+/// only when they share the same flag instance (or both have none).
+impl PartialEq for CancelFlag {
     fn eq(&self, other: &Self) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
     }
@@ -157,6 +204,10 @@ pub struct AlgoConfig {
     /// maximal core as it is discovered (see [`CoreHook`] for when the
     /// engine honors it). `None` (default) buffers results as usual.
     pub on_core: Option<CoreHook>,
+    /// Cooperative cancellation token, checked at every search node next
+    /// to the node/time budgets (see [`CancelFlag`]). `None` (default) =
+    /// not cancellable.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl Default for AlgoConfig {
@@ -185,6 +236,7 @@ impl AlgoConfig {
             parallel_components: false,
             threads: 1,
             on_core: None,
+            cancel: None,
         }
     }
 
@@ -256,6 +308,7 @@ impl AlgoConfig {
             parallel_components: false,
             threads: 1,
             on_core: None,
+            cancel: None,
         }
     }
 
@@ -355,6 +408,12 @@ impl AlgoConfig {
     /// Builder-style override of the streaming callback.
     pub fn with_on_core(mut self, hook: CoreHook) -> Self {
         self.on_core = Some(hook);
+        self
+    }
+
+    /// Builder-style override of the cancellation token.
+    pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
         self
     }
 }

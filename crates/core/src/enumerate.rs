@@ -348,6 +348,12 @@ impl<'a> Driver<'a> {
                 return true;
             }
         }
+        if let Some(cancel) = &self.cfg.cancel {
+            if cancel.is_cancelled() {
+                self.aborted = true;
+                return true;
+            }
+        }
         false
     }
 
@@ -648,6 +654,38 @@ mod tests {
         let cfg = AlgoConfig::naive_enum().with_node_limit(3);
         let res = enumerate_maximal(&p, &cfg);
         assert!(!res.completed);
+    }
+
+    #[test]
+    fn pre_cancelled_flag_aborts_immediately() {
+        let p = bridged_cliques(7.0);
+        for (name, cfg) in all_configs() {
+            let flag = crate::config::CancelFlag::new();
+            flag.cancel();
+            let res = enumerate_maximal(&p, &cfg.with_cancel(flag));
+            assert!(!res.completed, "{name}");
+        }
+    }
+
+    #[test]
+    fn cancel_from_streaming_hook_stops_the_sweep() {
+        // The serving layer's abort path in miniature: the hook observes
+        // the first streamed core and cancels; the run must end incomplete
+        // without streaming the second core.
+        let p = bridged_cliques(7.0);
+        let flag = crate::config::CancelFlag::new();
+        let streamed = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let (f, tap) = (flag.clone(), streamed.clone());
+        let cfg =
+            AlgoConfig::adv_enum()
+                .with_cancel(flag)
+                .with_on_core(crate::config::CoreHook::new(move |_: &KrCore| {
+                    tap.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    f.cancel();
+                }));
+        let res = enumerate_maximal(&p, &cfg);
+        assert!(!res.completed);
+        assert_eq!(streamed.load(std::sync::atomic::Ordering::Relaxed), 1);
     }
 
     #[test]

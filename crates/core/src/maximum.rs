@@ -201,6 +201,12 @@ impl<'a> MaxDriver<'a> {
                 return true;
             }
         }
+        if let Some(cancel) = &self.cfg.cancel {
+            if cancel.is_cancelled() {
+                self.aborted = true;
+                return true;
+            }
+        }
         false
     }
 
@@ -506,6 +512,15 @@ mod tests {
     fn node_limit_marks_incomplete() {
         let p = bridged_cliques(7.0);
         let res = find_maximum(&p, &AlgoConfig::adv_max().with_node_limit(2));
+        assert!(!res.completed);
+    }
+
+    #[test]
+    fn pre_cancelled_flag_marks_incomplete() {
+        let p = bridged_cliques(7.0);
+        let flag = crate::config::CancelFlag::new();
+        flag.cancel();
+        let res = find_maximum(&p, &AlgoConfig::adv_max().with_cancel(flag));
         assert!(!res.completed);
     }
 }

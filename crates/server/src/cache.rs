@@ -17,7 +17,20 @@
 
 use kr_core::LocalComponent;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Default shard-count ceiling for [`ComponentCache::new`]. The actual
+/// count also respects [`MIN_SHARD_CAPACITY`], so tiny caches stay
+/// unsharded.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// [`ComponentCache::new`] never picks a shard count that would leave a
+/// shard fewer than this many slots: hash skew across near-empty shards
+/// would otherwise evict entries a global LRU of the same total capacity
+/// would keep.
+const MIN_SHARD_CAPACITY: usize = 4;
 
 /// Width of one r-band: thresholds are quantized to this grid.
 pub const R_BAND_WIDTH: f64 = 1e-9;
@@ -87,6 +100,7 @@ fn entry_bytes(comps: &[LocalComponent]) -> u64 {
     comps.iter().map(|c| c.memory_bytes() as u64).sum()
 }
 
+/// One shard: an independent LRU map under its own lock.
 struct Inner {
     map: HashMap<CacheKey, Entry>,
     tick: u64,
@@ -94,54 +108,99 @@ struct Inner {
     misses: u64,
     evictions: u64,
     resident_bytes: u64,
-    preprocess_ms: u64,
-    oracle_evals: u64,
-    index_hits: u64,
-    residual_vertices: u64,
 }
 
-/// Thread-safe LRU cache of preprocessed component sets.
-pub struct ComponentCache {
+struct Shard {
     capacity: usize,
     inner: Mutex<Inner>,
 }
 
+/// Thread-safe LRU cache of preprocessed component sets, sharded by key
+/// hash so concurrent lookups for different keys contend on different
+/// locks (a miss's *build* already ran outside the lock; sharding also
+/// unserializes the bookkeeping around it under concurrent load).
+///
+/// Each shard runs an independent LRU over its slice of the capacity, so
+/// eviction is LRU-per-shard, not a single global order: a skewed key
+/// distribution can evict from a full shard while another has free slots.
+/// The total capacity bound is exact (shard capacities sum to the
+/// requested capacity) and all statistics are merged across shards —
+/// [`ComponentCache::stats`] reports the same totals a single-lock cache
+/// would on any workload that fits in capacity.
+pub struct ComponentCache {
+    shards: Vec<Shard>,
+    preprocess_ms: AtomicU64,
+    oracle_evals: AtomicU64,
+    index_hits: AtomicU64,
+    residual_vertices: AtomicU64,
+}
+
 impl ComponentCache {
-    /// A cache holding at most `capacity` component sets (≥ 1).
+    /// A cache holding at most `capacity` component sets (≥ 1), sharded
+    /// up to [`DEFAULT_SHARDS`] ways while keeping every shard at least
+    /// [`MIN_SHARD_CAPACITY`] slots (small caches stay unsharded).
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = (capacity / MIN_SHARD_CAPACITY).clamp(1, DEFAULT_SHARDS);
+        ComponentCache::with_shards(capacity, shards)
+    }
+
+    /// A cache with an explicit shard count (clamped to `[1, capacity]`).
+    /// `capacity` is split across shards as evenly as possible; the shard
+    /// capacities sum to exactly `capacity`.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let n = shards.clamp(1, capacity);
+        let (base, rem) = (capacity / n, capacity % n);
         ComponentCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                tick: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                resident_bytes: 0,
-                preprocess_ms: 0,
-                oracle_evals: 0,
-                index_hits: 0,
-                residual_vertices: 0,
-            }),
+            shards: (0..n)
+                .map(|i| Shard {
+                    capacity: base + usize::from(i < rem),
+                    inner: Mutex::new(Inner {
+                        map: HashMap::new(),
+                        tick: 0,
+                        hits: 0,
+                        misses: 0,
+                        evictions: 0,
+                        resident_bytes: 0,
+                    }),
+                })
+                .collect(),
+            preprocess_ms: AtomicU64::new(0),
+            oracle_evals: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            residual_vertices: AtomicU64::new(0),
         }
+    }
+
+    /// Number of shards this cache was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
     /// Looks up `key`, running `build` on a miss. Returns the shared
     /// component set and whether it was a hit.
     ///
-    /// The lock is **not** held while `build` runs, so a slow
-    /// preprocessing pass never blocks queries for other keys (or
-    /// cache-hit queries for the same key issued earlier). Two clients
-    /// racing on the same cold key may both build; the second insert wins
-    /// and the loser's arena is dropped — wasted work bounded by one
-    /// build, never wrong results.
+    /// Only `key`'s shard is locked, and its lock is **not** held while
+    /// `build` runs, so a slow preprocessing pass never blocks queries
+    /// for other keys (or cache-hit queries for the same key issued
+    /// earlier). Two clients racing on the same cold key may both build;
+    /// the second insert wins and the loser's arena is dropped — wasted
+    /// work bounded by one build, never wrong results.
     pub fn get_or_build(
         &self,
         key: &CacheKey,
         build: impl FnOnce() -> Vec<LocalComponent>,
     ) -> (Arc<Vec<LocalComponent>>, bool) {
+        let shard = self.shard(key);
         {
-            let mut inner = self.inner.lock().expect("cache lock");
+            let mut inner = shard.inner.lock().expect("cache lock");
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.map.get_mut(key) {
@@ -154,7 +213,7 @@ impl ComponentCache {
         }
         let comps = Arc::new(build());
         let bytes = entry_bytes(&comps);
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = shard.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
         let mut inserted = false;
@@ -175,7 +234,7 @@ impl ComponentCache {
         if inserted {
             inner.resident_bytes += bytes;
         }
-        while inner.map.len() > self.capacity {
+        while inner.map.len() > shard.capacity {
             let victim = inner
                 .map
                 .iter()
@@ -194,34 +253,37 @@ impl ComponentCache {
     /// session after `get_or_build` returns a miss, so the counters are
     /// attributed even when a concurrent insert won the race.
     pub fn record_preprocess(&self, elapsed_ms: u64, oracle_evals: u64) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.preprocess_ms += elapsed_ms;
-        inner.oracle_evals += oracle_evals;
+        self.preprocess_ms.fetch_add(elapsed_ms, Ordering::Relaxed);
+        self.oracle_evals.fetch_add(oracle_evals, Ordering::Relaxed);
     }
 
     /// Records one cache miss resolved through the decomposition index:
     /// the miss-path preprocessing ran over `residual_vertices` index
     /// candidates instead of the whole graph.
     pub fn record_index(&self, residual_vertices: u64) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.index_hits += 1;
-        inner.residual_vertices += residual_vertices;
+        self.index_hits.fetch_add(1, Ordering::Relaxed);
+        self.residual_vertices
+            .fetch_add(residual_vertices, Ordering::Relaxed);
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, merged across all shards.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock");
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.map.len(),
-            resident_bytes: inner.resident_bytes,
-            preprocess_ms: inner.preprocess_ms,
-            oracle_evals: inner.oracle_evals,
-            index_hits: inner.index_hits,
-            residual_vertices: inner.residual_vertices,
+        let mut stats = CacheStats {
+            preprocess_ms: self.preprocess_ms.load(Ordering::Relaxed),
+            oracle_evals: self.oracle_evals.load(Ordering::Relaxed),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            residual_vertices: self.residual_vertices.load(Ordering::Relaxed),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let inner = shard.inner.lock().expect("cache lock");
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.evictions += inner.evictions;
+            stats.entries += inner.map.len();
+            stats.resident_bytes += inner.resident_bytes;
         }
+        stats
     }
 }
 
@@ -321,6 +383,59 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.index_hits, 2);
         assert_eq!(stats.residual_vertices, 150);
+    }
+
+    #[test]
+    fn shard_count_respects_capacity_and_min_slots() {
+        assert_eq!(ComponentCache::new(1).shard_count(), 1);
+        assert_eq!(ComponentCache::new(8).shard_count(), 2);
+        assert_eq!(ComponentCache::new(16).shard_count(), 4);
+        assert_eq!(ComponentCache::new(1024).shard_count(), DEFAULT_SHARDS);
+        // Explicit shard counts are clamped to [1, capacity].
+        assert_eq!(ComponentCache::with_shards(2, 8).shard_count(), 2);
+        assert_eq!(ComponentCache::with_shards(64, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_requested_capacity() {
+        // 10 slots over 4 shards: 3+3+2+2. Overfill with distinct keys
+        // and check the merged entry count never exceeds the requested
+        // capacity (the per-shard bounds sum exactly to it).
+        let cache = ComponentCache::with_shards(10, 4);
+        for i in 0..50 {
+            cache.get_or_build(&key(&format!("d{i}"), 1, 0.1), dummy);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 10, "entries = {}", stats.entries);
+        assert_eq!(stats.misses, 50);
+        assert_eq!(stats.evictions as usize, 50 - stats.entries);
+    }
+
+    #[test]
+    fn sharded_stats_match_single_lock_totals() {
+        // The PR 8 equivalence check: replay one workload (hits, misses,
+        // preprocess/index attributions — no evictions, the capacity is
+        // ample) against a single-lock cache and an 8-way sharded one.
+        // The merged statistics must be identical.
+        let replay = |cache: &ComponentCache| {
+            for round in 0..3 {
+                for i in 0..16 {
+                    let k = key(&format!("d{}", i % 8), 2 + (i % 3) as u32, 0.1 * i as f64);
+                    let (_, hit) = cache.get_or_build(&k, dummy);
+                    if !hit {
+                        cache.record_preprocess(5, 100);
+                        cache.record_index(40);
+                    }
+                    let _ = round;
+                }
+            }
+            cache.stats()
+        };
+        let single = replay(&ComponentCache::with_shards(64, 1));
+        let sharded = replay(&ComponentCache::with_shards(64, 8));
+        assert_eq!(single, sharded);
+        assert!(single.hits > 0 && single.misses > 0);
+        assert_eq!(single.evictions, 0);
     }
 
     #[test]

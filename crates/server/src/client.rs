@@ -28,6 +28,14 @@ pub enum ClientError {
         /// Human-readable detail.
         message: String,
     },
+    /// The server refused the connection with a `busy` frame (it is at
+    /// its `--max-connections` cap). Back off and retry.
+    Busy {
+        /// The server's connection cap.
+        max_connections: u64,
+        /// Human-readable detail.
+        message: String,
+    },
     /// The server sent a well-formed frame that does not fit the
     /// exchange (wrong id or wrong frame type). Boxed: a `metrics`
     /// frame embeds a full registry snapshot, and the error path
@@ -42,6 +50,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error [{}]: {message}", code.name())
+            }
+            ClientError::Busy {
+                max_connections,
+                message,
+            } => {
+                write!(f, "server busy (cap {max_connections}): {message}")
             }
             ClientError::Unexpected(frame) => write!(f, "unexpected frame: {frame:?}"),
         }
@@ -104,6 +118,13 @@ impl Client {
             Frame::Hello { protocol, .. } => Err(ClientError::Proto(
                 ProtoError::UnsupportedVersion(Some(protocol)),
             )),
+            Frame::Busy {
+                max_connections,
+                message,
+            } => Err(ClientError::Busy {
+                max_connections,
+                message,
+            }),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }

@@ -10,16 +10,18 @@
 //! * [`protocol`] — a versioned, line-delimited JSON wire protocol
 //!   (std-only; the codec lives in [`json`]);
 //! * [`cache`] — an LRU cache of preprocessed [`kr_core::LocalComponent`]
-//!   sets keyed by `(dataset, k, r-band)`, shared across connections via
-//!   `Arc`, with hit/miss/eviction statistics;
+//!   sets keyed by `(dataset, k, r-band)`, sharded by key hash and shared
+//!   across connections via `Arc`, with hit/miss/eviction statistics
+//!   merged across shards;
 //! * [`datasets`] — resident, lazily-generated preset datasets;
 //! * [`obs`] — the per-instance `server.*` metrics registry surfaced by
 //!   the wire `metrics` request, and the structured-trace sink every
 //!   query's span events go to (see `docs/OBSERVABILITY.md`);
 //! * `session` / [`server`] — one thread per connection dispatching
 //!   queries onto the engines (which thread one worker pool per query
-//!   through preprocessing and search), with budget-clamped cancellation
-//!   and clean shutdown;
+//!   through preprocessing and search), with budget-clamped cancellation,
+//!   a connection cap (`busy` rejection frames), per-dataset admission
+//!   limits, mid-query client-abort detection, and clean shutdown;
 //! * [`client`] — the blocking client that backs `krcore-cli query` and
 //!   doubles as the integration-test driver.
 //!
@@ -53,12 +55,13 @@ pub mod protocol;
 pub mod server;
 pub(crate) mod session;
 
-pub use cache::{CacheKey, CacheStats, ComponentCache};
+pub use cache::{CacheKey, CacheStats, ComponentCache, DEFAULT_SHARDS};
 pub use client::{Client, ClientError, QueryResult};
 pub use datasets::{dataset_key, DatasetRegistry, HostedDataset};
 pub use kr_obs::{HistogramSnapshot, MetricsSnapshot, TraceSink, HIST_BUCKETS};
 pub use obs::ServerMetrics;
 pub use protocol::{
-    Algo, CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
+    Algo, CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, FRAME_KINDS,
+    PROTOCOL_VERSION, REQUEST_CMDS,
 };
 pub use server::{Server, ServerConfig, ServerHandle, ServerState};

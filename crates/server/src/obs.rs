@@ -32,6 +32,17 @@ pub struct ServerMetrics {
     pub slow_queries: Arc<Counter>,
     /// `core` frames written.
     pub cores_streamed: Arc<Counter>,
+    /// Connections refused with a `busy` frame at the `--max-connections`
+    /// cap.
+    pub busy_rejections: Arc<Counter>,
+    /// Queries refused with a `busy` error by per-dataset admission
+    /// control (`--max-queries-per-dataset`).
+    pub admission_rejections: Arc<Counter>,
+    /// Queries abandoned because the client disconnected mid-flight
+    /// (detected between streamed frames or on a peer-disconnect write
+    /// error). Distinct from `query_errors`: the server was healthy, the
+    /// client hung up.
+    pub client_aborts: Arc<Counter>,
     /// Queries currently executing.
     pub active_queries: Arc<Gauge>,
     /// End-to-end latency of successfully answered queries, µs.
@@ -58,6 +69,9 @@ impl ServerMetrics {
             requests_version_rejected: registry.counter("server.requests_version_rejected"),
             slow_queries: registry.counter("server.slow_queries"),
             cores_streamed: registry.counter("server.cores_streamed"),
+            busy_rejections: registry.counter("server.busy_rejections"),
+            admission_rejections: registry.counter("server.admission_rejections"),
+            client_aborts: registry.counter("server.client_aborts"),
             active_queries: registry.gauge("server.active_queries"),
             query_latency_us: registry.histogram("server.query_latency_us"),
             preprocess_us: registry.histogram("server.preprocess_us"),

@@ -38,6 +38,33 @@ use kr_obs::{HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
 /// server rejects requests with a different `v`.
 pub const PROTOCOL_VERSION: u64 = 1;
 
+/// Every request `cmd` this protocol version defines, by wire name.
+/// `docs/PROTOCOL.md` is checked against this list by a test — extend
+/// both together.
+pub const REQUEST_CMDS: &[&str] = &[
+    "enumerate",
+    "maximum",
+    "stats",
+    "metrics",
+    "ping",
+    "shutdown",
+];
+
+/// Every response `frame` kind this protocol version defines, by wire
+/// name. `docs/PROTOCOL.md` is checked against this list by a test —
+/// extend both together.
+pub const FRAME_KINDS: &[&str] = &[
+    "hello",
+    "busy",
+    "core",
+    "done",
+    "stats",
+    "metrics",
+    "pong",
+    "shutting_down",
+    "error",
+];
+
 /// Default dataset scale factor when a query omits `scale`.
 pub const DEFAULT_SCALE: f64 = 0.25;
 
@@ -186,6 +213,15 @@ pub enum Frame {
         /// Server software name.
         server: String,
     },
+    /// Connection-level rejection: the server is at its connection cap.
+    /// Sent *instead of* `hello` as the only frame on the connection,
+    /// which the server then closes — clients should back off and retry.
+    Busy {
+        /// The `--max-connections` cap that was hit.
+        max_connections: u64,
+        /// Human-readable detail.
+        message: String,
+    },
     /// One (k,r)-core (enumeration: streamed incrementally; maximum: the
     /// single winner).
     Core {
@@ -272,6 +308,10 @@ pub enum ErrorCode {
     UnknownDataset,
     /// The server failed internally.
     Internal,
+    /// The request was declined by admission control (e.g. the target
+    /// dataset is at its `--max-queries-per-dataset` in-flight limit).
+    /// The connection stays usable — back off and retry.
+    Busy,
 }
 
 impl ErrorCode {
@@ -282,6 +322,7 @@ impl ErrorCode {
             ErrorCode::UnsupportedVersion => "unsupported_version",
             ErrorCode::UnknownDataset => "unknown_dataset",
             ErrorCode::Internal => "internal",
+            ErrorCode::Busy => "busy",
         }
     }
 
@@ -291,6 +332,7 @@ impl ErrorCode {
             "unsupported_version" => Some(ErrorCode::UnsupportedVersion),
             "unknown_dataset" => Some(ErrorCode::UnknownDataset),
             "internal" => Some(ErrorCode::Internal),
+            "busy" => Some(ErrorCode::Busy),
             _ => None,
         }
     }
@@ -623,6 +665,14 @@ impl Frame {
                 fields.push(("protocol", json::n(*protocol as f64)));
                 fields.push(("server", json::s(server)));
             }
+            Frame::Busy {
+                max_connections,
+                message,
+            } => {
+                fields.push(("frame", json::s("busy")));
+                fields.push(("max_connections", json::n(*max_connections as f64)));
+                fields.push(("message", json::s(message)));
+            }
             Frame::Core {
                 id,
                 trace,
@@ -722,6 +772,14 @@ impl Frame {
                 protocol: req_u64("protocol")?,
                 server: v
                     .get("server")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            Some("busy") => Ok(Frame::Busy {
+                max_connections: req_u64("max_connections")?,
+                message: v
+                    .get("message")
                     .and_then(Json::as_str)
                     .unwrap_or("")
                     .to_string(),
@@ -851,6 +909,10 @@ mod tests {
                 protocol: 1,
                 server: "kr-server/0.1.0".into(),
             },
+            Frame::Busy {
+                max_connections: 256,
+                message: "connection cap reached".into(),
+            },
             Frame::Core {
                 id: "q1".into(),
                 trace: "00f1a2b3c4d5e6f7".into(),
@@ -914,11 +976,111 @@ mod tests {
                 code: ErrorCode::UnknownDataset,
                 message: "no such preset: nope".into(),
             },
+            Frame::Error {
+                id: "y".into(),
+                trace: String::new(),
+                code: ErrorCode::Busy,
+                message: "dataset at its admission limit".into(),
+            },
         ];
         for frame in frames {
             let line = frame.to_line();
             assert!(!line.contains('\n'));
             assert_eq!(Frame::parse(&line).unwrap(), frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn frame_kinds_and_request_cmds_are_complete() {
+        // One sample message per enum variant; every wire name must be
+        // listed in the public constants (which docs/PROTOCOL.md is in
+        // turn checked against), and the counts must match so a new
+        // variant cannot ship without extending the list.
+        let spec = QuerySpec::new("d", 2, 1.0);
+        let reqs = [
+            Request::Enumerate {
+                id: "i".into(),
+                spec: spec.clone(),
+            },
+            Request::Maximum {
+                id: "i".into(),
+                spec,
+            },
+            Request::Stats { id: "i".into() },
+            Request::Metrics { id: "i".into() },
+            Request::Ping { id: "i".into() },
+            Request::Shutdown { id: "i".into() },
+        ];
+        assert_eq!(reqs.len(), REQUEST_CMDS.len());
+        for req in &reqs {
+            let line = req.to_line();
+            let cmd = Json::parse(&line)
+                .unwrap()
+                .get("cmd")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            assert!(REQUEST_CMDS.contains(&cmd.as_str()), "{cmd} not listed");
+        }
+        let frames = [
+            Frame::Hello {
+                protocol: 1,
+                server: String::new(),
+            },
+            Frame::Busy {
+                max_connections: 1,
+                message: String::new(),
+            },
+            Frame::Core {
+                id: "i".into(),
+                trace: String::new(),
+                index: 0,
+                vertices: vec![],
+            },
+            Frame::Done {
+                id: "i".into(),
+                trace: String::new(),
+                count: 0,
+                completed: true,
+                cache: CacheOutcome::Hit,
+                elapsed_ms: 0,
+                nodes: 0,
+            },
+            Frame::Stats {
+                id: "i".into(),
+                trace: String::new(),
+                stats: CacheStats::default(),
+            },
+            Frame::Metrics {
+                id: "i".into(),
+                trace: String::new(),
+                snapshot: MetricsSnapshot::default(),
+            },
+            Frame::Pong {
+                id: "i".into(),
+                trace: String::new(),
+            },
+            Frame::ShuttingDown {
+                id: "i".into(),
+                trace: String::new(),
+            },
+            Frame::Error {
+                id: "i".into(),
+                trace: String::new(),
+                code: ErrorCode::Internal,
+                message: String::new(),
+            },
+        ];
+        assert_eq!(frames.len(), FRAME_KINDS.len());
+        for frame in &frames {
+            let line = frame.to_line();
+            let kind = Json::parse(&line)
+                .unwrap()
+                .get("frame")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            assert!(FRAME_KINDS.contains(&kind.as_str()), "{kind} not listed");
         }
     }
 

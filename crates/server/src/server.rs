@@ -11,11 +11,15 @@
 use crate::cache::ComponentCache;
 use crate::datasets::DatasetRegistry;
 use crate::obs::ServerMetrics;
+use crate::protocol::Frame;
 use crate::session;
-use kr_obs::TraceSink;
+use kr_obs::{Field, TraceSink};
+use std::collections::HashMap;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -49,6 +53,16 @@ pub struct ServerConfig {
     /// trace event and bump `server.slow_queries`. `0` flags every query
     /// (useful in smoke tests to force an emission).
     pub slow_query_ms: u64,
+    /// Connection cap: while this many sessions are live, further
+    /// connections are answered with a single `busy` frame and closed
+    /// (counted in `server.busy_rejections`) instead of silently queueing
+    /// behind a saturated accept loop. `0` = unlimited.
+    pub max_connections: usize,
+    /// Per-dataset admission limit: at most this many queries in flight
+    /// per dataset identity; excess queries get an `error` frame with
+    /// code `busy` (counted in `server.admission_rejections`) and the
+    /// connection stays usable. `None` = unlimited.
+    pub max_queries_per_dataset: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +76,8 @@ impl Default for ServerConfig {
             file_datasets: Vec::new(),
             trace_log: None,
             slow_query_ms: 1_000,
+            max_connections: 256,
+            max_queries_per_dataset: None,
         }
     }
 }
@@ -82,6 +98,14 @@ pub struct ServerState {
     pub trace: TraceSink,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+    /// Live sessions (incremented before the session thread spawns,
+    /// decremented when its [`SessionPermit`] drops) — the connection
+    /// cap's book.
+    active_sessions: AtomicUsize,
+    /// Queries in flight per dataset identity — the admission-control
+    /// book. A plain mutex: touched twice per query, never held across
+    /// compute.
+    admission: Mutex<HashMap<String, usize>>,
 }
 
 impl ServerState {
@@ -96,6 +120,93 @@ impl ServerState {
         self.shutdown.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.local_addr);
     }
+
+    /// Sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Claims one connection slot (the accept loop has already checked
+    /// the cap; the claim itself is unconditional).
+    fn claim_session(self: &Arc<Self>) -> SessionPermit {
+        self.active_sessions.fetch_add(1, Ordering::SeqCst);
+        SessionPermit {
+            state: self.clone(),
+        }
+    }
+
+    /// Admission control: claims one in-flight slot for `dataset_key`, or
+    /// reports the configured limit when the dataset is saturated.
+    pub(crate) fn try_admit(self: &Arc<Self>, dataset_key: &str) -> Result<AdmissionGuard, usize> {
+        let limit = match self.config.max_queries_per_dataset {
+            None => {
+                // Unlimited: skip the book entirely.
+                return Ok(AdmissionGuard {
+                    state: self.clone(),
+                    key: None,
+                });
+            }
+            Some(limit) => limit.max(1),
+        };
+        let mut book = self.admission.lock().expect("admission lock");
+        let in_flight = book.entry(dataset_key.to_string()).or_insert(0);
+        if *in_flight >= limit {
+            return Err(limit);
+        }
+        *in_flight += 1;
+        Ok(AdmissionGuard {
+            state: self.clone(),
+            key: Some(dataset_key.to_string()),
+        })
+    }
+}
+
+/// RAII slot in the connection-cap book; dropping it (session thread
+/// exit, however it exits) frees the slot.
+pub(crate) struct SessionPermit {
+    state: Arc<ServerState>,
+}
+
+impl Drop for SessionPermit {
+    fn drop(&mut self) {
+        self.state.active_sessions.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// RAII slot in the per-dataset admission book (`key = None` when
+/// admission control is off and nothing was claimed).
+pub(crate) struct AdmissionGuard {
+    state: Arc<ServerState>,
+    key: Option<String>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        if let Some(key) = &self.key {
+            let mut book = self.state.admission.lock().expect("admission lock");
+            if let Some(in_flight) = book.get_mut(key) {
+                *in_flight = in_flight.saturating_sub(1);
+                if *in_flight == 0 {
+                    book.remove(key);
+                }
+            }
+        }
+    }
+}
+
+/// Writes one `busy` frame and closes the overflow connection. Runs on
+/// the accept-loop thread, so the write gets a short timeout: a peer that
+/// never drains its receive buffer must not stall accepting.
+fn reject_busy(mut stream: TcpStream, max_connections: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut line = Frame::Busy {
+        max_connections: max_connections as u64,
+        message: format!("server is at its connection cap ({max_connections}); retry later"),
+    }
+    .to_line();
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+    // Dropping the stream closes it.
 }
 
 /// A bound, not-yet-running server.
@@ -133,6 +244,8 @@ impl Server {
             config,
             shutdown: AtomicBool::new(false),
             local_addr,
+            active_sessions: AtomicUsize::new(0),
+            admission: Mutex::new(HashMap::new()),
         });
         Ok(Server { listener, state })
     }
@@ -150,7 +263,7 @@ impl Server {
     /// Serves until a `shutdown` request arrives, then drains all session
     /// threads and returns.
     pub fn run(self) -> std::io::Result<()> {
-        let mut sessions = Vec::new();
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
         for conn in self.listener.incoming() {
             if self.state.is_shutting_down() {
                 break;
@@ -159,9 +272,33 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue, // transient accept failure
             };
+            // Reap finished sessions so a long-lived server's handle list
+            // tracks live connections, not its whole accept history.
+            sessions.retain(|h| !h.is_finished());
+            let cap = self.state.config.max_connections;
+            if cap != 0 && self.state.active_sessions() >= cap {
+                self.state.metrics.busy_rejections.inc();
+                if self.state.trace.enabled() {
+                    let peer = stream
+                        .peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "unknown".to_string());
+                    self.state.trace.event(
+                        "",
+                        "busy_reject",
+                        &[
+                            ("peer", Field::S(peer)),
+                            ("max_connections", Field::from(cap)),
+                        ],
+                    );
+                }
+                reject_busy(stream, cap);
+                continue;
+            }
+            let permit = self.state.claim_session();
             let state = self.state.clone();
             sessions.push(std::thread::spawn(move || {
-                session::run_session(stream, state);
+                session::run_session(stream, state, permit);
             }));
         }
         for handle in sessions {

@@ -6,12 +6,16 @@
 //! its `id`. The socket is read with a short timeout so the session
 //! notices a server-wide shutdown even while idle.
 //!
-//! **Cancellation.** A query cannot be aborted mid-flight by the client
-//! (the session is busy computing), so runaway work is bounded the same
-//! way the paper's harness bounds it: the engine's node/time limits. The
-//! session clamps every query's budgets to the server's configured
-//! ceilings; the engine checks them at each search node and returns
-//! `completed = false` when exceeded, which the `done` frame reports.
+//! **Cancellation.** Runaway work is bounded two ways. The engine's
+//! node/time limits: the session clamps every query's budgets to the
+//! server's configured ceilings; the engine checks them at each search
+//! node and returns `completed = false` when exceeded, which the `done`
+//! frame reports. And client aborts: between streamed `core` frames the
+//! session peeks the socket (see [`AbortProbe`]) — a client that hung up
+//! mid-query trips a [`kr_core::CancelFlag`] and the engine winds down at
+//! its next search node instead of burning the worker pool on an answer
+//! nobody reads. Aborted queries count in `server.client_aborts` (not
+//! `server.query_errors`) and emit a `client_abort` span event.
 //!
 //! **Observability.** Every request line gets a fresh trace id, echoed
 //! in each of its response frames and stamped on every span event the
@@ -26,10 +30,10 @@ use crate::json::Json;
 use crate::protocol::{
     Algo, CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
 };
-use crate::server::ServerState;
+use crate::server::{ServerState, SessionPermit};
 use kr_core::{
     enumerate_maximal_prepared, enumerate_maximal_prepared_on, find_maximum_prepared,
-    find_maximum_prepared_on, AlgoConfig, CoreHook, KrCore,
+    find_maximum_prepared_on, AlgoConfig, CancelFlag, CoreHook, KrCore,
 };
 use kr_obs::{next_trace_id, Field, PhaseTimer};
 use std::io::{ErrorKind, Read, Write};
@@ -53,6 +57,62 @@ fn write_frame(writer: &SharedWriter, frame: &Frame) -> std::io::Result<()> {
     line.push('\n');
     let mut stream = writer.lock().expect("writer lock");
     stream.write_all(line.as_bytes())
+}
+
+/// Write errors that mean "the peer went away" rather than "this server
+/// failed". The session counts these as `server.client_aborts`, not
+/// `server.query_errors`: the distinction separates clients hanging up
+/// (routine under real traffic) from actual serving trouble.
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::UnexpectedEof
+    )
+}
+
+/// Mid-query client-liveness probe, checked between streamed `core`
+/// frames. `peek` is non-destructive — pipelined request bytes stay
+/// queued for the [`LineReader`] — and distinguishes the three states the
+/// session cares about: EOF (client closed: abort), pending bytes or
+/// nothing yet (client alive), hard error (abort).
+///
+/// The probe must not block, and `set_nonblocking` applies to the whole
+/// underlying socket (it is shared with the reader and writer clones), so
+/// blocking mode is restored immediately after the peek. That toggle is
+/// safe here because the probe only runs from inside `run_query`, where
+/// the session thread — the only reader — is busy computing, and frame
+/// writes are serialized behind the writer lock. The `LineReader`'s read
+/// timeout is a socket option (`SO_RCVTIMEO`) and is unaffected.
+struct AbortProbe {
+    stream: TcpStream,
+}
+
+impl AbortProbe {
+    fn new(writer: &SharedWriter) -> Option<AbortProbe> {
+        let stream = writer.lock().ok()?.try_clone().ok()?;
+        Some(AbortProbe { stream })
+    }
+
+    /// True when the peer is known to be gone. False on any doubt: a
+    /// false "alive" just means the abort is caught at the next frame
+    /// write instead.
+    fn client_gone(&self) -> bool {
+        if self.stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut byte = [0u8; 1];
+        let gone = match self.stream.peek(&mut byte) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => false,
+            Err(e) => is_disconnect(&e),
+        };
+        let _ = self.stream.set_nonblocking(false);
+        gone
+    }
 }
 
 /// Timeout-tolerant line framing over the raw socket. `BufRead::read_line`
@@ -99,7 +159,10 @@ impl LineReader {
 }
 
 /// Serves one connection to completion (EOF, I/O failure, or shutdown).
-pub(crate) fn run_session(stream: TcpStream, state: Arc<ServerState>) {
+/// The `permit` is the connection-cap slot claimed by the accept loop; it
+/// is held for the lifetime of this call and freed on any exit path.
+pub(crate) fn run_session(stream: TcpStream, state: Arc<ServerState>, permit: SessionPermit) {
+    let _permit = permit;
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
@@ -294,6 +357,34 @@ fn run_query(
             );
         }
     };
+    // Per-dataset admission control: the guard holds this query's
+    // in-flight slot until the query resolves (any exit path).
+    let _admission = match state.try_admit(&dataset.key) {
+        Ok(guard) => guard,
+        Err(limit) => {
+            metrics.admission_rejections.inc();
+            sink.event(
+                &trace,
+                "admission_reject",
+                &[
+                    ("dataset", Field::S(spec.dataset.clone())),
+                    ("limit", Field::from(limit)),
+                ],
+            );
+            return write_frame(
+                writer,
+                &Frame::Error {
+                    id,
+                    trace,
+                    code: ErrorCode::Busy,
+                    message: format!(
+                        "dataset '{}' is at its admission limit ({limit} queries in flight); retry later",
+                        spec.dataset
+                    ),
+                },
+            );
+        }
+    };
 
     let t0 = Instant::now();
     let key = CacheKey {
@@ -376,6 +467,36 @@ fn run_query(
     // took (the `stream` span event reports both).
     let frames = Arc::new(AtomicU64::new(0));
     let write_us = Arc::new(AtomicU64::new(0));
+    // Client-abort plumbing: the streaming hook (or a peer-disconnect
+    // write error) flips `client_gone` and cancels the engine, which
+    // winds down at its next search node. `write_failed` is everything
+    // else — the socket broke for a non-disconnect reason.
+    let cancel = CancelFlag::new();
+    cfg = cfg.with_cancel(cancel.clone());
+    let client_gone = Arc::new(AtomicBool::new(false));
+    let write_failed = Arc::new(AtomicBool::new(false));
+    // Classifies one frame-write result: peer disconnects become client
+    // aborts (counted + span event), anything else a query error. Either
+    // way the session ends by propagating the error.
+    let classify_write = |res: std::io::Result<()>| -> std::io::Result<()> {
+        if let Err(e) = &res {
+            if is_disconnect(e) {
+                metrics.client_aborts.inc();
+                sink.event(
+                    &trace,
+                    "client_abort",
+                    &[
+                        ("dataset", Field::S(spec.dataset.clone())),
+                        ("frames", Field::U(frames.load(Ordering::Relaxed))),
+                        ("error", Field::S(e.to_string())),
+                    ],
+                );
+            } else {
+                metrics.query_errors.inc();
+            }
+        }
+        res
+    };
 
     let (count, completed, nodes) = match kind {
         QueryKind::Enumerate => {
@@ -383,21 +504,31 @@ fn run_query(
             // its own frame immediately. BasicEnum buffers (maximality is
             // only known after the post-filter) and the frames are
             // written below instead.
-            let write_failed = Arc::new(AtomicBool::new(false));
             let streaming = cfg.maximal_check;
             if streaming {
-                let (w, counter, failed, qid, qtrace, wus, streamed) = (
+                let probe = AbortProbe::new(writer);
+                let (w, counter, failed, gone, stop, qid, qtrace, wus, streamed) = (
                     writer.clone(),
                     frames.clone(),
                     write_failed.clone(),
+                    client_gone.clone(),
+                    cancel.clone(),
                     id.clone(),
                     trace.clone(),
                     write_us.clone(),
                     metrics.cores_streamed.clone(),
                 );
                 cfg = cfg.with_on_core(CoreHook::new(move |core: &KrCore| {
-                    if failed.load(Ordering::Relaxed) {
-                        return; // socket already broken; drain silently
+                    if failed.load(Ordering::Relaxed) || gone.load(Ordering::Relaxed) {
+                        return; // socket already broken; engine is winding down
+                    }
+                    // Poll the socket before spending a write on it: a
+                    // client that hung up is detected here even when the
+                    // kernel buffer would still have absorbed the frame.
+                    if probe.as_ref().is_some_and(AbortProbe::client_gone) {
+                        gone.store(true, Ordering::Relaxed);
+                        stop.cancel();
+                        return;
                     }
                     let frame = Frame::Core {
                         id: qid.clone(),
@@ -406,8 +537,13 @@ fn run_query(
                         vertices: core.vertices.clone(),
                     };
                     let t = Instant::now();
-                    if write_frame(&w, &frame).is_err() {
-                        failed.store(true, Ordering::Relaxed);
+                    if let Err(e) = write_frame(&w, &frame) {
+                        if is_disconnect(&e) {
+                            gone.store(true, Ordering::Relaxed);
+                            stop.cancel();
+                        } else {
+                            failed.store(true, Ordering::Relaxed);
+                        }
                     }
                     wus.fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
                     streamed.inc();
@@ -423,15 +559,16 @@ fn run_query(
                 ("completed", Field::B(res.completed)),
             ]);
             if write_failed.load(Ordering::Relaxed) {
+                metrics.query_errors.inc();
                 return Err(std::io::Error::new(
                     ErrorKind::BrokenPipe,
-                    "client went away mid-stream",
+                    "frame write failed mid-stream",
                 ));
             }
             if !streaming {
                 for (index, core) in res.cores.iter().enumerate() {
                     let t = Instant::now();
-                    write_frame(
+                    classify_write(write_frame(
                         writer,
                         &Frame::Core {
                             id: id.clone(),
@@ -439,7 +576,7 @@ fn run_query(
                             index: index as u64,
                             vertices: core.vertices.clone(),
                         },
-                    )?;
+                    ))?;
                     write_us.fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
                     frames.fetch_add(1, Ordering::Relaxed);
                     metrics.cores_streamed.inc();
@@ -460,7 +597,7 @@ fn run_query(
             let count = res.core.iter().len() as u64;
             if let Some(core) = &res.core {
                 let t = Instant::now();
-                write_frame(
+                classify_write(write_frame(
                     writer,
                     &Frame::Core {
                         id: id.clone(),
@@ -468,7 +605,7 @@ fn run_query(
                         index: 0,
                         vertices: core.vertices.clone(),
                     },
-                )?;
+                ))?;
                 write_us.fetch_add(t.elapsed().as_micros() as u64, Ordering::Relaxed);
                 frames.fetch_add(1, Ordering::Relaxed);
                 metrics.cores_streamed.inc();
@@ -477,11 +614,28 @@ fn run_query(
         }
     };
 
+    if client_gone.load(Ordering::Relaxed) {
+        // The abort probe (or a disconnect-class write error) stopped the
+        // sweep: not an answered query (no `done`, no latency sample) and
+        // not a server failure — it counts in `server.client_aborts`.
+        metrics.client_aborts.inc();
+        sink.event(
+            &trace,
+            "client_abort",
+            &[
+                ("dataset", Field::S(spec.dataset.clone())),
+                ("frames", Field::U(frames.load(Ordering::Relaxed))),
+                ("nodes", Field::U(nodes)),
+            ],
+        );
+        return Err(std::io::Error::new(
+            ErrorKind::ConnectionAborted,
+            "client went away mid-query",
+        ));
+    }
+
     let elapsed = t0.elapsed();
     let elapsed_ms = elapsed.as_millis() as u64;
-    // The acceptance invariant: exactly one latency sample per answered
-    // query, so the histogram's bucket counts sum to queries served.
-    metrics.query_latency_us.record_duration(elapsed);
     if sink.enabled() {
         sink.event(
             &trace,
@@ -520,16 +674,21 @@ fn run_query(
             ],
         );
     }
-    write_frame(
+    classify_write(write_frame(
         writer,
         &Frame::Done {
             id,
-            trace,
+            trace: trace.clone(),
             count,
             completed,
             cache,
             elapsed_ms,
             nodes,
         },
-    )
+    ))?;
+    // The acceptance invariant: exactly one latency sample per *answered*
+    // query — `done` delivered — so the histogram's bucket counts plus
+    // the abort/rejection counters account for every query accepted.
+    metrics.query_latency_us.record_duration(elapsed);
+    Ok(())
 }

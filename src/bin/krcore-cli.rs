@@ -8,7 +8,8 @@
 //! krcore-cli stats  --edges graph.txt --points locs.tsv    --k 5 --r 10
 //! krcore-cli ingest edges.txt (--points locs.tsv | --keywords kw.tsv) -o data.krb
 //! krcore-cli serve  [--addr 127.0.0.1:7878] [--cache-capacity 16] [--max-time-limit-ms MS] \
-//!                   [--dataset name=path.krb]... [--log PATH|-] [--slow-query-ms MS]
+//!                   [--dataset name=path.krb]... [--log PATH|-] [--slow-query-ms MS] \
+//!                   [--max-connections N] [--max-queries-per-dataset N]
 //! krcore-cli query  --addr 127.0.0.1:7878 <enum|max> --dataset gowalla-like --k 3 --r 8 \
 //!                   [--scale 0.25] [--algo adv|basic] [--threads N] [--out FILE]
 //! krcore-cli query  --addr 127.0.0.1:7878 <stats|metrics|ping|shutdown>
@@ -35,7 +36,10 @@
 //!   enumeration results streamed); `--log PATH` (or `-` for stderr)
 //!   turns on the structured span/slow-query trace log, and
 //!   `--slow-query-ms MS` sets the slow-query threshold (default 1000;
-//!   `0` logs every query);
+//!   `0` logs every query); `--max-connections N` caps live sessions
+//!   (overflow gets a `busy` frame; `0` = unlimited) and
+//!   `--max-queries-per-dataset N` caps in-flight queries per dataset
+//!   (see `docs/OPERATIONS.md`);
 //! * `query` is the matching client: cores stream to stdout as they
 //!   arrive, diagnostics (cache hit/miss, timing, the server-assigned
 //!   trace id) to stderr; `query metrics` prints the server's metrics
@@ -78,7 +82,8 @@ fn usage() -> ! {
          [--with-index] [--progress-every EDGES]\n\
          \x20      krcore-cli serve [--addr HOST:PORT] [--cache-capacity N] \
          [--max-time-limit-ms MS] [--max-scale S] [--dataset NAME=PATH.krb]... \
-         [--log PATH|-] [--slow-query-ms MS]\n\
+         [--log PATH|-] [--slow-query-ms MS] [--max-connections N] \
+         [--max-queries-per-dataset N]\n\
          \x20      krcore-cli query --addr HOST:PORT <enum|max|stats|metrics|ping|shutdown> \
          [--dataset NAME --k K --r R] [--scale S] [--algo adv|basic] [--threads N] \
          [--time-limit-ms MS] [--node-limit N] [--out FILE]"
@@ -462,6 +467,12 @@ fn cmd_serve() {
             "--max-scale" => config.max_scale = val().parse().unwrap_or_else(|_| usage()),
             "--log" => config.trace_log = Some(val()),
             "--slow-query-ms" => config.slow_query_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--max-connections" => {
+                config.max_connections = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--max-queries-per-dataset" => {
+                config.max_queries_per_dataset = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
             "--dataset" => {
                 let spec = val();
                 let Some((name, path)) = spec.split_once('=') else {

@@ -1,0 +1,81 @@
+//! Intra-repo link checker for the docs layer: every relative markdown
+//! link in `README.md` and `docs/*.md` must resolve to a file that
+//! exists. External `http(s)` links and same-page `#anchors` are left
+//! alone; `path#anchor` links are checked for the path part only.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts `(target)` of every inline markdown link `[text](target)`
+/// in `text`. Deliberately simple: the docs do not use reference-style
+/// links or targets containing parentheses.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                out.push(text[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("md") {
+            files.push(path);
+        }
+    }
+    assert!(
+        files.len() >= 6,
+        "expected README + docs pages, got {files:?}"
+    );
+
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let dir = file.parent().unwrap_or(Path::new("."));
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap();
+            if path_part.is_empty() {
+                continue;
+            }
+            let resolved = dir.join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{} -> {target} (resolved {})",
+                    file.strip_prefix(&root).unwrap_or(file).display(),
+                    resolved.display()
+                ));
+            }
+        }
+    }
+    assert!(checked > 0, "link scan found no relative links at all");
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo doc links:\n{}",
+        broken.join("\n")
+    );
+}
