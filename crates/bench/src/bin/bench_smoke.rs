@@ -46,10 +46,30 @@
 //!   `kr_obs` log-linear histogram the server uses for
 //!   `server.query_latency_us`, so bucket rounding matches production
 //!   metrics. Absent in older baselines; `check` never reads them.
+//!
+//! Schema 5 (PR 9) adds the lazy-dissimilarity story:
+//!
+//! * a third built-in point, `geo-corridor` — a 26-cluster corridor of
+//!   circulant rings (1040 vertices, one giant component, ~1M dissimilar
+//!   pairs) sized past the auto-lazy floor, measured with the *maximum*
+//!   search (`AlgoConfig::adv_max`) rather than enumeration: the
+//!   incumbent + (k,k')-core bound collapse the tree after the first
+//!   descent, which is exactly the access pattern the lazy view is for
+//!   (enumeration visits every row by construction and would erase the
+//!   effect);
+//! * `lazy_rows_materialized` / `dissim_pairs_avoided` per point — rows
+//!   the lazy view actually built, and directed complement entries it
+//!   never had to (both 0 on eager points);
+//! * an in-run gate (same-process, deterministic, no baseline needed):
+//!   on the corridor point the lazy view must materialize at most
+//!   [`MAX_LAZY_MATERIALIZED_FRAC`] of the directed entries an eager
+//!   build would allocate.
 
 use kr_bench::BenchDataset;
-use kr_core::{enumerate_maximal_prepared, AlgoConfig};
+use kr_core::{enumerate_maximal_prepared, find_maximum_prepared, AlgoConfig};
 use kr_datagen::DatasetPreset;
+use kr_graph::{Graph, VertexId};
+use kr_similarity::{AttributeTable, Metric, Threshold};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -76,6 +96,13 @@ const MAX_ORACLE_EVALS_REGRESSION_PCT: f64 = 10.0;
 /// gate guards that it stays a win at all, not a fictional margin.
 const MIN_INDEX_SPEEDUP: f64 = 1.05;
 
+/// In-run gate on the lazy dissimilarity view: on the `geo-corridor`
+/// point the bound-pruned maximum search must leave at least 70% of the
+/// eager complement unbuilt. Fully deterministic (fixed instance, fixed
+/// search), so there is no noise allowance; measured ~0.2% locally, the
+/// gate guards the mechanism, not the margin.
+const MAX_LAZY_MATERIALIZED_FRAC: f64 = 0.30;
+
 struct Point {
     preset: String,
     scale: f64,
@@ -89,6 +116,29 @@ struct Point {
     p50_us: u64,
     p99_us: u64,
     peak_component_bytes: usize,
+    /// Rows the lazy dissimilarity view materialized during the measured
+    /// searches (0 on points whose components stayed eager).
+    lazy_rows_materialized: u64,
+    /// Directed complement entries the lazy view never built: the eager
+    /// footprint minus what actually materialized (0 on eager points).
+    dissim_pairs_avoided: u64,
+}
+
+/// Sums the lazy-view counters over `comps`: (rows materialized, directed
+/// entries materialized, directed entries an eager build would hold).
+/// Eager components contribute nothing — the fields report what laziness
+/// did, not what eagerness costs.
+fn lazy_tally(comps: &[kr_core::LocalComponent]) -> (u64, u64, u64) {
+    comps.iter().filter(|c| c.is_dissimilarity_lazy()).fold(
+        (0, 0, 0),
+        |(rows, entries, eager), c| {
+            (
+                rows + c.dissimilarity().materialized_rows() as u64,
+                entries + c.dissimilarity().materialized_entries() as u64,
+                eager + 2 * c.num_dissimilar_pairs as u64,
+            )
+        },
+    )
 }
 
 fn quick_cases() -> Vec<(DatasetPreset, f64, u32, f64)> {
@@ -205,6 +255,7 @@ fn measure_instance(
         best = best.min(elapsed.as_secs_f64() * 1e3);
     }
     let snap = hist.snapshot();
+    let (lazy_rows, lazy_entries, eager_entries) = lazy_tally(&comps);
     Point {
         preset: name,
         scale,
@@ -218,12 +269,107 @@ fn measure_instance(
         p50_us: snap.quantile(0.5),
         p99_us: snap.quantile(0.99),
         peak_component_bytes,
+        lazy_rows_materialized: lazy_rows,
+        dissim_pairs_avoided: eager_entries - lazy_entries,
     }
+}
+
+/// The `geo-corridor` instance: `clusters` circulant rings of `size`
+/// vertices (each vertex wired to its 3 nearest ring successors), laid
+/// out on a line 6.0 apart with 4 bridge edges between consecutive
+/// rings, points on a unit circle per ring. With `MaxDistance(7.0)` only
+/// adjacent rings stay similar, so the single giant component carries
+/// ~1M dissimilar pairs — past the auto-lazy floor, with a complement
+/// too large to want eagerly.
+fn corridor_instance(clusters: usize, size: usize, k: u32, r: f64) -> kr_core::ProblemInstance {
+    let n = clusters * size;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut pts = Vec::new();
+    for c in 0..clusters {
+        let base = (c * size) as VertexId;
+        for i in 0..size as VertexId {
+            for d in 1..=3u32 {
+                edges.push((base + i, base + (i + d) % size as VertexId));
+            }
+        }
+        if c + 1 < clusters {
+            let next = ((c + 1) * size) as VertexId;
+            for i in 0..4u32 {
+                edges.push((base + i, next + i));
+            }
+        }
+        for i in 0..size {
+            let ang = i as f64 / size as f64 * std::f64::consts::TAU;
+            pts.push((c as f64 * 6.0 + ang.cos(), ang.sin()));
+        }
+    }
+    kr_core::ProblemInstance::new(
+        Graph::from_edges(n, &edges),
+        AttributeTable::points(pts),
+        Metric::Euclidean,
+        Threshold::MaxDistance(r),
+        k,
+    )
+}
+
+/// Measures the corridor point: maximum search (not enumeration — see
+/// the module doc), best-of-3 at ~1.5 s a sample. The decomposition-index
+/// fields stay 0: the miss-path story is told by the DblpLike point and
+/// repeating it here would double the corridor's wall for no new signal.
+/// Returns the point plus the gate inputs (materialized directed entries,
+/// eager directed entries).
+fn measure_corridor() -> (Point, (u64, u64)) {
+    const CLUSTERS: usize = 26;
+    const SIZE: usize = 40;
+    const K: u32 = 3;
+    const R: f64 = 7.0;
+    let p = corridor_instance(CLUSTERS, SIZE, K, R);
+    let mut preprocess_ms = f64::INFINITY;
+    let mut comps = Vec::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        comps = p.preprocess();
+        preprocess_ms = preprocess_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let oracle_evals = comps.iter().map(|c| c.oracle_evals).sum();
+    let cfg = AlgoConfig::adv_max();
+    let hist = kr_obs::Histogram::default();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let res = black_box(find_maximum_prepared(&comps, &cfg));
+        assert!(res.completed, "corridor maximum search must complete");
+        let elapsed = t.elapsed();
+        hist.record_duration(elapsed);
+        best = best.min(elapsed.as_secs_f64() * 1e3);
+    }
+    // Tallied after the samples: rows memoize across runs on the same
+    // components, so this is the steady-state footprint of the workload.
+    let (lazy_rows, lazy_entries, eager_entries) = lazy_tally(&comps);
+    let peak_component_bytes = comps.iter().map(|c| c.memory_bytes()).max().unwrap_or(0);
+    let snap = hist.snapshot();
+    let point = Point {
+        preset: "geo-corridor".to_string(),
+        scale: 1.0,
+        k: K,
+        r: R,
+        wall_ms: best,
+        preprocess_ms,
+        index_build_ms: 0.0,
+        indexed_preprocess_ms: 0.0,
+        oracle_evals,
+        p50_us: snap.quantile(0.5),
+        p99_us: snap.quantile(0.99),
+        peak_component_bytes,
+        lazy_rows_materialized: lazy_rows,
+        dissim_pairs_avoided: eager_entries - lazy_entries,
+    };
+    (point, (lazy_entries, eager_entries))
 }
 
 fn render(calib_ms: f64, points: &[Point]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": 4,\n");
+    out.push_str("{\n  \"schema\": 5,\n");
     out.push_str(&format!("  \"calib_ms\": {calib_ms:.3},\n"));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -233,7 +379,8 @@ fn render(calib_ms: f64, points: &[Point]) -> String {
              \"wall_ms\": {:.3}, \"preprocess_ms\": {:.3}, \"index_build_ms\": {:.3}, \
              \"indexed_preprocess_ms\": {:.3}, \"oracle_evals\": {}, \
              \"p50_us\": {}, \"p99_us\": {}, \
-             \"peak_component_bytes\": {}}}{comma}\n",
+             \"peak_component_bytes\": {}, \
+             \"lazy_rows_materialized\": {}, \"dissim_pairs_avoided\": {}}}{comma}\n",
             p.preset,
             p.scale,
             p.k,
@@ -245,7 +392,9 @@ fn render(calib_ms: f64, points: &[Point]) -> String {
             p.oracle_evals,
             p.p50_us,
             p.p99_us,
-            p.peak_component_bytes
+            p.peak_component_bytes,
+            p.lazy_rows_materialized,
+            p.dissim_pairs_avoided
         ));
     }
     out.push_str("  ]\n}\n");
@@ -330,7 +479,8 @@ fn main() {
         println!(
             "{:<16} scale {:<5} k {} r {:<5} wall {:>9.3} ms  (normalized {:.4})  \
              preprocess {:>8.3} ms  indexed {:>8.3} ms (build {:.3} ms)  \
-             {} oracle evals  p50/p99 {}/{} us  peak component {} bytes",
+             {} oracle evals  p50/p99 {}/{} us  peak component {} bytes  \
+             lazy rows {} / pairs avoided {}",
             p.preset,
             p.scale,
             p.k,
@@ -343,7 +493,9 @@ fn main() {
             p.oracle_evals,
             p.p50_us,
             p.p99_us,
-            p.peak_component_bytes
+            p.peak_component_bytes,
+            p.lazy_rows_materialized,
+            p.dissim_pairs_avoided
         );
     };
     let mut points: Vec<Point> = quick_cases()
@@ -356,6 +508,9 @@ fn main() {
             p
         })
         .collect();
+    let (corridor_point, corridor_gate) = measure_corridor();
+    report(&corridor_point);
+    points.push(corridor_point);
     if let Some((name, problem, k, r)) = snapshot_case() {
         // Snapshot points carry scale 1 by convention: the file pins the
         // dataset, there is nothing to scale.
@@ -402,6 +557,27 @@ fn main() {
             "{:<16} indexed miss path {:.3} ms vs full preprocess {:.3} ms  \
              ({speedup:.2}x, gate {MIN_INDEX_SPEEDUP}x)  {verdict}",
             p.preset, p.indexed_preprocess_ms, p.preprocess_ms
+        );
+    }
+    // In-run lazy gate: deterministic counters from this process, no
+    // baseline involved. `eager_entries == 0` means the corridor stopped
+    // resolving to a lazy view at all — that is itself a regression (the
+    // auto-mode heuristic or the instance drifted).
+    {
+        let (materialized, eager_entries) = corridor_gate;
+        let frac = materialized as f64 / (eager_entries as f64).max(1.0);
+        let verdict = if eager_entries == 0 || frac > MAX_LAZY_MATERIALIZED_FRAC {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<16} lazy view materialized {materialized} of {eager_entries} directed \
+             entries  ({:.2}%, gate {:.0}%)  {verdict}",
+            "geo-corridor",
+            frac * 100.0,
+            MAX_LAZY_MATERIALIZED_FRAC * 100.0
         );
     }
     for p in &points {
@@ -453,8 +629,11 @@ fn main() {
     }
     if failed {
         eprintln!(
-            "bench-smoke gate failed: enumeration wall time regressed > {max_pct}% \
-             or oracle evals regressed > {MAX_ORACLE_EVALS_REGRESSION_PCT}%"
+            "bench-smoke gate failed: wall time regressed > {max_pct}%, oracle evals \
+             regressed > {MAX_ORACLE_EVALS_REGRESSION_PCT}%, the index miss path lost \
+             its speedup, or the lazy view materialized > {:.0}% of the corridor \
+             complement",
+            MAX_LAZY_MATERIALIZED_FRAC * 100.0
         );
         std::process::exit(1);
     }

@@ -16,7 +16,8 @@
 
 use kr_graph::{Csr, Graph, VertexId};
 use kr_similarity::{
-    build_dissimilarity_lists, build_dissimilarity_lists_on, DissimilarityLists, SimilarityOracle,
+    build_dissimilarity_view, build_dissimilarity_view_on, DissimMode, DissimilarityLists,
+    DissimilarityView, SimilarityOracle,
 };
 
 /// A renumbered connected component of the preprocessed k-core.
@@ -24,8 +25,11 @@ use kr_similarity::{
 pub struct LocalComponent {
     /// Adjacency (local ids), sorted per vertex, CSR-flattened.
     adj: Csr,
-    /// Dissimilar partners (local ids), sorted per vertex, CSR-flattened.
-    dis: Csr,
+    /// Dissimilar partners (local ids): an eager CSR for small or
+    /// similarity-heavy components (byte-identical to the pre-view
+    /// layout), a lazy complement-of-similarity view for large
+    /// dissimilarity-heavy ones (rows memoized on first slice access).
+    dis: DissimilarityView,
     /// Total number of dissimilar unordered pairs.
     pub num_dissimilar_pairs: usize,
     /// Metric evaluations the dissimilarity build spent. The candidate
@@ -42,17 +46,19 @@ pub struct LocalComponent {
 impl LocalComponent {
     /// Builds the arena for `members` (global ids) of `graph`. The
     /// adjacency CSR is laid out in one pass (rows fill in local-id
-    /// order); the dissimilarity CSR comes straight from
-    /// [`build_dissimilarity_lists`], which verifies only the pairs the
-    /// oracle's candidate index produces.
+    /// order); the dissimilarity view comes straight from
+    /// [`build_dissimilarity_view`], which verifies only the pairs the
+    /// oracle's candidate index produces and picks the eager or lazy
+    /// representation per `mode`.
     pub fn build<O: SimilarityOracle>(
         graph: &Graph,
         oracle: &O,
         members: &[VertexId],
         k: u32,
+        mode: DissimMode,
     ) -> Self {
         Self::build_impl(graph, members, k, |locals| {
-            build_dissimilarity_lists(oracle, locals)
+            build_dissimilarity_view(oracle, locals, mode)
         })
     }
 
@@ -64,10 +70,11 @@ impl LocalComponent {
         oracle: &O,
         members: &[VertexId],
         k: u32,
+        mode: DissimMode,
         pool: &rayon::ThreadPool,
     ) -> Self {
         Self::build_impl(graph, members, k, |locals| {
-            build_dissimilarity_lists_on(oracle, locals, pool)
+            build_dissimilarity_view_on(oracle, locals, pool, mode)
         })
     }
 
@@ -75,7 +82,7 @@ impl LocalComponent {
         graph: &Graph,
         members: &[VertexId],
         k: u32,
-        dissim: impl FnOnce(&[VertexId]) -> DissimilarityLists,
+        dissim: impl FnOnce(&[VertexId]) -> DissimilarityView,
     ) -> Self {
         let mut local_to_global = members.to_vec();
         local_to_global.sort_unstable();
@@ -99,9 +106,9 @@ impl LocalComponent {
         let d = dissim(&local_to_global);
         LocalComponent {
             adj,
-            dis: d.csr,
-            num_dissimilar_pairs: d.num_pairs,
-            oracle_evals: d.oracle_evals,
+            num_dissimilar_pairs: d.num_pairs(),
+            oracle_evals: d.oracle_evals(),
+            dis: d,
             local_to_global,
             k,
         }
@@ -138,7 +145,11 @@ impl LocalComponent {
         let num_dissimilar_pairs = dis.total_targets() / 2;
         LocalComponent {
             adj,
-            dis,
+            dis: DissimilarityView::Eager(DissimilarityLists {
+                csr: dis,
+                num_pairs: num_dissimilar_pairs,
+                oracle_evals: 0,
+            }),
             num_dissimilar_pairs,
             oracle_evals: 0,
             local_to_global: (0..n as VertexId).collect(),
@@ -165,11 +176,41 @@ impl LocalComponent {
         self.adj.row(u)
     }
 
-    /// Sorted dissimilar partners of local vertex `u` — a contiguous
-    /// slice of the dissimilarity arena.
+    /// Sorted dissimilar partners of local vertex `u` as a contiguous
+    /// slice. On a lazy component this materializes and memoizes the
+    /// row on first access — search paths that only need to *visit* the
+    /// partners use [`LocalComponent::for_each_dissimilar`] instead, so
+    /// rows materialize only for vertices the search branches on.
     #[inline]
     pub fn dissimilar(&self, u: VertexId) -> &[VertexId] {
         self.dis.row(u)
+    }
+
+    /// Visits the dissimilar partners of local vertex `u` in ascending
+    /// order without materializing anything: the eager slice (or an
+    /// already-memoized lazy row) when one exists, a streamed
+    /// complement of the similarity row otherwise. The visit sequence
+    /// is identical in both representations.
+    ///
+    #[inline(always)]
+    pub fn for_each_dissimilar(&self, u: VertexId, f: impl FnMut(VertexId)) {
+        self.dis.for_each(u, f)
+    }
+
+    /// The dissimilar row of local vertex `u` when it is resident —
+    /// always on eager components, memoized rows only on lazy ones.
+    /// Never materializes. See [`DissimilarityView::resident_row`].
+    #[inline]
+    pub fn dissimilar_resident(&self, u: VertexId) -> Option<&[VertexId]> {
+        self.dis.resident_row(u)
+    }
+
+    /// True iff any dissimilar partner of local vertex `u` satisfies
+    /// `pred`. Short-circuits at the first hit and never materializes —
+    /// the hot maximality checks must not pay for full-row visits.
+    #[inline]
+    pub fn any_dissimilar_where(&self, u: VertexId, pred: impl FnMut(VertexId) -> bool) -> bool {
+        self.dis.any_where(u, pred)
     }
 
     /// Degree of local vertex `u`.
@@ -178,10 +219,11 @@ impl LocalComponent {
         self.adj.row_len(u)
     }
 
-    /// Number of dissimilar partners of local vertex `u`.
+    /// Number of dissimilar partners of local vertex `u` (`O(1)` in
+    /// both representations).
     #[inline]
     pub fn dissimilar_count(&self, u: VertexId) -> usize {
-        self.dis.row_len(u)
+        self.dis.count(u)
     }
 
     /// The adjacency CSR (offsets + arena).
@@ -189,9 +231,14 @@ impl LocalComponent {
         &self.adj
     }
 
-    /// The dissimilarity CSR (offsets + arena).
-    pub fn dis_csr(&self) -> &Csr {
+    /// The dissimilarity view (eager CSR or lazy complement).
+    pub fn dissimilarity(&self) -> &DissimilarityView {
         &self.dis
+    }
+
+    /// True when the dissimilarity side is the lazy representation.
+    pub fn is_dissimilarity_lazy(&self) -> bool {
+        self.dis.is_lazy()
     }
 
     /// Number of edges.
@@ -213,13 +260,14 @@ impl LocalComponent {
     /// Whether local vertices `u` and `v` are dissimilar.
     #[inline]
     pub fn are_dissimilar(&self, u: VertexId, v: VertexId) -> bool {
-        self.dis.contains(u, v)
+        self.dis.are_dissimilar(u, v)
     }
 
     /// Flat memory footprint in bytes: the struct itself plus the heap
-    /// behind the two CSR arenas and the id map. Exact, because the CSR
-    /// layout has no per-vertex allocations — this is what the serving
-    /// layer's cache accounting reports.
+    /// behind the adjacency CSR, the dissimilarity view, and the id
+    /// map. For lazy components this grows as rows are materialized,
+    /// so the serving layer's cache accounting re-samples it when it
+    /// reports `resident_bytes`.
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.adj.heap_bytes()
@@ -261,7 +309,7 @@ mod tests {
             Metric::Euclidean,
             Threshold::MaxDistance(2.0),
         );
-        let c = LocalComponent::build(&g, &oracle, &[2, 5, 7], 1);
+        let c = LocalComponent::build(&g, &oracle, &[2, 5, 7], 1, DissimMode::Auto);
         assert_eq!(c.len(), 3);
         assert_eq!(c.local_to_global, vec![2, 5, 7]);
         // Local: 0=g2, 1=g5, 2=g7. Edges 0-1, 1-2.
@@ -288,7 +336,7 @@ mod tests {
             Metric::Euclidean,
             Threshold::MaxDistance(1.0),
         );
-        let c = LocalComponent::build(&g, &oracle, &[1, 3, 5], 1);
+        let c = LocalComponent::build(&g, &oracle, &[1, 3, 5], 1, DissimMode::Auto);
         assert_eq!(c.globalize(&[2, 0]), vec![1, 5]);
     }
 

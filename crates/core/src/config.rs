@@ -141,6 +141,29 @@ pub enum CheckOrder {
     LambdaDelta,
 }
 
+/// Re-splitting policy for the work-stealing engine
+/// ([`crate::parallel`]). The initial top-`d` frontier split can starve
+/// workers on skewed search trees: one giant subtree keeps a single
+/// worker busy while the rest idle. Re-splitting lets a *running*
+/// subtask donate the remaining (not yet explored) sibling branches of
+/// its current DFS path as fresh subtasks when the pool runs dry.
+/// Results stay vertex-set-identical to the sequential engine under
+/// every policy — donated subtrees keep their DFS merge position and
+/// their start incumbent is DFS-prefix knowledge only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Resplit {
+    /// Never re-split (the pre-resplit engine: initial frontier only).
+    Off,
+    /// Donate only when the pool is starving (fewer live subtasks than
+    /// workers). The default.
+    #[default]
+    Adaptive,
+    /// Donate one pending sibling at every search node regardless of
+    /// pool load. For tests: makes `SearchStats::resplits` deterministic
+    /// on instances deep enough to have pending siblings.
+    Forced,
+}
+
 /// Size upper bound used by the maximum algorithm (Section 6.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BoundKind {
@@ -200,6 +223,9 @@ pub struct AlgoConfig {
     /// [`crate::parallel`] for why that holds even for the maximum
     /// search's tie-breaking).
     pub threads: usize,
+    /// Adaptive re-splitting policy for parallel runs (ignored by the
+    /// sequential engine). See [`Resplit`].
+    pub resplit: Resplit,
     /// Streaming callback for enumeration: called once per confirmed
     /// maximal core as it is discovered (see [`CoreHook`] for when the
     /// engine honors it). `None` (default) buffers results as usual.
@@ -235,6 +261,7 @@ impl AlgoConfig {
             time_limit_ms: None,
             parallel_components: false,
             threads: 1,
+            resplit: Resplit::default(),
             on_core: None,
             cancel: None,
         }
@@ -307,6 +334,7 @@ impl AlgoConfig {
             time_limit_ms: None,
             parallel_components: false,
             threads: 1,
+            resplit: Resplit::default(),
             on_core: None,
             cancel: None,
         }
@@ -414,6 +442,12 @@ impl AlgoConfig {
     /// Builder-style override of the cancellation token.
     pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
         self.cancel = Some(flag);
+        self
+    }
+
+    /// Builder-style override of the re-splitting policy.
+    pub fn with_resplit(mut self, resplit: Resplit) -> Self {
+        self.resplit = resplit;
         self
     }
 }

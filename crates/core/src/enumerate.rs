@@ -169,6 +169,8 @@ pub(crate) fn merge_stats(into: &mut SearchStats, from: SearchStats) {
     into.early_terminations += from.early_terminations;
     into.bound_prunes += from.bound_prunes;
     into.maximal_checks += from.maximal_checks;
+    into.resplits += from.resplits;
+    into.resplit_subtasks += from.resplit_subtasks;
 }
 
 /// Per-component enumeration driver. `pub(crate)` so the parallel engine
@@ -190,6 +192,16 @@ pub(crate) struct Driver<'a> {
     /// runs. Parallel task drivers leave it off — cross-task duplicates
     /// are only resolved in the merge phase, which streams instead.
     stream: Option<crate::config::CoreHook>,
+    /// Re-split host, armed by [`Self::with_host`] on parallel task
+    /// drivers: when the pool starves, pending sibling branches of the
+    /// current DFS path are donated as fresh subtasks.
+    host: Option<&'a dyn crate::parallel::DonationHost>,
+    /// Decision path from the component root to the current node
+    /// (prefix decisions included for task drivers).
+    path: Vec<Decision>,
+    /// One entry per ancestor whose second branch is still pending —
+    /// the frontier a re-split donates from.
+    slots: Vec<crate::parallel::DonationSlot>,
 }
 
 impl<'a> Driver<'a> {
@@ -208,7 +220,18 @@ impl<'a> Driver<'a> {
             deadline,
             checked: std::collections::HashSet::new(),
             stream: None,
+            host: None,
+            path: Vec::new(),
+            slots: Vec::new(),
         }
+    }
+
+    /// Arms re-splitting on this (parallel task) driver: `host` is polled
+    /// at node entry and pending sibling branches of the DFS path are
+    /// donated as fresh subtasks when the pool runs dry.
+    pub(crate) fn with_host(mut self, host: &'a dyn crate::parallel::DonationHost) -> Self {
+        self.host = Some(host);
+        self
     }
 
     /// Arms the [`AlgoConfig::on_core`] hook on this driver. Only honored
@@ -325,14 +348,22 @@ impl<'a> Driver<'a> {
         if !st.prune_root() {
             return;
         }
-        for &(u, expand) in prefix {
+        for (i, &(u, expand)) in prefix.iter().enumerate() {
             if self.cfg.retain_candidates {
                 promote_free_candidates(&mut st);
             }
             let ok = if expand { st.expand(u) } else { st.shrink(u) };
-            debug_assert!(ok, "prefix replay cannot fail");
+            if !ok {
+                // Only the *final* decision of a donated prefix may fail:
+                // it is the one branch the donor never attempted itself,
+                // and an infeasible sibling is an empty subtree.
+                debug_assert_eq!(i + 1, prefix.len(), "prefix replay failed early");
+                return;
+            }
         }
+        self.path = prefix.to_vec();
         self.advanced_rec(&mut st);
+        self.path.clear();
     }
 
     fn budget_exceeded(&mut self) -> bool {
@@ -410,7 +441,7 @@ impl<'a> Driver<'a> {
         }
         // DP(M) = 0.
         for &u in &m_members {
-            if self.comp.dissimilar(u).iter().any(|&w| in_m[w as usize]) {
+            if self.comp.any_dissimilar_where(u, |w| in_m[w as usize]) {
                 return;
             }
         }
@@ -425,6 +456,7 @@ impl<'a> Driver<'a> {
         if self.budget_exceeded() {
             return;
         }
+        crate::parallel::maybe_donate(self.host, &self.path, &mut self.slots, 0, &mut self.stats);
         if self.cfg.retain_candidates {
             promote_free_candidates(st);
         }
@@ -446,15 +478,41 @@ impl<'a> Driver<'a> {
         let Some((u, _)) = self.chooser.choose(st, include_sf) else {
             return;
         };
+        // Task drivers track the DFS path and the pending second branch
+        // of every ancestor — the frontier `maybe_donate` splits from. A
+        // donated sibling is skipped inline on unwind; sequential runs
+        // (no host) skip the bookkeeping entirely.
+        let track = self.host.is_some();
         let m = st.mark();
+        let mut donated = None;
         if st.expand(u) {
+            if track {
+                self.slots.push(crate::parallel::DonationSlot {
+                    depth: self.path.len(),
+                    sibling: (u, false),
+                    donated: None,
+                });
+                self.path.push((u, true));
+            }
             self.advanced_rec(st);
+            if track {
+                self.path.pop();
+                donated = self.slots.pop().expect("slot pushed above").donated;
+            }
         }
         st.rollback(m);
-        if st.shrink(u) {
-            self.advanced_rec(st);
+        if donated.is_none() {
+            if st.shrink(u) {
+                if track {
+                    self.path.push((u, false));
+                }
+                self.advanced_rec(st);
+                if track {
+                    self.path.pop();
+                }
+            }
+            st.rollback(m);
         }
-        st.rollback(m);
     }
 
     /// Emits the connected pieces of the leaf `M ∪ C` (Theorem 4 leaves are

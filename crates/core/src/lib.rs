@@ -41,7 +41,7 @@ pub mod verify;
 pub use cliquebased::{clique_based_maximal, clique_based_maximal_budgeted};
 pub use component::LocalComponent;
 pub use config::{
-    AlgoConfig, BoundKind, BranchPolicy, CancelFlag, CheckOrder, CoreHook, SearchOrder,
+    AlgoConfig, BoundKind, BranchPolicy, CancelFlag, CheckOrder, CoreHook, Resplit, SearchOrder,
 };
 pub use decomp::{
     build_index_for, read_indexed_snapshot_bytes, read_indexed_snapshot_file,

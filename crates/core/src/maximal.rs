@@ -49,7 +49,7 @@ pub fn check_maximal_with_order(
         .iter()
         .copied()
         .filter(|&x| !in_m[x as usize])
-        .filter(|&x| comp.dissimilar(x).iter().all(|&w| !in_m[w as usize]))
+        .filter(|&x| !comp.any_dissimilar_where(x, |w| in_m[w as usize]))
         .collect();
     if cand.is_empty() {
         return true;
@@ -173,20 +173,25 @@ fn extend_search(
     // against the full M ∪ C.
     let any_dissimilar = cand
         .iter()
-        .any(|&c| comp.dissimilar(c).iter().any(|&w| in_c[w as usize]));
+        .any(|&c| comp.any_dissimilar_where(c, |w| in_c[w as usize]));
     if !any_dissimilar {
         return true;
     }
+    // Full counts (not just existence) — only the non-default orders pay
+    // for them.
+    let dis_of = |c: VertexId| {
+        let mut d = 0usize;
+        comp.for_each_dissimilar(c, |w| {
+            if in_c[w as usize] {
+                d += 1;
+            }
+        });
+        d
+    };
     let deg_of = |c: VertexId| {
         comp.neighbors(c)
             .iter()
             .filter(|&&w| in_m[w as usize] || in_c[w as usize])
-            .count()
-    };
-    let dis_of = |c: VertexId| {
-        comp.dissimilar(c)
-            .iter()
-            .filter(|&&w| in_c[w as usize])
             .count()
     };
     let u = match order {

@@ -114,11 +114,7 @@ fn find_maximum_sequential(comps: &[LocalComponent], cfg: &AlgoConfig) -> MaxRes
 }
 
 fn merge(into: &mut SearchStats, from: SearchStats) {
-    into.nodes += from.nodes;
-    into.leaves += from.leaves;
-    into.early_terminations += from.early_terminations;
-    into.bound_prunes += from.bound_prunes;
-    into.maximal_checks += from.maximal_checks;
+    crate::enumerate::merge_stats(into, from)
 }
 
 /// One DFS-ordered event produced by the maximum search's frontier
@@ -165,6 +161,18 @@ pub(crate) struct MaxDriver<'a> {
     /// pruning `ub == global` there could cut the tie-breaking core the
     /// sequential run would have returned.
     global: Option<&'a AtomicUsize>,
+    /// Re-split host, armed by [`Self::with_host`] on parallel task
+    /// drivers (see [`crate::parallel::DonationHost`]).
+    host: Option<&'a dyn crate::parallel::DonationHost>,
+    /// Decision path from the component root to the current node
+    /// (prefix decisions included for task drivers).
+    path: Vec<Decision>,
+    /// One entry per ancestor whose second branch is still pending —
+    /// the frontier a re-split donates from.
+    slots: Vec<crate::parallel::DonationSlot>,
+    /// DFS-ordered merge events (improving finds and donated-child
+    /// markers), recorded only when a host is armed.
+    pub(crate) events: Vec<crate::parallel::MergeEvent>,
 }
 
 impl<'a> MaxDriver<'a> {
@@ -185,7 +193,20 @@ impl<'a> MaxDriver<'a> {
             best_len,
             deadline,
             global,
+            host: None,
+            path: Vec::new(),
+            slots: Vec::new(),
+            events: Vec::new(),
         }
+    }
+
+    /// Arms re-splitting on this (parallel task) driver: `host` is polled
+    /// at node entry and pending sibling branches of the DFS path are
+    /// donated as fresh subtasks when the pool runs dry. Also switches
+    /// the driver to recording DFS-ordered [`crate::parallel::MergeEvent`]s.
+    pub(crate) fn with_host(mut self, host: &'a dyn crate::parallel::DonationHost) -> Self {
+        self.host = Some(host);
+        self
     }
 
     fn budget_exceeded(&mut self) -> bool {
@@ -221,6 +242,13 @@ impl<'a> MaxDriver<'a> {
         if self.budget_exceeded() {
             return;
         }
+        crate::parallel::maybe_donate(
+            self.host,
+            &self.path,
+            &mut self.slots,
+            self.best_len,
+            &mut self.stats,
+        );
         if self.cfg.retain_candidates {
             promote_free_candidates(st);
         }
@@ -252,25 +280,54 @@ impl<'a> MaxDriver<'a> {
             BranchPolicy::AlwaysShrink => FirstBranch::Shrink,
             BranchPolicy::Adaptive => preferred,
         };
+        // Task drivers track the DFS path and the pending second branch
+        // of every ancestor (the re-split frontier); a donated sibling is
+        // skipped inline and marked with a `Child` event so the merge can
+        // splice the donated task's finds in at exactly this DFS point.
+        let track = self.host.is_some();
+        let branches = match first {
+            FirstBranch::Expand => [true, false],
+            FirstBranch::Shrink => [false, true],
+        };
         let m = st.mark();
-        match first {
-            FirstBranch::Expand => {
-                if st.expand(u) {
-                    self.rec(st);
-                }
-                st.rollback(m);
-                if st.shrink(u) {
-                    self.rec(st);
-                }
-                st.rollback(m);
+        let mut donated = None;
+        let ok = if branches[0] {
+            st.expand(u)
+        } else {
+            st.shrink(u)
+        };
+        if ok {
+            if track {
+                self.slots.push(crate::parallel::DonationSlot {
+                    depth: self.path.len(),
+                    sibling: (u, branches[1]),
+                    donated: None,
+                });
+                self.path.push((u, branches[0]));
             }
-            FirstBranch::Shrink => {
-                if st.shrink(u) {
+            self.rec(st);
+            if track {
+                self.path.pop();
+                donated = self.slots.pop().expect("slot pushed above").donated;
+            }
+        }
+        st.rollback(m);
+        match donated {
+            Some(tid) => self.events.push(crate::parallel::MergeEvent::Child(tid)),
+            None => {
+                let ok = if branches[1] {
+                    st.expand(u)
+                } else {
+                    st.shrink(u)
+                };
+                if ok {
+                    if track {
+                        self.path.push((u, branches[1]));
+                    }
                     self.rec(st);
-                }
-                st.rollback(m);
-                if st.expand(u) {
-                    self.rec(st);
+                    if track {
+                        self.path.pop();
+                    }
                 }
                 st.rollback(m);
             }
@@ -283,6 +340,12 @@ impl<'a> MaxDriver<'a> {
         for piece in st.mc_components() {
             if piece.len() > self.best_len && piece.len() > self.comp.k as usize {
                 self.best_len = piece.len();
+                if self.host.is_some() {
+                    self.events.push(crate::parallel::MergeEvent::Found {
+                        size: piece.len(),
+                        piece: piece.clone(),
+                    });
+                }
                 self.best_local = piece;
                 if let Some(g) = self.global {
                     // `fetch_max` returns the previous value; a smaller
@@ -391,14 +454,22 @@ impl<'a> MaxDriver<'a> {
         if !st.prune_root() {
             return;
         }
-        for &(u, expand) in prefix {
+        for (i, &(u, expand)) in prefix.iter().enumerate() {
             if self.cfg.retain_candidates {
                 promote_free_candidates(&mut st);
             }
             let ok = if expand { st.expand(u) } else { st.shrink(u) };
-            debug_assert!(ok, "prefix replay cannot fail");
+            if !ok {
+                // Only the *final* decision of a donated prefix may fail:
+                // it is the one branch the donor never attempted itself,
+                // and an infeasible sibling is an empty subtree.
+                debug_assert_eq!(i + 1, prefix.len(), "prefix replay failed early");
+                return;
+            }
         }
+        self.path = prefix.to_vec();
         self.rec(&mut st);
+        self.path.clear();
     }
 }
 

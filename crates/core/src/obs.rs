@@ -14,6 +14,11 @@
 //! * `engine.incumbent_updates` — successful advances of the shared
 //!   atomic incumbent during parallel maximum search (how often workers
 //!   publish a new best size to each other).
+//! * `engine.resplits` — re-split events: a running subtask noticed the
+//!   pool was starving and donated part of its remaining frontier
+//!   (see [`crate::config::Resplit`]).
+//! * `engine.resplit_subtasks` — subtasks created by re-splitting, on
+//!   top of `engine.subtasks_split`'s initial frontier split.
 
 use std::sync::{Arc, OnceLock};
 
@@ -22,6 +27,8 @@ pub(crate) struct EngineObs {
     pub pool_tasks: Arc<kr_obs::Counter>,
     pub pool_tasks_stolen: Arc<kr_obs::Counter>,
     pub incumbent_updates: Arc<kr_obs::Counter>,
+    pub resplits: Arc<kr_obs::Counter>,
+    pub resplit_subtasks: Arc<kr_obs::Counter>,
 }
 
 pub(crate) fn engine_obs() -> &'static EngineObs {
@@ -33,6 +40,8 @@ pub(crate) fn engine_obs() -> &'static EngineObs {
             pool_tasks: reg.counter("engine.pool_tasks"),
             pool_tasks_stolen: reg.counter("engine.pool_tasks_stolen"),
             incumbent_updates: reg.counter("engine.incumbent_updates"),
+            resplits: reg.counter("engine.resplits"),
+            resplit_subtasks: reg.counter("engine.resplit_subtasks"),
         }
     })
 }

@@ -160,14 +160,14 @@ impl Chooser {
     pub fn estimate(&mut self, st: &SearchState<'_>, v: VertexId) -> VertexEstimate {
         let dp_total = st.dp_c_total().max(1) as f64;
         let edges_total = st.edges_mc().max(1) as f64;
-        // Expand: first-hop removals are the candidates dissimilar to v.
-        let first_expand: Vec<VertexId> = st
-            .comp
-            .dissimilar(v)
-            .iter()
-            .copied()
-            .filter(|&w| st.status(w) == Status::Cand)
-            .collect();
+        // Expand: first-hop removals are the candidates dissimilar to v
+        // (streamed — ordering heuristics never materialize lazy rows).
+        let mut first_expand: Vec<VertexId> = Vec::new();
+        st.comp.for_each_dissimilar(v, |w| {
+            if st.status(w) == Status::Cand {
+                first_expand.push(w);
+            }
+        });
         let (dp_e, ed_e) = self.two_hop(st, &first_expand, None);
         // Shrink: the first-hop removal is v itself.
         let (dp_s, ed_s) = self.two_hop(st, &[v], None);
@@ -206,11 +206,11 @@ impl Chooser {
             dp_removed += st.dp_c(d) as i64;
             edges_removed += st.deg_mc(d) as i64;
             // Pairs/edges fully inside the removed set are counted twice.
-            for &w in st.comp.dissimilar(d) {
+            st.comp.for_each_dissimilar(d, |w| {
                 if self.stamp[w as usize] == gen && w > d && st.status(w) == Status::Cand {
                     dp_removed -= 1;
                 }
-            }
+            });
             for &w in st.comp.neighbors(d) {
                 if self.stamp[w as usize] == gen && w > d {
                     edges_removed -= 1;

@@ -18,6 +18,33 @@
 //!    balances the wildly uneven subtree sizes.
 //! 3. **Merge**: subtask results are combined in deterministic DFS order.
 //!
+//! ### Adaptive re-splitting
+//!
+//! A static top-`d` split can strand the pool: one subtask may own almost
+//! the whole tree (skewed instances), leaving every other worker idle
+//! while it grinds alone. Under [`Resplit::Adaptive`] (the default) a
+//! running task driver polls a `DonationHost` at node entry; when the
+//! pool reports starvation (live tasks < workers) the driver *donates*
+//! the shallowest not-yet-taken sibling branches of its current DFS path
+//! as fresh subtasks — shallowest first, since those subtrees are the
+//! largest — and skips them inline on unwind. A donated prefix replays
+//! exactly like an initial one (same node-entry promotions), except that
+//! its **final** decision is allowed to fail structurally: it is the one
+//! branch the donor never attempted itself, and an infeasible sibling is
+//! simply an empty subtree.
+//!
+//! Re-splitting preserves the equivalence argument below. Enumeration
+//! merges by sink union, which is traversal-independent. Maximum search
+//! tasks record DFS-ordered `MergeEvent`s — improving finds plus a
+//! `Child` marker where each sibling was donated — and the merge folds a
+//! task's events recursively, splicing a donated child in at its marker:
+//! the fold visits finds in exactly the sequential DFS order, so the
+//! carried incumbent selects the identical winner. A donated task starts
+//! from the donor's incumbent *at donation time* — a DFS-prefix subset of
+//! what the sequential run would know there, so it can only under-prune
+//! (never skip the true winner); the fold's carried incumbent discards
+//! any extra sub-incumbent finds that weaker pruning lets through.
+//!
 //! ### Result equivalence with the sequential engine
 //!
 //! *Enumeration* emits a set of cores that is a function of the problem
@@ -49,13 +76,14 @@
 //! [`SearchOrder::Random`]: crate::config::SearchOrder::Random
 
 use crate::component::LocalComponent;
-use crate::config::AlgoConfig;
+use crate::config::{AlgoConfig, Resplit};
 use crate::enumerate::{merge_stats, Driver, EnumResult};
 use crate::maximum::{MaxDriver, MaxEvent, MaxResult};
 use crate::problem::ProblemInstance;
 use crate::result::{CoreSink, KrCore};
 use crate::search::{Decision, SearchStats};
-use std::sync::atomic::AtomicUsize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Resolves the config knob: `0` = all available cores.
@@ -121,6 +149,136 @@ where
         .collect()
 }
 
+/// A pending second branch on a running task driver's DFS path: the
+/// donation currency of re-splitting.
+pub(crate) struct DonationSlot {
+    /// Length of the driver's decision path at the branch node (the
+    /// sibling's prefix is `path[..depth]` plus `sibling`).
+    pub(crate) depth: usize,
+    /// The branch the driver has not yet taken at that node.
+    pub(crate) sibling: Decision,
+    /// Task id the sibling was donated as, if any; the driver then skips
+    /// the branch inline on unwind (maximum search records a
+    /// [`MergeEvent::Child`] marker there instead).
+    pub(crate) donated: Option<u64>,
+}
+
+/// Surface through which a running task driver re-splits (implemented per
+/// engine so donated tasks can be spawned onto the live scope).
+pub(crate) trait DonationHost {
+    /// How many fresh subtasks the pool could absorb right now. Zero
+    /// means the pool is busy and donation would only add replay
+    /// overhead.
+    fn wanted(&self) -> usize;
+    /// Spawns `prefix` as a fresh subtask and returns its task id.
+    /// `start_incumbent` is the donor's best size at donation time
+    /// (ignored by enumeration).
+    fn donate(&self, prefix: Vec<Decision>, start_incumbent: usize) -> u64;
+}
+
+/// Starvation signal and task-id allocator shared by every task of one
+/// parallel query (initial and donated alike).
+pub(crate) struct ResplitShared {
+    /// Tasks spawned and not yet finished.
+    live: AtomicUsize,
+    workers: usize,
+    /// Next task id; initial tasks own `0..initial`, donations allocate
+    /// from `initial` upward.
+    next_tid: AtomicUsize,
+    mode: Resplit,
+}
+
+impl ResplitShared {
+    fn new(initial_tasks: usize, workers: usize, mode: Resplit) -> Self {
+        ResplitShared {
+            live: AtomicUsize::new(0),
+            workers,
+            next_tid: AtomicUsize::new(initial_tasks),
+            mode,
+        }
+    }
+
+    fn task_spawned(&self) {
+        self.live.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn task_finished(&self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn wanted(&self) -> usize {
+        match self.mode {
+            Resplit::Off => 0,
+            Resplit::Forced => 1,
+            // Fewer live tasks than workers ⇒ at least that many workers
+            // have nothing left to steal.
+            Resplit::Adaptive => self
+                .workers
+                .saturating_sub(self.live.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn next_tid(&self) -> u64 {
+        self.next_tid.fetch_add(1, Ordering::Relaxed) as u64
+    }
+}
+
+/// Node-entry re-split check shared by both task drivers: donate the
+/// shallowest pending siblings of the current DFS path while the host
+/// still wants tasks. Shallowest first — those subtrees are the largest,
+/// so one donation feeds an idle worker for longest.
+pub(crate) fn maybe_donate(
+    host: Option<&dyn DonationHost>,
+    path: &[Decision],
+    slots: &mut [DonationSlot],
+    start_incumbent: usize,
+    stats: &mut SearchStats,
+) {
+    let Some(host) = host else { return };
+    let mut want = host.wanted();
+    if want == 0 {
+        return;
+    }
+    let mut donated = 0u64;
+    for slot in slots.iter_mut() {
+        if want == 0 {
+            break;
+        }
+        if slot.donated.is_some() {
+            continue;
+        }
+        let mut prefix = path[..slot.depth].to_vec();
+        prefix.push(slot.sibling);
+        slot.donated = Some(host.donate(prefix, start_incumbent));
+        donated += 1;
+        want -= 1;
+    }
+    if donated > 0 {
+        stats.resplits += 1;
+        stats.resplit_subtasks += donated;
+        let obs = crate::obs::engine_obs();
+        obs.resplits.inc();
+        obs.resplit_subtasks.add(donated);
+    }
+}
+
+/// One DFS-ordered event recorded by a parallel maximum-search task
+/// driver, folded by the merge phase (see the module docs).
+#[derive(Debug, Clone)]
+pub(crate) enum MergeEvent {
+    /// A leaf piece that improved the task's local incumbent.
+    Found {
+        /// Size of the piece.
+        size: usize,
+        /// Members (component-local ids).
+        piece: Vec<kr_graph::VertexId>,
+    },
+    /// Point where a pending sibling branch was donated as the named
+    /// task; the child task's events splice in here — exactly where the
+    /// donor would have walked that subtree.
+    Child(u64),
+}
+
 fn deadline_of(cfg: &AlgoConfig) -> Option<std::time::Instant> {
     cfg.time_limit_ms
         .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms))
@@ -146,6 +304,60 @@ pub(crate) fn enumerate_parallel_prepared(
     enumerate_on(comps, cfg, &pool)
 }
 
+/// Everything an enumeration subtask needs, bundled copyably so donated
+/// tasks can be spawned recursively from inside a running one.
+#[derive(Clone, Copy)]
+struct EnumCtx<'env> {
+    comps: &'env [LocalComponent],
+    cfg: &'env AlgoConfig,
+    deadline: Option<std::time::Instant>,
+    shared: &'env ResplitShared,
+    results: &'env Mutex<Vec<(CoreSink, SearchStats, bool)>>,
+    spawner: std::thread::ThreadId,
+}
+
+/// Spawns one enumeration subtask (initial or donated) onto the scope.
+fn spawn_enum_task<'scope, 'env: 'scope>(
+    s: &rayon::Scope<'scope>,
+    ctx: EnumCtx<'env>,
+    ci: usize,
+    prefix: Vec<Decision>,
+) {
+    ctx.shared.task_spawned();
+    crate::obs::engine_obs().pool_tasks.inc();
+    s.spawn(move |s| {
+        if std::thread::current().id() != ctx.spawner {
+            crate::obs::engine_obs().pool_tasks_stolen.inc();
+        }
+        let host = EnumHost { s, ctx, ci };
+        let mut driver = Driver::new(&ctx.comps[ci], ctx.cfg, ctx.deadline).with_host(&host);
+        driver.run_prefix(&prefix);
+        ctx.results
+            .lock()
+            .expect("results lock")
+            .push((driver.sink, driver.stats, driver.aborted));
+        ctx.shared.task_finished();
+    });
+}
+
+struct EnumHost<'a, 'scope, 'env> {
+    s: &'a rayon::Scope<'scope>,
+    ctx: EnumCtx<'env>,
+    ci: usize,
+}
+
+impl<'a, 'scope, 'env: 'scope> DonationHost for EnumHost<'a, 'scope, 'env> {
+    fn wanted(&self) -> usize {
+        self.ctx.shared.wanted()
+    }
+
+    fn donate(&self, prefix: Vec<Decision>, _start_incumbent: usize) -> u64 {
+        let tid = self.ctx.shared.next_tid();
+        spawn_enum_task(self.s, self.ctx, self.ci, prefix);
+        tid
+    }
+}
+
 pub(crate) fn enumerate_on(
     comps: &[LocalComponent],
     cfg: &AlgoConfig,
@@ -169,15 +381,32 @@ pub(crate) fn enumerate_on(
         generators.push(driver);
     }
 
-    // Phase 2: run subtasks on the query's pool.
+    // Phase 2: run subtasks on the query's pool. A running task that
+    // sees the pool starving re-splits (per `cfg.resplit`): pending
+    // sibling branches of its DFS path are spawned onto the same scope
+    // as fresh tasks. The sink union below is traversal-independent, so
+    // donated results merge exactly like initial ones.
     crate::obs::engine_obs()
         .subtasks_split
         .add(tasks.len() as u64);
-    let task_results = ordered_pool_map(pool, &tasks, |(ci, prefix)| {
-        let mut driver = Driver::new(&comps[*ci], cfg, deadline);
-        driver.run_prefix(prefix);
-        (driver.sink, driver.stats, driver.aborted)
-    });
+    let shared = ResplitShared::new(tasks.len(), threads, cfg.resplit);
+    let results: Mutex<Vec<(CoreSink, SearchStats, bool)>> = Mutex::new(Vec::new());
+    {
+        let ctx = EnumCtx {
+            comps,
+            cfg,
+            deadline,
+            shared: &shared,
+            results: &results,
+            spawner: std::thread::current().id(),
+        };
+        pool.scope(|s| {
+            for (ci, prefix) in &tasks {
+                spawn_enum_task(s, ctx, *ci, prefix.clone());
+            }
+        });
+    }
+    let task_results = results.into_inner().expect("results lock");
 
     // Phase 3: merge. Cross-task duplicates are possible (the same leaf
     // piece is reachable in several subtrees); the sink dedups them. With
@@ -306,54 +535,182 @@ pub(crate) fn find_maximum_on(
     }
 
     // Phase 2: run subtasks, sharing the incumbent through an atomic.
-    struct TaskResult {
-        best_local: Vec<kr_graph::VertexId>,
-        stats: SearchStats,
-        aborted: bool,
-    }
+    // Tasks may re-split (per `cfg.resplit`); every task — initial or
+    // donated — deposits its DFS-ordered events under its task id.
     crate::obs::engine_obs()
         .subtasks_split
         .add(tasks.len() as u64);
+    let shared = ResplitShared::new(tasks.len(), threads, cfg.resplit);
+    let outcomes: Mutex<HashMap<u64, MaxTaskOutcome>> = Mutex::new(HashMap::new());
     let global = AtomicUsize::new(gen_incumbent);
-    let task_results = ordered_pool_map(pool, &tasks, |task| {
-        let mut driver = MaxDriver::new(
-            &comps[task.ci],
+    {
+        let ctx = MaxCtx {
+            comps,
             cfg,
             deadline,
-            task.start_incumbent,
-            Some(&global),
-        );
-        driver.run_prefix(&task.prefix);
-        TaskResult {
-            best_local: driver.best_local,
-            stats: driver.stats,
-            aborted: driver.aborted,
-        }
-    });
+            shared: &shared,
+            outcomes: &outcomes,
+            global: &global,
+            spawner: std::thread::current().id(),
+        };
+        pool.scope(|s| {
+            for (tid, task) in tasks.iter().enumerate() {
+                spawn_max_task(
+                    s,
+                    ctx,
+                    tid as u64,
+                    task.ci,
+                    task.prefix.clone(),
+                    task.start_incumbent,
+                );
+            }
+        });
+    }
+    let mut outcomes = outcomes.into_inner().expect("outcomes lock");
 
-    // Phase 3: merge in DFS step order with a carried incumbent.
+    // Phase 3: merge in DFS step order with a carried incumbent. A
+    // donated task's events splice in at its `Child` marker — exactly
+    // where the donor would have walked that sibling subtree — so the
+    // fold sees finds in sequential DFS order.
     let mut best: Option<KrCore> = None;
     let mut incumbent = 0usize;
-    let mut task_results = task_results.into_iter().map(Some).collect::<Vec<_>>();
     for step in steps {
-        let (ci, size, piece) = match step {
-            Step::Found { ci, size, piece } => (ci, size, piece),
-            Step::Task(i) => {
-                let result = task_results[i].take().expect("each task merged once");
-                merge_stats(&mut stats, result.stats);
-                completed &= !result.aborted;
-                (tasks[i].ci, result.best_local.len(), result.best_local)
+        match step {
+            Step::Found { ci, size, piece } => {
+                if size > incumbent && !piece.is_empty() {
+                    incumbent = size;
+                    best = Some(KrCore::new(comps[ci].globalize(&piece)));
+                }
             }
-        };
-        if size > incumbent && !piece.is_empty() {
-            incumbent = size;
-            best = Some(KrCore::new(comps[ci].globalize(&piece)));
+            Step::Task(i) => fold_task(
+                i as u64,
+                tasks[i].ci,
+                comps,
+                &mut outcomes,
+                &mut incumbent,
+                &mut best,
+                &mut stats,
+                &mut completed,
+            ),
         }
     }
+    debug_assert!(
+        outcomes.is_empty(),
+        "every donated task is reachable from an initial task's events"
+    );
     MaxResult {
         core: best,
         stats,
         completed,
+    }
+}
+
+/// Result of one maximum-search subtask (initial or donated).
+struct MaxTaskOutcome {
+    events: Vec<MergeEvent>,
+    stats: SearchStats,
+    aborted: bool,
+}
+
+/// Everything a maximum-search subtask needs, bundled copyably so donated
+/// tasks can be spawned recursively from inside a running one.
+#[derive(Clone, Copy)]
+struct MaxCtx<'env> {
+    comps: &'env [LocalComponent],
+    cfg: &'env AlgoConfig,
+    deadline: Option<std::time::Instant>,
+    shared: &'env ResplitShared,
+    outcomes: &'env Mutex<HashMap<u64, MaxTaskOutcome>>,
+    global: &'env AtomicUsize,
+    spawner: std::thread::ThreadId,
+}
+
+/// Spawns one maximum-search subtask (initial or donated) onto the scope.
+fn spawn_max_task<'scope, 'env: 'scope>(
+    s: &rayon::Scope<'scope>,
+    ctx: MaxCtx<'env>,
+    tid: u64,
+    ci: usize,
+    prefix: Vec<Decision>,
+    start_incumbent: usize,
+) {
+    ctx.shared.task_spawned();
+    crate::obs::engine_obs().pool_tasks.inc();
+    s.spawn(move |s| {
+        if std::thread::current().id() != ctx.spawner {
+            crate::obs::engine_obs().pool_tasks_stolen.inc();
+        }
+        let host = MaxHost { s, ctx, ci };
+        let mut driver = MaxDriver::new(
+            &ctx.comps[ci],
+            ctx.cfg,
+            ctx.deadline,
+            start_incumbent,
+            Some(ctx.global),
+        )
+        .with_host(&host);
+        driver.run_prefix(&prefix);
+        let outcome = MaxTaskOutcome {
+            events: driver.events,
+            stats: driver.stats,
+            aborted: driver.aborted,
+        };
+        ctx.outcomes
+            .lock()
+            .expect("outcomes lock")
+            .insert(tid, outcome);
+        ctx.shared.task_finished();
+    });
+}
+
+struct MaxHost<'a, 'scope, 'env> {
+    s: &'a rayon::Scope<'scope>,
+    ctx: MaxCtx<'env>,
+    ci: usize,
+}
+
+impl<'a, 'scope, 'env: 'scope> DonationHost for MaxHost<'a, 'scope, 'env> {
+    fn wanted(&self) -> usize {
+        self.ctx.shared.wanted()
+    }
+
+    fn donate(&self, prefix: Vec<Decision>, start_incumbent: usize) -> u64 {
+        let tid = self.ctx.shared.next_tid();
+        spawn_max_task(self.s, self.ctx, tid, self.ci, prefix, start_incumbent);
+        tid
+    }
+}
+
+/// Folds one task's DFS-ordered events into the carried incumbent,
+/// recursing into donated children at their `Child` markers.
+#[allow(clippy::too_many_arguments)]
+fn fold_task(
+    tid: u64,
+    ci: usize,
+    comps: &[LocalComponent],
+    outcomes: &mut HashMap<u64, MaxTaskOutcome>,
+    incumbent: &mut usize,
+    best: &mut Option<KrCore>,
+    stats: &mut SearchStats,
+    completed: &mut bool,
+) {
+    let outcome = outcomes.remove(&tid).expect("each task merged once");
+    merge_stats(stats, outcome.stats);
+    *completed &= !outcome.aborted;
+    for event in outcome.events {
+        match event {
+            MergeEvent::Found { size, piece } => {
+                if size > *incumbent && !piece.is_empty() {
+                    *incumbent = size;
+                    *best = Some(KrCore::new(comps[ci].globalize(&piece)));
+                }
+            }
+            MergeEvent::Child(child) => {
+                fold_task(
+                    child, ci, comps, outcomes, incumbent, best, stats, completed,
+                );
+            }
+        }
     }
 }
 

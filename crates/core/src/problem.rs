@@ -8,7 +8,7 @@
 use crate::component::LocalComponent;
 use kr_graph::components::connected_components_of_subset;
 use kr_graph::{k_core, Graph, VertexId};
-use kr_similarity::{AttributeTable, Metric, SimilarityOracle, TableOracle, Threshold};
+use kr_similarity::{AttributeTable, DissimMode, Metric, SimilarityOracle, TableOracle, Threshold};
 
 /// An attributed-graph problem instance: graph, similarity oracle, and the
 /// `(k, r)` parameters.
@@ -17,6 +17,7 @@ pub struct ProblemInstance {
     graph: Graph,
     oracle: TableOracle,
     k: u32,
+    dissim_mode: DissimMode,
 }
 
 impl ProblemInstance {
@@ -43,13 +44,32 @@ impl ProblemInstance {
             graph,
             oracle: TableOracle::new(attrs, metric, threshold),
             k,
+            dissim_mode: DissimMode::Auto,
         }
     }
 
     /// Builds an instance directly from an oracle.
     pub fn from_oracle(graph: Graph, oracle: TableOracle, k: u32) -> Self {
         assert_eq!(oracle.attributes().len(), graph.num_vertices());
-        ProblemInstance { graph, oracle, k }
+        ProblemInstance {
+            graph,
+            oracle,
+            k,
+            dissim_mode: DissimMode::Auto,
+        }
+    }
+
+    /// Overrides how component dissimilarity is represented
+    /// ([`DissimMode::Auto`] by default: large dissimilarity-heavy
+    /// components go lazy, everything else stays eager).
+    pub fn with_dissim_mode(mut self, mode: DissimMode) -> Self {
+        self.dissim_mode = mode;
+        self
+    }
+
+    /// The dissimilarity representation policy used by preprocessing.
+    pub fn dissim_mode(&self) -> DissimMode {
+        self.dissim_mode
     }
 
     /// The underlying graph.
@@ -79,6 +99,7 @@ impl ProblemInstance {
             graph: self.graph.clone(),
             oracle: self.oracle.with_threshold(threshold),
             k,
+            dissim_mode: self.dissim_mode,
         }
     }
 
@@ -179,7 +200,7 @@ impl ProblemInstance {
                 // group order so the result matches the sequential path
                 // exactly.
                 crate::parallel::ordered_pool_map(pool, &groups, |group| {
-                    LocalComponent::build(&filtered, &self.oracle, group, self.k)
+                    LocalComponent::build(&filtered, &self.oracle, group, self.k, self.dissim_mode)
                 })
             }
             Some(pool) if pool.current_num_threads() > 1 => {
@@ -188,12 +209,23 @@ impl ProblemInstance {
                 // across the same pool instead.
                 groups
                     .into_iter()
-                    .map(|g| LocalComponent::build_on(&filtered, &self.oracle, &g, self.k, pool))
+                    .map(|g| {
+                        LocalComponent::build_on(
+                            &filtered,
+                            &self.oracle,
+                            &g,
+                            self.k,
+                            self.dissim_mode,
+                            pool,
+                        )
+                    })
                     .collect()
             }
             _ => groups
                 .into_iter()
-                .map(|g| LocalComponent::build(&filtered, &self.oracle, &g, self.k))
+                .map(|g| {
+                    LocalComponent::build(&filtered, &self.oracle, &g, self.k, self.dissim_mode)
+                })
                 .collect(),
         };
         // Put the component with the highest-degree vertex first; order the

@@ -59,6 +59,12 @@ pub struct SearchStats {
     pub bound_prunes: u64,
     /// Maximal checks performed (Theorem 6).
     pub maximal_checks: u64,
+    /// Re-split events: a running parallel subtask noticed the pool was
+    /// starving and donated part of its remaining frontier.
+    pub resplits: u64,
+    /// Subtasks created by re-splitting (in addition to the initial
+    /// top-`d` frontier split).
+    pub resplit_subtasks: u64,
 }
 
 /// Mutable search-node state over one component.
@@ -299,11 +305,14 @@ impl<'a> SearchState<'a> {
                 }
             }
         }
-        // --- dissimilarity-side counters of partners. ---
+        // --- dissimilarity-side counters of partners. A resident row is
+        // iterated as a slice (hot path); otherwise the complement is
+        // streamed, so lazy components never materialize a row for a
+        // status flip. ---
         if was_c != is_c || was_e != is_e {
             let delta_c: i32 = (is_c as i32) - (was_c as i32);
             let delta_e: i32 = (is_e as i32) - (was_e as i32);
-            for &w in comp.dissimilar(v) {
+            let mut apply = |w: VertexId| {
                 let wi = w as usize;
                 if delta_c != 0 {
                     let nd = (self.dp_c[wi] as i32 + delta_c) as u32;
@@ -320,6 +329,13 @@ impl<'a> SearchState<'a> {
                 if delta_e != 0 {
                     self.dp_e[wi] = (self.dp_e[wi] as i32 + delta_e) as u32;
                 }
+            };
+            if let Some(row) = comp.dissimilar_resident(v) {
+                for &w in row {
+                    apply(w);
+                }
+            } else {
+                comp.for_each_dissimilar(v, apply);
             }
         }
     }
@@ -430,33 +446,31 @@ impl<'a> SearchState<'a> {
                     .filter(|&&w| matches!(self.status[w as usize], Status::Chosen | Status::Cand))
                     .count() as u32;
                 assert_eq!(deg_mc, self.deg_mc[vi], "deg_mc mismatch at {v}");
-                let dp_c = self
-                    .comp
-                    .dissimilar(v)
-                    .iter()
-                    .filter(|&&w| self.status[w as usize] == Status::Cand)
-                    .count() as u32;
+                let mut dp_c = 0u32;
+                self.comp.for_each_dissimilar(v, |w| {
+                    if self.status[w as usize] == Status::Cand {
+                        dp_c += 1;
+                    }
+                });
                 assert_eq!(dp_c, self.dp_c[vi], "dp_c mismatch at {v}");
                 if st == Status::Chosen {
                     // Similarity invariant Eq. 1.
-                    let dp_mc = self
-                        .comp
-                        .dissimilar(v)
-                        .iter()
-                        .filter(|&&w| {
-                            matches!(self.status[w as usize], Status::Chosen | Status::Cand)
-                        })
-                        .count();
+                    let mut dp_mc = 0usize;
+                    self.comp.for_each_dissimilar(v, |w| {
+                        if matches!(self.status[w as usize], Status::Chosen | Status::Cand) {
+                            dp_mc += 1;
+                        }
+                    });
                     assert_eq!(dp_mc, 0, "Eq.1 violated at {v}");
                 }
                 if st == Status::Excluded {
                     // E members similar to all of M.
-                    let dp_m = self
-                        .comp
-                        .dissimilar(v)
-                        .iter()
-                        .filter(|&&w| self.status[w as usize] == Status::Chosen)
-                        .count();
+                    let mut dp_m = 0usize;
+                    self.comp.for_each_dissimilar(v, |w| {
+                        if self.status[w as usize] == Status::Chosen {
+                            dp_m += 1;
+                        }
+                    });
                     assert_eq!(dp_m, 0, "E-invariant violated at {v}");
                 }
                 if matches!(st, Status::Chosen | Status::Cand) {

@@ -6,7 +6,7 @@
 
 use kr_core::component::LocalComponent;
 use kr_graph::{Graph, VertexId};
-use kr_similarity::{AttributeTable, Metric, SimilarityOracle, TableOracle, Threshold};
+use kr_similarity::{AttributeTable, DissimMode, Metric, SimilarityOracle, TableOracle, Threshold};
 use proptest::prelude::*;
 
 /// Reference model: plain nested, sorted, deduplicated, symmetric lists.
@@ -152,7 +152,7 @@ proptest! {
         );
         // Members = all vertices, so local id == global id.
         let members: Vec<VertexId> = (0..n as VertexId).collect();
-        let comp = LocalComponent::build(&graph, &oracle, &members, 2);
+        let comp = LocalComponent::build(&graph, &oracle, &members, 2, DissimMode::Auto);
         let dis_pairs: Vec<(VertexId, VertexId)> = (0..n as VertexId)
             .flat_map(|u| ((u + 1)..n as VertexId).map(move |v| (u, v)))
             .filter(|&(u, v)| !oracle.is_similar(u, v))

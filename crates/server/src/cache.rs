@@ -66,7 +66,10 @@ pub struct CacheStats {
     /// Flat memory footprint of all resident component sets, in bytes.
     /// Exact, not an estimate: the CSR arenas have no per-vertex
     /// allocations, so [`LocalComponent::memory_bytes`] covers every heap
-    /// byte an entry owns.
+    /// byte an entry owns. Re-sampled from the live entries at snapshot
+    /// time rather than ledgered at insert: lazily materialized
+    /// dissimilarity rows grow an entry *after* it is cached, and the
+    /// snapshot must account for them.
     pub resident_bytes: u64,
     /// Total wall-clock milliseconds spent preprocessing on cache
     /// misses. Together with `misses` this gives operators the average
@@ -89,13 +92,14 @@ pub struct CacheStats {
 
 struct Entry {
     comps: Arc<Vec<LocalComponent>>,
-    /// Flat footprint of `comps` (see [`entry_bytes`]).
-    bytes: u64,
     /// Last-use tick for LRU eviction.
     used: u64,
 }
 
-/// Flat footprint of one cached component set.
+/// Flat footprint of one cached component set **right now**. Not a
+/// constant: a component built with a lazy dissimilarity view grows as
+/// searches materialize rows, so footprints are re-sampled per snapshot
+/// instead of recorded once at insert.
 fn entry_bytes(comps: &[LocalComponent]) -> u64 {
     comps.iter().map(|c| c.memory_bytes() as u64).sum()
 }
@@ -107,7 +111,6 @@ struct Inner {
     hits: u64,
     misses: u64,
     evictions: u64,
-    resident_bytes: u64,
 }
 
 struct Shard {
@@ -162,7 +165,6 @@ impl ComponentCache {
                         hits: 0,
                         misses: 0,
                         evictions: 0,
-                        resident_bytes: 0,
                     }),
                 })
                 .collect(),
@@ -212,28 +214,19 @@ impl ComponentCache {
             inner.misses += 1;
         }
         let comps = Arc::new(build());
-        let bytes = entry_bytes(&comps);
         let mut inner = shard.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
-        let mut inserted = false;
         let comps = inner
             .map
             .entry(key.clone())
             .and_modify(|e| e.used = tick)
-            .or_insert_with(|| {
-                inserted = true;
-                Entry {
-                    comps: comps.clone(),
-                    bytes,
-                    used: tick,
-                }
+            .or_insert_with(|| Entry {
+                comps: comps.clone(),
+                used: tick,
             })
             .comps
             .clone();
-        if inserted {
-            inner.resident_bytes += bytes;
-        }
         while inner.map.len() > shard.capacity {
             let victim = inner
                 .map
@@ -241,8 +234,7 @@ impl ComponentCache {
                 .min_by_key(|(_, e)| e.used)
                 .map(|(k, _)| k.clone())
                 .expect("non-empty over capacity");
-            let freed = inner.map.remove(&victim).expect("victim present").bytes;
-            inner.resident_bytes -= freed;
+            inner.map.remove(&victim).expect("victim present");
             inner.evictions += 1;
         }
         (comps, false)
@@ -281,7 +273,13 @@ impl ComponentCache {
             stats.misses += inner.misses;
             stats.evictions += inner.evictions;
             stats.entries += inner.map.len();
-            stats.resident_bytes += inner.resident_bytes;
+            // Exact at snapshot time: lazy dissimilarity rows materialized
+            // since insert are included (see `entry_bytes`).
+            stats.resident_bytes += inner
+                .map
+                .values()
+                .map(|e| entry_bytes(&e.comps))
+                .sum::<u64>();
         }
         stats
     }
@@ -359,6 +357,60 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.resident_bytes, per_entry);
         assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn resident_bytes_grow_as_lazy_rows_materialize() {
+        use kr_core::ProblemInstance;
+        use kr_similarity::{AttributeTable, DissimMode, Metric, Threshold};
+        // Two bridged 4-cliques with cross-side dissimilar pairs; force
+        // the lazy dissimilarity view so rows materialize on first touch.
+        let mut edges = vec![];
+        for group in [[0u32, 1, 2, 3], [3u32, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((group[i], group[j]));
+                }
+            }
+        }
+        let g = kr_graph::Graph::from_edges(7, &edges);
+        let pts = vec![
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (5.0, 0.0),
+            (10.0, 0.0),
+            (11.0, 0.0),
+            (10.0, 1.0),
+        ];
+        let p = ProblemInstance::new(
+            g,
+            AttributeTable::points(pts),
+            Metric::Euclidean,
+            Threshold::MaxDistance(7.0),
+            2,
+        )
+        .with_dissim_mode(DissimMode::Lazy);
+        let cache = ComponentCache::new(2);
+        let (comps, hit) = cache.get_or_build(&key("lazy", 2, 7.0), || p.preprocess());
+        assert!(!hit);
+        assert!(comps.iter().any(|c| c.is_dissimilarity_lazy()));
+        let before = cache.stats().resident_bytes;
+        // Touch every dissimilarity row through the slice accessor — the
+        // materialization point — and re-snapshot: the entry grew in
+        // place, and the stats must see it without a re-insert.
+        let mut materialized = 0usize;
+        for c in comps.iter() {
+            for v in 0..c.len() as u32 {
+                materialized += c.dissimilar(v).len();
+            }
+        }
+        assert!(materialized > 0, "instance must have dissimilar pairs");
+        let after = cache.stats().resident_bytes;
+        assert!(
+            after > before,
+            "snapshot must grow with materialized rows ({before} -> {after})"
+        );
     }
 
     #[test]

@@ -215,6 +215,23 @@ impl GridCandidates {
         // Beyond this Chebyshev cell distance the minimum possible
         // separation already exceeds r.
         let reach = GRID_SUBDIV as i64 + 1;
+        // Rank-space row index over the occupied cells: they are sorted
+        // by (cx, cy), so each distinct cx is one contiguous range of
+        // indices. A cell's neighbors-within-reach are then found by a
+        // binary search over rows and one over the cy span per row —
+        // the window of occupied cells the classification actually
+        // inspects — instead of scanning all `occupied²/2` pairs. On
+        // giant sparse inputs (occupied ≈ n) the pair scan's cheap
+        // integer rejects dominate preprocessing; this removes them
+        // while producing pairs in the exact same order.
+        let mut rows: Vec<(i64, std::ops::Range<usize>)> = Vec::new();
+        let mut row_start = 0usize;
+        for i in 1..=occupied.len() {
+            if i == occupied.len() || occupied[i].0 .0 != occupied[row_start].0 .0 {
+                rows.push((occupied[row_start].0 .0, row_start..i));
+                row_start = i;
+            }
+        }
         let mut pairs = Vec::new();
         let mut known_similar = Vec::new();
         let members =
@@ -227,8 +244,6 @@ impl GridCandidates {
                     }
                 }
             };
-        // Classify occupied-cell pairs: never more than `occupied²/2`
-        // cheap integer rejects, each far below one metric evaluation.
         for (a, ((ax, ay), arange)) in occupied.iter().enumerate() {
             // Within-cell pairs: max separation is one cell diagonal,
             // far inside r at this subdivision.
@@ -241,22 +256,35 @@ impl GridCandidates {
             }
             // Distance bounds between two half-open cell rectangles:
             // axis separation lies in ((|d|-1)·side, (|d|+1)·side).
-            for ((bx, by), brange) in &occupied[a + 1..] {
-                let (dx, dy) = (bx - ax, by - ay);
-                if dx.abs() > reach || dy.abs() > reach {
-                    continue; // provably dissimilar, zero evals
+            // Rows ascending in cx, cells ascending in cy: later cells
+            // are visited in ascending occupied index, matching the
+            // order the full pair scan produced.
+            let first_row = rows.partition_point(|&(cx, _)| cx < ax - reach);
+            for (bx, range) in &rows[first_row..] {
+                if *bx > ax + reach {
+                    break;
                 }
-                let gap = |d: i64| (d.abs() - 1).max(0) as f64 * side;
-                let span = |d: i64| (d.abs() + 1) as f64 * side;
-                let min2 = gap(dx).powi(2) + gap(dy).powi(2);
-                if min2 > r_hi2 {
-                    continue; // provably dissimilar, zero evals
-                }
-                let max2 = span(dx).powi(2) + span(dy).powi(2);
-                if max2 <= r_lo2 {
-                    push_cross(&mut known_similar, arange, brange);
-                } else {
-                    push_cross(&mut pairs, arange, brange);
+                let cells = &occupied[range.clone()];
+                let lo = cells.partition_point(|((_, cy), _)| *cy < ay - reach);
+                let hi = cells.partition_point(|((_, cy), _)| *cy <= ay + reach);
+                for (off, ((bx, by), brange)) in cells[lo..hi].iter().enumerate() {
+                    if range.start + lo + off <= a {
+                        continue; // unordered pairs: handled from the other side
+                    }
+                    let (dx, dy) = (bx - ax, by - ay);
+                    debug_assert!(dx.abs() <= reach && dy.abs() <= reach);
+                    let gap = |d: i64| (d.abs() - 1).max(0) as f64 * side;
+                    let span = |d: i64| (d.abs() + 1) as f64 * side;
+                    let min2 = gap(dx).powi(2) + gap(dy).powi(2);
+                    if min2 > r_hi2 {
+                        continue; // provably dissimilar, zero evals
+                    }
+                    let max2 = span(dx).powi(2) + span(dy).powi(2);
+                    if max2 <= r_lo2 {
+                        push_cross(&mut known_similar, arange, brange);
+                    } else {
+                        push_cross(&mut pairs, arange, brange);
+                    }
                 }
             }
         }
@@ -452,6 +480,47 @@ mod tests {
         assert!(got.contains(&(0, 1)));
         assert!(got.contains(&(2, 3)));
         assert!(!g.known_similar().contains(&(0, 1)));
+    }
+
+    #[test]
+    fn grid_rank_space_window_is_sound_on_scatter() {
+        // Deterministic scatter across many grid rows: every truly
+        // similar pair must survive (candidate or known-similar), and
+        // every known-similar pair must truly be similar — the rank-space
+        // neighbor window may skip only provably-dissimilar cell pairs.
+        let mut pts = Vec::new();
+        let mut s = 0x12345678u64;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 16) % 1000) as f64 / 10.0
+        };
+        for _ in 0..200 {
+            let x = next();
+            let y = next();
+            pts.push((x, y));
+        }
+        let r = 7.0;
+        let g = GridCandidates::try_new(&pts, r).expect("grid applies");
+        let survivors = not_pruned(&g);
+        let known: std::collections::HashSet<(u32, u32)> =
+            g.known_similar().iter().copied().collect();
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                let d2 = (pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2);
+                let pair = (i as u32, j as u32);
+                if d2 <= r * r * (1.0 - 1e-6) {
+                    assert!(
+                        survivors.binary_search(&pair).is_ok(),
+                        "similar pair {pair:?} was pruned"
+                    );
+                }
+                if known.contains(&pair) {
+                    assert!(d2 <= r * r * (1.0 + 1e-6), "{pair:?} known but dissimilar");
+                }
+            }
+        }
     }
 
     #[test]

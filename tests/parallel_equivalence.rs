@@ -81,8 +81,8 @@ fn parallel_preprocessing_matches_sequential_on_all_presets() {
             );
             assert_eq!(a.adj_csr(), b.adj_csr(), "{preset:?}: adjacency differs");
             assert_eq!(
-                a.dis_csr(),
-                b.dis_csr(),
+                a.dissimilarity(),
+                b.dissimilarity(),
                 "{preset:?}: dissimilarity differs"
             );
         }
