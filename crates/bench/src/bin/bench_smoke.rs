@@ -64,11 +64,26 @@
 //!   on the corridor point the lazy view must materialize at most
 //!   [`MAX_LAZY_MATERIALIZED_FRAC`] of the directed entries an eager
 //!   build would allocate.
+//!
+//! Schema 6 (PR 10) adds the write path, measured end to end through an
+//! in-process server (two top-level fields, informational — wall-clock
+//! across a socket is too noisy to gate):
+//!
+//! * `updates_per_sec` — effective applied updates per client-observed
+//!   wall second over a stream of single-edge mutation batches against
+//!   a warm cache (each batch pays apply + incremental coreness
+//!   maintenance + the cache repair pass + the wire round trip);
+//! * `repair_ms` — mean client-observed wall per batch of that stream;
+//! * an in-run mechanism gate: every batch toggles an edge that is
+//!   dissimilar at the cached entry's `r`, so the invalidate-and-repair
+//!   pass must *repair* (keep) the warm entry on every single batch —
+//!   one invalidation fails the run.
 
 use kr_bench::BenchDataset;
 use kr_core::{enumerate_maximal_prepared, find_maximum_prepared, AlgoConfig};
 use kr_datagen::DatasetPreset;
 use kr_graph::{Graph, VertexId};
+use kr_server::{Client, QuerySpec, Server, ServerConfig};
 use kr_similarity::{AttributeTable, Metric, Threshold};
 use std::hint::black_box;
 use std::time::Instant;
@@ -367,10 +382,82 @@ fn measure_corridor() -> (Point, (u64, u64)) {
     (point, (lazy_entries, eager_entries))
 }
 
-fn render(calib_ms: f64, points: &[Point]) -> String {
+/// Measures the write path end to end (schema 6): an in-process server
+/// with one warm cache entry takes [`MUTATION_BATCHES`] single-edge
+/// mutation batches, each toggling a non-edge whose endpoints are far
+/// beyond the cached entry's `r` — provably filtered by preprocessing,
+/// so the repair pass must keep the entry every time (asserted; one
+/// invalidation aborts the run). Returns `(updates_per_sec, repair_ms)`.
+fn measure_mutation() -> (f64, f64) {
+    const DATASET: &str = "gowalla-like";
+    const K: u32 = 3;
+    const R: f64 = 12.0;
+    let handle = Server::bind(ServerConfig::default())
+        .expect("bind ephemeral port")
+        .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut spec = QuerySpec::new(DATASET, K, R);
+    spec.scale = 1.0;
+    let warm = client.enumerate(spec).expect("warm query");
+    assert!(!warm.cores.is_empty(), "warm instance must be non-trivial");
+
+    // A non-adjacent pair far beyond R: its edge never survives the
+    // dissimilar-edge filter at this r, so toggling it cannot change the
+    // cached component set.
+    let dataset = handle
+        .state()
+        .datasets
+        .get(DATASET, 1.0)
+        .expect("dataset resident after the warm query");
+    let view = dataset.view();
+    let AttributeTable::Points(rows) = view.attributes.as_ref() else {
+        panic!("gowalla-like carries points");
+    };
+    let n = view.graph.num_vertices() as VertexId;
+    let far = |u: VertexId, v: VertexId| {
+        let (a, b) = (rows[u as usize], rows[v as usize]);
+        ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt() > 2.0 * R
+    };
+    let (u, v) = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .find(|&(u, v)| !view.graph.has_edge(u, v) && far(u, v))
+        .expect("a dissimilar non-edge exists");
+
+    let t = Instant::now();
+    let mut applied = 0u64;
+    for i in 0..MUTATION_BATCHES {
+        let res = if i % 2 == 0 {
+            client.add_edges(DATASET, 1.0, vec![(u, v)])
+        } else {
+            client.remove_edges(DATASET, 1.0, vec![(u, v)])
+        }
+        .expect("mutation batch");
+        assert_eq!((res.applied, res.ignored), (1, 0), "toggle is effective");
+        assert!(
+            res.repairs >= 1 && res.invalidations == 0,
+            "a dissimilar-edge toggle must repair the warm entry, not \
+             invalidate it: {res:?}"
+        );
+        applied += res.applied;
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    handle.shutdown_and_join().expect("clean shutdown");
+    (
+        applied as f64 / wall_s,
+        wall_s * 1e3 / MUTATION_BATCHES as f64,
+    )
+}
+
+/// Mutation batches in the schema-6 write-path measurement.
+const MUTATION_BATCHES: usize = 200;
+
+fn render(calib_ms: f64, updates_per_sec: f64, repair_ms: f64, points: &[Point]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": 5,\n");
+    out.push_str("{\n  \"schema\": 6,\n");
     out.push_str(&format!("  \"calib_ms\": {calib_ms:.3},\n"));
+    out.push_str(&format!(
+        "  \"updates_per_sec\": {updates_per_sec:.1},\n  \"repair_ms\": {repair_ms:.4},\n"
+    ));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
@@ -518,9 +605,19 @@ fn main() {
         report(&p);
         points.push(p);
     }
+    // The write path: informational numbers, but the repair-not-invalidate
+    // mechanism is asserted inside — a wrongly-invalidating cache fails
+    // both `check` and `write` here.
+    let (updates_per_sec, repair_ms) = measure_mutation();
+    println!(
+        "{:<16} {updates_per_sec:>9.1} updates/s  {repair_ms:.4} ms/batch \
+         (warm-cache repair stream, {MUTATION_BATCHES} batches)",
+        "mutation"
+    );
 
     if mode == "write" {
-        std::fs::write(path, render(calib_ms, &points)).expect("write baseline");
+        std::fs::write(path, render(calib_ms, updates_per_sec, repair_ms, &points))
+            .expect("write baseline");
         println!("baseline written to {path}");
         return;
     }

@@ -34,11 +34,12 @@
 //! `docs/KRB_FORMAT.md` for the byte layout.
 
 use crate::problem::ProblemInstance;
+use kr_graph::maintain::{coreness_after_insert, coreness_after_remove, NeighborSource};
 use kr_graph::snapshot::{
     add_graph_sections, get_u32, get_u64, put_u32, put_u64, section, Snapshot, SnapshotError,
     SnapshotWriter, SECTION_FLAG_OPTIONAL,
 };
-use kr_graph::{core_decomposition, Graph, VertexId};
+use kr_graph::{core_decomposition, AdjacencyList, Graph, VertexId};
 use kr_similarity::snapshot::{encode_attributes, read_snapshot, DatasetSnapshot};
 use kr_similarity::{
     similarity_quantile_exact, similarity_quantile_sampled, AttributeTable, Metric,
@@ -219,6 +220,112 @@ impl DecompositionIndex {
         CandidateSet { vertices, band }
     }
 
+    /// The threshold object for band `b`'s filter, in the index's metric
+    /// direction.
+    fn band_threshold(&self, b: usize) -> Threshold {
+        if self.distance {
+            Threshold::MaxDistance(self.bands[b])
+        } else {
+            Threshold::MinSimilarity(self.bands[b])
+        }
+    }
+
+    /// Maintains the index through one edge insertion: `adj` must already
+    /// contain `{u, v}` and `oracle` must carry the current attributes
+    /// (its own threshold is irrelevant). The structural coreness and
+    /// every band whose filter admits the edge are repaired by the
+    /// subcore-bounded traversal of [`kr_graph::maintain`] — band graphs
+    /// are never materialized; band adjacency is the structural
+    /// neighborhood filtered through the oracle at the band's threshold.
+    /// Returns the number of (vertex, layer) core numbers that changed.
+    pub fn apply_insert(
+        &mut self,
+        adj: &AdjacencyList,
+        oracle: &TableOracle,
+        u: VertexId,
+        v: VertexId,
+    ) -> u64 {
+        let mut changed = coreness_after_insert(&mut self.structural, adj, u, v).len() as u64;
+        for b in 0..self.bands.len() {
+            let banded = oracle.with_threshold(self.band_threshold(b));
+            if banded.is_similar(u, v) {
+                let view = BandView::new(adj, &banded);
+                changed += coreness_after_insert(&mut self.band_core[b], &view, u, v).len() as u64;
+            }
+        }
+        changed
+    }
+
+    /// Maintains the index through one edge removal: `adj` must no longer
+    /// contain `{u, v}`. Mirror of [`DecompositionIndex::apply_insert`].
+    pub fn apply_remove(
+        &mut self,
+        adj: &AdjacencyList,
+        oracle: &TableOracle,
+        u: VertexId,
+        v: VertexId,
+    ) -> u64 {
+        let mut changed = coreness_after_remove(&mut self.structural, adj, u, v).len() as u64;
+        for b in 0..self.bands.len() {
+            let banded = oracle.with_threshold(self.band_threshold(b));
+            if banded.is_similar(u, v) {
+                let view = BandView::new(adj, &banded);
+                changed += coreness_after_remove(&mut self.band_core[b], &view, u, v).len() as u64;
+            }
+        }
+        changed
+    }
+
+    /// Maintains the index through one vertex attribute change: `adj` is
+    /// the (unchanged) structural adjacency, `old`/`new` are oracles over
+    /// the attribute tables before and after the change. The structural
+    /// coreness is untouched; in each band, every incident structural
+    /// edge whose similarity flipped at the band threshold is replayed as
+    /// a band-edge insertion or removal. Returns the number of (vertex,
+    /// layer) core numbers that changed.
+    pub fn apply_attribute(
+        &mut self,
+        adj: &AdjacencyList,
+        old: &TableOracle,
+        new: &TableOracle,
+        w: VertexId,
+    ) -> u64 {
+        let mut changed = 0u64;
+        for b in 0..self.bands.len() {
+            let threshold = self.band_threshold(b);
+            let old_b = old.with_threshold(threshold);
+            let new_b = new.with_threshold(threshold);
+            // Edges whose band membership flips, pinned at their old
+            // state until each is individually replayed below, so every
+            // traversal sees a graph exactly one edge away from the
+            // coreness array it repairs.
+            let mut pinned: std::collections::HashMap<(VertexId, VertexId), bool> =
+                std::collections::HashMap::new();
+            for &x in adj.neighbors(w) {
+                let was = old_b.is_similar(w, x);
+                if was != new_b.is_similar(w, x) {
+                    pinned.insert(edge_key(w, x), was);
+                }
+            }
+            let flips: Vec<((VertexId, VertexId), bool)> =
+                pinned.iter().map(|(&e, &was)| (e, was)).collect();
+            for ((a, bv), was) in flips {
+                pinned.remove(&(a, bv));
+                let view = BandView {
+                    adj,
+                    oracle: &new_b,
+                    pinned: &pinned,
+                };
+                changed += if was {
+                    coreness_after_remove(&mut self.band_core[b], &view, a, bv).len() as u64
+                } else {
+                    coreness_after_insert(&mut self.band_core[b], &view, a, bv).len() as u64
+                };
+            }
+        }
+        changed
+    }
+
     /// Encodes the index as a [`section::DECOMP_INDEX`] payload (layout
     /// in `docs/KRB_FORMAT.md`; all integers little-endian, `f64` as
     /// IEEE-754 bits).
@@ -308,6 +415,51 @@ impl DecompositionIndex {
             structural,
             band_core,
         })
+    }
+}
+
+/// Canonical undirected key for a pinned-edge map.
+fn edge_key(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// One band's adjacency, viewed through the similarity filter: the
+/// structural neighborhood with edges admitted by the band-threshold
+/// oracle. `pinned` overrides individual edges to their pre-update state
+/// while an attribute change's flips are replayed one at a time.
+struct BandView<'a> {
+    adj: &'a AdjacencyList,
+    oracle: &'a TableOracle,
+    pinned: &'a std::collections::HashMap<(VertexId, VertexId), bool>,
+}
+
+impl<'a> BandView<'a> {
+    fn new(adj: &'a AdjacencyList, oracle: &'a TableOracle) -> Self {
+        static EMPTY: std::sync::OnceLock<std::collections::HashMap<(VertexId, VertexId), bool>> =
+            std::sync::OnceLock::new();
+        BandView {
+            adj,
+            oracle,
+            pinned: EMPTY.get_or_init(std::collections::HashMap::new),
+        }
+    }
+}
+
+impl NeighborSource for BandView<'_> {
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &x in self.adj.neighbors(v) {
+            let similar = match self.pinned.get(&edge_key(v, x)) {
+                Some(&state) => state,
+                None => self.oracle.is_similar(v, x),
+            };
+            if similar {
+                f(x);
+            }
+        }
     }
 }
 
@@ -593,6 +745,135 @@ mod tests {
         let plain = kr_similarity::read_snapshot_bytes(bytes).expect("plain load");
         assert_eq!(plain.graph, g);
         assert_eq!(plain.skipped_sections, vec![section::DECOMP_INDEX]);
+    }
+
+    /// Deterministic xorshift stream for the maintenance equivalence run.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_from_scratch_rebuild() {
+        // Random geometric instance, random insert/delete/attribute
+        // stream; after every update the maintained index must equal a
+        // from-scratch build over the same bands.
+        let n = 24usize;
+        let mut rng = Rng(0xDECA_FBAD_0000_0001);
+        let mut pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    (rng.next() % 100) as f64 / 10.0,
+                    (rng.next() % 100) as f64 / 10.0,
+                )
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for _ in 0..40 {
+            let u = (rng.next() % n as u64) as VertexId;
+            let v = (rng.next() % n as u64) as VertexId;
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        let mut adj = AdjacencyList::from_graph(&Graph::from_edges(n, &edges));
+        let oracle = |pts: &Vec<(f64, f64)>| {
+            TableOracle::new(
+                AttributeTable::points(pts.clone()),
+                Metric::Euclidean,
+                Threshold::MaxDistance(1.0),
+            )
+        };
+        let bands = [2.0, 5.0, 9.0];
+        let mut ix = DecompositionIndex::build(&adj.to_graph(), &oracle(&pts), &bands);
+        for step in 0..120 {
+            match rng.next() % 3 {
+                0 | 1 => {
+                    let u = (rng.next() % n as u64) as VertexId;
+                    let v = (rng.next() % n as u64) as VertexId;
+                    if u == v {
+                        continue;
+                    }
+                    if adj.has_edge(u, v) {
+                        adj.remove_edge(u, v);
+                        ix.apply_remove(&adj, &oracle(&pts), u, v);
+                    } else {
+                        adj.insert_edge(u, v);
+                        ix.apply_insert(&adj, &oracle(&pts), u, v);
+                    }
+                }
+                _ => {
+                    let w = (rng.next() % n as u64) as VertexId;
+                    let old = oracle(&pts);
+                    pts[w as usize] = (
+                        (rng.next() % 100) as f64 / 10.0,
+                        (rng.next() % 100) as f64 / 10.0,
+                    );
+                    ix.apply_attribute(&adj, &old, &oracle(&pts), w);
+                }
+            }
+            let rebuilt = DecompositionIndex::build(&adj.to_graph(), &oracle(&pts), &bands);
+            assert_eq!(ix, rebuilt, "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_for_similarity_metric() {
+        // Same pin for the similarity direction (weighted Jaccard over
+        // keyword lists), where the band filter *shrinks* as r grows.
+        let n = 12usize;
+        let mut rng = Rng(0x5EED_5EED_5EED_5EED);
+        let mut lists: Vec<Vec<(u32, f64)>> = (0..n)
+            .map(|_| {
+                (0..3)
+                    .map(|_| ((rng.next() % 6) as u32, 1.0 + (rng.next() % 3) as f64))
+                    .collect()
+            })
+            .collect();
+        let oracle = |lists: &Vec<Vec<(u32, f64)>>| {
+            TableOracle::new(
+                AttributeTable::keywords(lists.clone()),
+                Metric::WeightedJaccard,
+                Threshold::MinSimilarity(0.5),
+            )
+        };
+        let mut adj = AdjacencyList::from_graph(&Graph::empty(n));
+        let bands = [0.2, 0.5, 0.8];
+        let mut ix = DecompositionIndex::build(&adj.to_graph(), &oracle(&lists), &bands);
+        assert!(!ix.is_distance());
+        for step in 0..100 {
+            match rng.next() % 4 {
+                3 => {
+                    let w = (rng.next() % n as u64) as VertexId;
+                    let old = oracle(&lists);
+                    lists[w as usize] = (0..3)
+                        .map(|_| ((rng.next() % 6) as u32, 1.0 + (rng.next() % 3) as f64))
+                        .collect();
+                    ix.apply_attribute(&adj, &old, &oracle(&lists), w);
+                }
+                _ => {
+                    let u = (rng.next() % n as u64) as VertexId;
+                    let v = (rng.next() % n as u64) as VertexId;
+                    if u == v {
+                        continue;
+                    }
+                    if adj.has_edge(u, v) {
+                        adj.remove_edge(u, v);
+                        ix.apply_remove(&adj, &oracle(&lists), u, v);
+                    } else {
+                        adj.insert_edge(u, v);
+                        ix.apply_insert(&adj, &oracle(&lists), u, v);
+                    }
+                }
+            }
+            let rebuilt = DecompositionIndex::build(&adj.to_graph(), &oracle(&lists), &bands);
+            assert_eq!(ix, rebuilt, "diverged at step {step}");
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   extraction (Algorithm 1 line 3 of the paper, Theorem 2 pruning,
 //!   and both core-based size upper bounds).
 //! * [`components`] — connected components / connectivity checks.
+//! * [`maintain`] — incremental coreness maintenance under edge updates
+//!   (subcore-bounded traversal repair) plus the mutable
+//!   [`AdjacencyList`] companion to the immutable CSR graph.
 //! * [`coloring`] — greedy coloring used by the color-based upper bound.
 //! * [`order`] — degeneracy ordering (used by clique enumeration and
 //!   coloring heuristics).
@@ -31,6 +34,7 @@ pub mod csr;
 pub mod graph;
 pub mod io;
 pub mod kcore;
+pub mod maintain;
 pub mod order;
 pub mod snapshot;
 pub mod subgraph;
@@ -46,6 +50,7 @@ pub use io::{
 pub use kcore::{
     core_decomposition, k_core, k_core_of_subset, k_core_on, k_core_parallel, CoreDecomposition,
 };
+pub use maintain::{coreness_after_insert, coreness_after_remove, AdjacencyList, NeighborSource};
 pub use order::degeneracy_order;
 pub use snapshot::{Snapshot, SnapshotError, SnapshotWriter};
 pub use subgraph::InducedSubgraph;

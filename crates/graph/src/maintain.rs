@@ -1,0 +1,452 @@
+//! Incremental coreness maintenance under edge updates.
+//!
+//! Implements the traversal-style k-core maintenance of Li, Yu & Mao
+//! (*"Efficient Core Maintenance in Large Dynamic Graphs"*) and Sarıyüce
+//! et al.: a single edge insertion or deletion changes any vertex's core
+//! number by at most one, and the only vertices that can change are those
+//! with core number `K = min(core(u), core(v))` reachable from the
+//! touched endpoints through vertices of core number `K` — the *subcore*.
+//! Maintenance therefore touches a neighborhood proportional to the
+//! subcore, not the graph.
+//!
+//! The algorithms are generic over a [`NeighborSource`] so the same
+//! machinery maintains both the plain structural coreness (adjacency from
+//! a [`Graph`] or [`AdjacencyList`]) and the per-r-band coreness of the
+//! decomposition index, where adjacency is the structural neighborhood
+//! filtered through a similarity oracle at the band's threshold.
+
+use crate::graph::{Graph, VertexId};
+use std::collections::{HashMap, HashSet};
+
+/// Adjacency provider for the maintenance traversals. Implemented by
+/// [`Graph`] and [`AdjacencyList`]; downstream crates wrap these with
+/// edge filters (e.g. a similarity predicate per r-band) to maintain
+/// coreness of derived graphs without materializing them.
+pub trait NeighborSource {
+    /// Calls `f` once per neighbor of `v`.
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId));
+}
+
+impl NeighborSource for Graph {
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &u in self.neighbors(v) {
+            f(u);
+        }
+    }
+}
+
+/// The `graph.core_updates` counter on the process-global registry: total
+/// vertices whose core number was changed by incremental maintenance.
+/// The handle is cached so the registry lock is taken once per process.
+fn core_updates_counter() -> &'static std::sync::Arc<kr_obs::Counter> {
+    static C: std::sync::OnceLock<std::sync::Arc<kr_obs::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| kr_obs::global().counter("graph.core_updates"))
+}
+
+/// The subcore: vertices with core number exactly `k` reachable from the
+/// seed endpoints through vertices of core number `k`. Seeds whose core
+/// number differs from `k` are skipped (only the minimum-core endpoint
+/// side of an update can change).
+fn collect_subcore(
+    core: &[u32],
+    g: &impl NeighborSource,
+    seeds: &[VertexId],
+    k: u32,
+) -> Vec<VertexId> {
+    let mut seen: HashSet<VertexId> = HashSet::new();
+    let mut stack: Vec<VertexId> = Vec::new();
+    for &s in seeds {
+        if core[s as usize] == k && seen.insert(s) {
+            stack.push(s);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        g.for_each_neighbor(v, &mut |x| {
+            if core[x as usize] == k && seen.insert(x) {
+                stack.push(x);
+            }
+        });
+    }
+    out
+}
+
+/// Peels the subcore `cands` at degree threshold `t`, where a candidate's
+/// supporting degree counts neighbors with core ≥ `k` (higher-core
+/// neighbors never peel; equal-core neighbors of a subcore member are
+/// themselves subcore members, so peeling one withdraws its support).
+/// Returns the surviving candidate set.
+fn peel_subcore(
+    core: &[u32],
+    g: &impl NeighborSource,
+    cands: &[VertexId],
+    k: u32,
+    t: u32,
+) -> HashSet<VertexId> {
+    let mut cd: HashMap<VertexId, u32> = HashMap::with_capacity(cands.len());
+    for &w in cands {
+        let mut d = 0u32;
+        g.for_each_neighbor(w, &mut |x| {
+            if core[x as usize] >= k {
+                d += 1;
+            }
+        });
+        cd.insert(w, d);
+    }
+    let mut alive: HashSet<VertexId> = cands.iter().copied().collect();
+    let mut queue: Vec<VertexId> = cands
+        .iter()
+        .copied()
+        .filter(|w| cd[w] < t)
+        .inspect(|w| {
+            alive.remove(w);
+        })
+        .collect();
+    while let Some(w) = queue.pop() {
+        g.for_each_neighbor(w, &mut |x| {
+            if alive.contains(&x) {
+                let d = cd.get_mut(&x).expect("alive implies tracked");
+                *d -= 1;
+                if *d < t {
+                    alive.remove(&x);
+                    queue.push(x);
+                }
+            }
+        });
+    }
+    alive
+}
+
+/// Repairs the coreness array after inserting edge `{u, v}`: `g` must
+/// already contain the edge, `core` must hold the pre-insert core
+/// numbers. Only subcore vertices are visited; survivors of a peel at
+/// threshold `K + 1` gain one. Returns the vertices whose core number
+/// changed (possibly empty), in ascending order, and bumps the global
+/// `graph.core_updates` counter by that count.
+pub fn coreness_after_insert(
+    core: &mut [u32],
+    g: &impl NeighborSource,
+    u: VertexId,
+    v: VertexId,
+) -> Vec<VertexId> {
+    let k = core[u as usize].min(core[v as usize]);
+    let cands = collect_subcore(core, g, &[u, v], k);
+    let risers = peel_subcore(core, g, &cands, k, k + 1);
+    let mut changed: Vec<VertexId> = risers.into_iter().collect();
+    changed.sort_unstable();
+    for &w in &changed {
+        core[w as usize] += 1;
+    }
+    core_updates_counter().add(changed.len() as u64);
+    changed
+}
+
+/// Repairs the coreness array after removing edge `{u, v}`: `g` must no
+/// longer contain the edge, `core` must hold the pre-removal core
+/// numbers. Subcore vertices that no longer sustain degree `K` inside
+/// the (k ≥ K)-supported set lose one. Returns the vertices whose core
+/// number changed, in ascending order, and bumps the global
+/// `graph.core_updates` counter by that count.
+pub fn coreness_after_remove(
+    core: &mut [u32],
+    g: &impl NeighborSource,
+    u: VertexId,
+    v: VertexId,
+) -> Vec<VertexId> {
+    let k = core[u as usize].min(core[v as usize]);
+    if k == 0 {
+        return Vec::new();
+    }
+    let cands = collect_subcore(core, g, &[u, v], k);
+    let kept = peel_subcore(core, g, &cands, k, k);
+    let mut changed: Vec<VertexId> = cands.into_iter().filter(|w| !kept.contains(w)).collect();
+    changed.sort_unstable();
+    for &w in &changed {
+        core[w as usize] -= 1;
+    }
+    core_updates_counter().add(changed.len() as u64);
+    changed
+}
+
+/// Mutable adjacency companion to the immutable CSR [`Graph`]: sorted
+/// per-vertex rows supporting O(deg) edge insertion/removal, so a batch
+/// of updates can be applied edge-at-a-time (maintenance needs the graph
+/// state *between* edges) and converted back to CSR once at the end.
+#[derive(Debug, Clone)]
+pub struct AdjacencyList {
+    rows: Vec<Vec<VertexId>>,
+    edges: usize,
+}
+
+impl AdjacencyList {
+    /// Mutable copy of `g`'s adjacency.
+    pub fn from_graph(g: &Graph) -> Self {
+        AdjacencyList {
+            rows: g.vertices().map(|v| g.neighbors(v).to_vec()).collect(),
+            edges: g.num_edges(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.rows[v as usize].len()
+    }
+
+    /// Sorted neighbor slice of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.rows[v as usize]
+    }
+
+    /// Adjacency test in `O(log deg)`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.rows[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Inserts undirected edge `{u, v}`; returns `false` (no change) for
+    /// self loops and already-present edges.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let n = self.rows.len();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} vertices"
+        );
+        if u == v {
+            return false;
+        }
+        match self.rows[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.rows[u as usize].insert(pos, v);
+                let pos = self.rows[v as usize]
+                    .binary_search(&u)
+                    .expect_err("symmetric absence");
+                self.rows[v as usize].insert(pos, u);
+                self.edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes undirected edge `{u, v}`; returns `false` when absent.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let n = self.rows.len();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} vertices"
+        );
+        if u == v {
+            return false;
+        }
+        match self.rows[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.rows[u as usize].remove(pos);
+                let pos = self.rows[v as usize]
+                    .binary_search(&u)
+                    .expect("symmetric presence");
+                self.rows[v as usize].remove(pos);
+                self.edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Freezes back into an immutable CSR [`Graph`]. Rows are already
+    /// sorted, symmetric, and loop-free, so this is a flat copy.
+    pub fn to_graph(&self) -> Graph {
+        let mut offsets = Vec::with_capacity(self.rows.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        let mut neighbors = Vec::with_capacity(2 * self.edges);
+        for row in &self.rows {
+            acc += row.len();
+            offsets.push(acc);
+            neighbors.extend_from_slice(row);
+        }
+        Graph::from_csr_parts(offsets, neighbors).expect("rows uphold CSR invariants")
+    }
+}
+
+impl NeighborSource for AdjacencyList {
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &u in self.neighbors(v) {
+            f(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcore::core_decomposition;
+
+    fn cores(g: &Graph) -> Vec<u32> {
+        core_decomposition(g).core
+    }
+
+    #[test]
+    fn insert_closes_triangle() {
+        // Path 0-1-2 (cores 1,1,1) + edge {0,2} → triangle, cores 2,2,2.
+        let mut adj = AdjacencyList::from_graph(&Graph::from_edges(3, &[(0, 1), (1, 2)]));
+        let mut core = cores(&adj.to_graph());
+        assert!(adj.insert_edge(0, 2));
+        let changed = coreness_after_insert(&mut core, &adj, 0, 2);
+        assert_eq!(changed, vec![0, 1, 2]);
+        assert_eq!(core, cores(&adj.to_graph()));
+    }
+
+    #[test]
+    fn insert_outside_subcore_changes_nothing() {
+        // Tail vertex joins a 4-clique by one edge: nobody's core moves
+        // (3 stays 1-core: one edge cannot make it a 3-core member).
+        let mut adj = AdjacencyList::from_graph(&Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)],
+        ));
+        let mut core = cores(&adj.to_graph());
+        assert!(adj.insert_edge(3, 4));
+        let changed = coreness_after_insert(&mut core, &adj, 3, 4);
+        assert_eq!(changed, vec![4], "isolated endpoint rises 0 → 1");
+        assert_eq!(core, cores(&adj.to_graph()));
+    }
+
+    #[test]
+    fn remove_cascades_through_subcore() {
+        // Triangle + tail: deleting a triangle edge drops all three.
+        let mut adj =
+            AdjacencyList::from_graph(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]));
+        let mut core = cores(&adj.to_graph());
+        assert_eq!(core, vec![2, 2, 2, 1]);
+        assert!(adj.remove_edge(0, 1));
+        let changed = coreness_after_remove(&mut core, &adj, 0, 1);
+        assert_eq!(changed, vec![0, 1, 2]);
+        assert_eq!(core, cores(&adj.to_graph()));
+    }
+
+    #[test]
+    fn remove_isolating_edge_hits_zero() {
+        let mut adj = AdjacencyList::from_graph(&Graph::from_edges(2, &[(0, 1)]));
+        let mut core = cores(&adj.to_graph());
+        assert!(adj.remove_edge(0, 1));
+        let changed = coreness_after_remove(&mut core, &adj, 0, 1);
+        assert_eq!(changed, vec![0, 1]);
+        assert_eq!(core, vec![0, 0]);
+    }
+
+    #[test]
+    fn adjacency_list_roundtrip_and_edge_ops() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut adj = AdjacencyList::from_graph(&g);
+        assert_eq!(adj.to_graph(), g);
+        assert_eq!(adj.num_edges(), 5);
+        assert!(!adj.insert_edge(0, 1), "duplicate rejected");
+        assert!(!adj.insert_edge(2, 2), "self loop rejected");
+        assert!(!adj.remove_edge(0, 2), "absent edge rejected");
+        assert!(adj.insert_edge(0, 2));
+        assert!(adj.has_edge(2, 0));
+        assert_eq!(adj.num_edges(), 6);
+        assert!(adj.remove_edge(0, 2));
+        assert_eq!(adj.to_graph(), g);
+    }
+
+    /// Deterministic xorshift stream for the randomized equivalence runs.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    #[test]
+    fn random_update_stream_matches_from_scratch() {
+        let n = 60usize;
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+        let mut edges = Vec::new();
+        for _ in 0..150 {
+            let u = (rng.next() % n as u64) as VertexId;
+            let v = (rng.next() % n as u64) as VertexId;
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        let mut adj = AdjacencyList::from_graph(&Graph::from_edges(n, &edges));
+        let mut core = cores(&adj.to_graph());
+        for step in 0..400 {
+            let u = (rng.next() % n as u64) as VertexId;
+            let v = (rng.next() % n as u64) as VertexId;
+            if u == v {
+                continue;
+            }
+            if adj.has_edge(u, v) {
+                adj.remove_edge(u, v);
+                coreness_after_remove(&mut core, &adj, u, v);
+            } else {
+                adj.insert_edge(u, v);
+                coreness_after_insert(&mut core, &adj, u, v);
+            }
+            assert_eq!(core, cores(&adj.to_graph()), "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn filtered_neighbor_source_maintains_a_derived_graph() {
+        // The decomposition-index use case in miniature: maintain the
+        // coreness of "the graph restricted to even-sum edges" through a
+        // filtering NeighborSource, mutating only the base adjacency.
+        struct EvenSum<'a>(&'a AdjacencyList);
+        impl NeighborSource for EvenSum<'_> {
+            fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+                for &u in self.0.neighbors(v) {
+                    if (u + v).is_multiple_of(2) {
+                        f(u);
+                    }
+                }
+            }
+        }
+        let n = 40usize;
+        let mut rng = Rng(0xC0FF_EE00_DEAD_BEEF);
+        let mut adj = AdjacencyList::from_graph(&Graph::empty(n));
+        let mut core = vec![0u32; n];
+        for _ in 0..300 {
+            let u = (rng.next() % n as u64) as VertexId;
+            let v = (rng.next() % n as u64) as VertexId;
+            if u == v {
+                continue;
+            }
+            let filtered_edge = (u + v).is_multiple_of(2);
+            if adj.has_edge(u, v) {
+                adj.remove_edge(u, v);
+                if filtered_edge {
+                    coreness_after_remove(&mut core, &EvenSum(&adj), u, v);
+                }
+            } else {
+                adj.insert_edge(u, v);
+                if filtered_edge {
+                    coreness_after_insert(&mut core, &EvenSum(&adj), u, v);
+                }
+            }
+            let reference = adj.to_graph().filter_edges(|u, v| (u + v) % 2 == 0);
+            assert_eq!(core, cores(&reference));
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! far finer than any meaningful threshold difference in the paper's
 //! parameter sweeps.
 
+use crate::sync::lock;
 use kr_core::LocalComponent;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -88,10 +89,37 @@ pub struct CacheStats {
     /// against the graph size shows how much of the graph the index let
     /// the server skip.
     pub residual_vertices: u64,
+    /// Entries a mutation's repair pass proved still valid and kept
+    /// (version-bumped in place) instead of recomputing. See
+    /// [`ComponentCache::repair_after_mutation`].
+    pub repairs: u64,
+    /// Entries a mutation's repair pass had to drop because the deltas
+    /// could have changed their component sets. `repairs + invalidations`
+    /// totals every resident entry each mutation touched — the write-
+    /// traffic accounting identity (`docs/OPERATIONS.md`).
+    pub invalidations: u64,
+}
+
+/// What one [`ComponentCache::get_or_build`] lookup did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// Served from a resident entry at the caller's dataset version.
+    pub hit: bool,
+    /// This caller's build was the one inserted — the unique owner of
+    /// the miss's statistics. A caller that built but lost the insert
+    /// race (`hit == false, won == false`) must not attribute
+    /// preprocessing stats: exactly one miss is counted per logical
+    /// build.
+    pub won: bool,
 }
 
 struct Entry {
     comps: Arc<Vec<LocalComponent>>,
+    /// Dataset version the components were preprocessed against. A
+    /// lookup at a different version bypasses the entry (stale data is
+    /// never served); a mutation's repair pass bumps it in place when
+    /// the deltas provably cannot have changed the entry.
+    version: u64,
     /// Last-use tick for LRU eviction.
     used: u64,
 }
@@ -136,6 +164,8 @@ pub struct ComponentCache {
     oracle_evals: AtomicU64,
     index_hits: AtomicU64,
     residual_vertices: AtomicU64,
+    repairs: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl ComponentCache {
@@ -172,6 +202,8 @@ impl ComponentCache {
             oracle_evals: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             residual_vertices: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -186,47 +218,87 @@ impl ComponentCache {
         &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
-    /// Looks up `key`, running `build` on a miss. Returns the shared
-    /// component set and whether it was a hit.
+    /// Looks up `key` at dataset `version`, running `build` on a miss.
+    /// Returns the shared component set and what the lookup did.
+    ///
+    /// A resident entry counts as a hit only when its recorded dataset
+    /// version matches `version`: an entry preprocessed before a
+    /// mutation (and not repaired to the new version) is stale and is
+    /// rebuilt through `build`, never served.
     ///
     /// Only `key`'s shard is locked, and its lock is **not** held while
     /// `build` runs, so a slow preprocessing pass never blocks queries
     /// for other keys (or cache-hit queries for the same key issued
     /// earlier). Two clients racing on the same cold key may both build;
-    /// the second insert wins and the loser's arena is dropped — wasted
-    /// work bounded by one build, never wrong results.
+    /// the first insert wins, the loser adopts the winner's arena, and
+    /// **only the winner counts the miss** — cumulative miss statistics
+    /// (`misses`, `preprocess_ms`, `oracle_evals`) describe logical
+    /// builds, not racers (see [`LookupOutcome::won`]).
     pub fn get_or_build(
         &self,
         key: &CacheKey,
+        version: u64,
         build: impl FnOnce() -> Vec<LocalComponent>,
-    ) -> (Arc<Vec<LocalComponent>>, bool) {
+    ) -> (Arc<Vec<LocalComponent>>, LookupOutcome) {
         let shard = self.shard(key);
         {
-            let mut inner = shard.inner.lock().expect("cache lock");
+            let mut inner = lock(&shard.inner);
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.map.get_mut(key) {
-                entry.used = tick;
-                let comps = entry.comps.clone();
-                inner.hits += 1;
-                return (comps, true);
+                if entry.version == version {
+                    entry.used = tick;
+                    let comps = entry.comps.clone();
+                    inner.hits += 1;
+                    return (
+                        comps,
+                        LookupOutcome {
+                            hit: true,
+                            won: false,
+                        },
+                    );
+                }
+                // Stale version: fall through to a rebuild. The entry is
+                // left in place so concurrent same-version lookups still
+                // hit; the insert below replaces it.
             }
-            inner.misses += 1;
         }
         let comps = Arc::new(build());
-        let mut inner = shard.inner.lock().expect("cache lock");
+        let mut inner = lock(&shard.inner);
         inner.tick += 1;
         let tick = inner.tick;
-        let comps = inner
-            .map
-            .entry(key.clone())
-            .and_modify(|e| e.used = tick)
-            .or_insert_with(|| Entry {
-                comps: comps.clone(),
-                used: tick,
-            })
-            .comps
-            .clone();
+        let (comps, won) = match inner.map.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let e = slot.get_mut();
+                if e.version >= version {
+                    // Lost the race (or a fresher build/repair landed
+                    // mid-flight): adopt the resident arena, count
+                    // nothing — the winner already booked this build.
+                    e.used = tick;
+                    (e.comps.clone(), false)
+                } else {
+                    // The resident entry is older than our build:
+                    // replace it.
+                    *e = Entry {
+                        comps: comps.clone(),
+                        version,
+                        used: tick,
+                    };
+                    (comps, true)
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Entry {
+                    comps: comps.clone(),
+                    version,
+                    used: tick,
+                });
+                (comps, true)
+            }
+        };
+        if won {
+            inner.misses += 1;
+        }
         while inner.map.len() > shard.capacity {
             let victim = inner
                 .map
@@ -237,7 +309,73 @@ impl ComponentCache {
             inner.map.remove(&victim).expect("victim present");
             inner.evictions += 1;
         }
-        (comps, false)
+        (comps, LookupOutcome { hit: false, won })
+    }
+
+    /// Invalidate-and-repair pass after a dataset mutation: every
+    /// resident entry belonging to `dataset` is either **repaired** —
+    /// `keep` proved the mutation's deltas cannot have changed its
+    /// component set, so its version is bumped to `new_version` in place
+    /// and the preprocessed arenas keep serving — or **invalidated**
+    /// (dropped; the next query rebuilds). Returns `(repairs,
+    /// invalidations)`; the totals also accumulate into
+    /// [`CacheStats::repairs`] / [`CacheStats::invalidations`].
+    ///
+    /// `keep` runs outside the shard locks (it may probe similarity
+    /// oracles and the decomposition index); an entry that changes under
+    /// us while unlocked — replaced by a concurrent insert at a newer
+    /// version — is left alone.
+    pub fn repair_after_mutation(
+        &self,
+        dataset: &str,
+        new_version: u64,
+        mut keep: impl FnMut(&CacheKey, &[LocalComponent]) -> bool,
+    ) -> (u64, u64) {
+        let mut repairs = 0u64;
+        let mut invalidations = 0u64;
+        for shard in &self.shards {
+            let sampled: Vec<(CacheKey, Arc<Vec<LocalComponent>>, u64)> = {
+                let inner = lock(&shard.inner);
+                inner
+                    .map
+                    .iter()
+                    .filter(|(k, e)| k.dataset == dataset && e.version < new_version)
+                    .map(|(k, e)| (k.clone(), e.comps.clone(), e.version))
+                    .collect()
+            };
+            if sampled.is_empty() {
+                continue;
+            }
+            let verdicts: Vec<(CacheKey, u64, bool)> = sampled
+                .into_iter()
+                .map(|(k, comps, version)| {
+                    let kept = keep(&k, &comps);
+                    (k, version, kept)
+                })
+                .collect();
+            let mut inner = lock(&shard.inner);
+            for (k, version, kept) in verdicts {
+                // Only touch the entry we classified: a concurrent
+                // insert may have replaced it while the lock was free.
+                let Some(e) = inner.map.get_mut(&k) else {
+                    continue;
+                };
+                if e.version != version {
+                    continue;
+                }
+                if kept {
+                    e.version = new_version;
+                    repairs += 1;
+                } else {
+                    inner.map.remove(&k);
+                    invalidations += 1;
+                }
+            }
+        }
+        self.repairs.fetch_add(repairs, Ordering::Relaxed);
+        self.invalidations
+            .fetch_add(invalidations, Ordering::Relaxed);
+        (repairs, invalidations)
     }
 
     /// Records the cost of one cache-miss preprocessing pass (wall
@@ -265,10 +403,12 @@ impl ComponentCache {
             oracle_evals: self.oracle_evals.load(Ordering::Relaxed),
             index_hits: self.index_hits.load(Ordering::Relaxed),
             residual_vertices: self.residual_vertices.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             ..CacheStats::default()
         };
         for shard in &self.shards {
-            let inner = shard.inner.lock().expect("cache lock");
+            let inner = lock(&shard.inner);
             stats.hits += inner.hits;
             stats.misses += inner.misses;
             stats.evictions += inner.evictions;
@@ -309,13 +449,153 @@ mod tests {
     fn hit_after_miss() {
         let cache = ComponentCache::new(4);
         let k1 = key("d", 3, 0.25);
-        let (a, hit) = cache.get_or_build(&k1, dummy);
-        assert!(!hit);
-        let (b, hit) = cache.get_or_build(&k1, || panic!("must not rebuild"));
-        assert!(hit);
+        let (a, out) = cache.get_or_build(&k1, 0, dummy);
+        assert_eq!(
+            out,
+            LookupOutcome {
+                hit: false,
+                won: true
+            }
+        );
+        let (b, out) = cache.get_or_build(&k1, 0, || panic!("must not rebuild"));
+        assert!(out.hit);
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss_and_replaces_the_stale_entry() {
+        let cache = ComponentCache::new(4);
+        let k1 = key("d", 3, 0.25);
+        cache.get_or_build(&k1, 0, dummy);
+        // The dataset mutated (version 1): the resident version-0 entry
+        // must not be served.
+        let (_, out) = cache.get_or_build(&k1, 1, dummy);
+        assert_eq!(
+            out,
+            LookupOutcome {
+                hit: false,
+                won: true
+            }
+        );
+        // And the rebuild replaced it: version 1 now hits.
+        let (_, out) = cache.get_or_build(&k1, 1, || panic!("must not rebuild"));
+        assert!(out.hit);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn racing_builders_count_one_miss_total() {
+        // The PR 10 double-count pin: two clients race the same cold
+        // key; both build, one insert wins, and the merged stats must
+        // describe ONE logical build — `misses == 1` and exactly one
+        // racer reporting `won` (the one licensed to attribute
+        // preprocess stats).
+        let cache = Arc::new(ComponentCache::new(4));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let racers: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = cache.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let k = key("cold", 3, 0.25);
+                    let (_, out) = cache.get_or_build(&k, 0, || {
+                        barrier.wait(); // both racers are now inside build
+                        dummy()
+                    });
+                    out
+                })
+            })
+            .collect();
+        let outcomes: Vec<LookupOutcome> = racers.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(outcomes.iter().all(|o| !o.hit));
+        assert_eq!(outcomes.iter().filter(|o| o.won).count(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one logical build, one miss");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn repair_pass_bumps_kept_entries_and_drops_the_rest() {
+        let cache = ComponentCache::new(8);
+        cache.get_or_build(&key("d", 2, 0.1), 0, dummy);
+        cache.get_or_build(&key("d", 3, 0.1), 0, dummy);
+        cache.get_or_build(&key("other", 2, 0.1), 0, dummy);
+        // Keep k=2 entries, drop the rest; "other" must be untouched.
+        let (repairs, invalidations) = cache.repair_after_mutation("d", 1, |k, _| k.k == 2);
+        assert_eq!((repairs, invalidations), (1, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.repairs, stats.invalidations), (1, 1));
+        assert_eq!(stats.entries, 2);
+        // The repaired entry serves version 1 without a rebuild...
+        let (_, out) = cache.get_or_build(&key("d", 2, 0.1), 1, || panic!("repaired"));
+        assert!(out.hit);
+        // ...the invalidated one rebuilds...
+        let (_, out) = cache.get_or_build(&key("d", 3, 0.1), 1, dummy);
+        assert!(!out.hit);
+        // ...and the other dataset still hits at its own version.
+        let (_, out) = cache.get_or_build(&key("other", 2, 0.1), 0, || panic!("untouched"));
+        assert!(out.hit);
+    }
+
+    #[test]
+    fn panicking_build_leaves_the_shard_usable() {
+        // The PR 10 lock-poisoning pin: a session that panics mid-build
+        // (engine bug, poisoned downstream lock, anything) must not
+        // brick the shard for every later query.
+        let cache = Arc::new(ComponentCache::with_shards(4, 1));
+        let k1 = key("d", 3, 0.25);
+        let cache2 = cache.clone();
+        let k = k1.clone();
+        let result = std::thread::spawn(move || {
+            cache2.get_or_build(&k, 0, || panic!("build blew up"));
+        })
+        .join();
+        assert!(result.is_err(), "the build must have panicked");
+        // Same shard (single-shard cache), same key: serving continues.
+        let (_, out) = cache.get_or_build(&k1, 0, dummy);
+        assert_eq!(
+            out,
+            LookupOutcome {
+                hit: false,
+                won: true
+            }
+        );
+        let (_, out) = cache.get_or_build(&k1, 0, || panic!("must not rebuild"));
+        assert!(out.hit);
+    }
+
+    #[test]
+    fn poisoned_shard_lock_recovers_and_counts() {
+        // Stronger than the panicking-build pin: poison the shard's
+        // actual mutex (a panic while holding it) and verify lookups
+        // recover through `sync::lock` instead of propagating the
+        // poison, bumping `server.lock_recoveries`.
+        let cache = Arc::new(ComponentCache::with_shards(4, 1));
+        let before = crate::sync::lock_recoveries().get();
+        let cache2 = cache.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = cache2.shards[0].inner.lock().unwrap();
+            panic!("poison the shard lock");
+        })
+        .join();
+        let (_, out) = cache.get_or_build(&key("d", 3, 0.25), 0, dummy);
+        assert_eq!(
+            out,
+            LookupOutcome {
+                hit: false,
+                won: true
+            }
+        );
+        let (_, out) = cache.get_or_build(&key("d", 3, 0.25), 0, || panic!("cached"));
+        assert!(out.hit);
+        assert!(cache.stats().entries == 1);
+        assert!(
+            crate::sync::lock_recoveries().get() > before,
+            "recoveries must be counted"
+        );
     }
 
     #[test]
@@ -328,17 +608,17 @@ mod tests {
     fn lru_evicts_least_recently_used() {
         let cache = ComponentCache::new(2);
         let (ka, kb, kc) = (key("a", 1, 0.1), key("b", 1, 0.1), key("c", 1, 0.1));
-        cache.get_or_build(&ka, dummy);
-        cache.get_or_build(&kb, dummy);
-        cache.get_or_build(&ka, dummy); // refresh a; b is now LRU
-        cache.get_or_build(&kc, dummy); // evicts b
+        cache.get_or_build(&ka, 0, dummy);
+        cache.get_or_build(&kb, 0, dummy);
+        cache.get_or_build(&ka, 0, dummy); // refresh a; b is now LRU
+        cache.get_or_build(&kc, 0, dummy); // evicts b
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
-        let (_, hit) = cache.get_or_build(&ka, dummy);
-        assert!(hit, "a must survive");
-        let (_, hit) = cache.get_or_build(&kb, dummy);
-        assert!(!hit, "b was evicted");
+        let (_, out) = cache.get_or_build(&ka, 0, dummy);
+        assert!(out.hit, "a must survive");
+        let (_, out) = cache.get_or_build(&kb, 0, dummy);
+        assert!(!out.hit, "b was evicted");
     }
 
     #[test]
@@ -346,13 +626,13 @@ mod tests {
         let cache = ComponentCache::new(1);
         let per_entry = entry_bytes(&dummy());
         assert!(per_entry > 0);
-        cache.get_or_build(&key("a", 1, 0.1), dummy);
+        cache.get_or_build(&key("a", 1, 0.1), 0, dummy);
         assert_eq!(cache.stats().resident_bytes, per_entry);
         // Same key again: a hit, no double counting.
-        cache.get_or_build(&key("a", 1, 0.1), dummy);
+        cache.get_or_build(&key("a", 1, 0.1), 0, dummy);
         assert_eq!(cache.stats().resident_bytes, per_entry);
         // New key evicts the old entry: footprint stays one entry's worth.
-        cache.get_or_build(&key("b", 1, 0.1), dummy);
+        cache.get_or_build(&key("b", 1, 0.1), 0, dummy);
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.resident_bytes, per_entry);
@@ -392,8 +672,8 @@ mod tests {
         )
         .with_dissim_mode(DissimMode::Lazy);
         let cache = ComponentCache::new(2);
-        let (comps, hit) = cache.get_or_build(&key("lazy", 2, 7.0), || p.preprocess());
-        assert!(!hit);
+        let (comps, out) = cache.get_or_build(&key("lazy", 2, 7.0), 0, || p.preprocess());
+        assert!(!out.hit);
         assert!(comps.iter().any(|c| c.is_dissimilarity_lazy()));
         let before = cache.stats().resident_bytes;
         // Touch every dissimilarity row through the slice accessor — the
@@ -455,7 +735,7 @@ mod tests {
         // capacity (the per-shard bounds sum exactly to it).
         let cache = ComponentCache::with_shards(10, 4);
         for i in 0..50 {
-            cache.get_or_build(&key(&format!("d{i}"), 1, 0.1), dummy);
+            cache.get_or_build(&key(&format!("d{i}"), 1, 0.1), 0, dummy);
         }
         let stats = cache.stats();
         assert!(stats.entries <= 10, "entries = {}", stats.entries);
@@ -473,8 +753,8 @@ mod tests {
             for round in 0..3 {
                 for i in 0..16 {
                     let k = key(&format!("d{}", i % 8), 2 + (i % 3) as u32, 0.1 * i as f64);
-                    let (_, hit) = cache.get_or_build(&k, dummy);
-                    if !hit {
+                    let (_, out) = cache.get_or_build(&k, 0, dummy);
+                    if out.won {
                         cache.record_preprocess(5, 100);
                         cache.record_index(40);
                     }
@@ -493,11 +773,11 @@ mod tests {
     #[test]
     fn distinct_params_distinct_entries() {
         let cache = ComponentCache::new(8);
-        cache.get_or_build(&key("d", 3, 0.25), dummy);
-        let (_, hit) = cache.get_or_build(&key("d", 4, 0.25), dummy);
-        assert!(!hit);
-        let (_, hit) = cache.get_or_build(&key("d", 3, 0.5), dummy);
-        assert!(!hit);
+        cache.get_or_build(&key("d", 3, 0.25), 0, dummy);
+        let (_, out) = cache.get_or_build(&key("d", 4, 0.25), 0, dummy);
+        assert!(!out.hit);
+        let (_, out) = cache.get_or_build(&key("d", 3, 0.5), 0, dummy);
+        assert!(!out.hit);
         assert_eq!(cache.stats().entries, 3);
     }
 }

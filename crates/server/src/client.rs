@@ -6,6 +6,7 @@
 //! run one at a time with auto-generated correlation ids.
 
 use crate::cache::CacheStats;
+use crate::datasets::AttributeValue;
 use crate::protocol::{
     CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
 };
@@ -92,6 +93,31 @@ pub struct QueryResult {
     /// Server-assigned trace id from the `done` frame (`""` against an
     /// older, untraced server). Grep the server's `--log` output for
     /// this value to see the query's span events.
+    pub trace: String,
+}
+
+/// Outcome of one mutation batch (`add_edge` / `remove_edge` /
+/// `set_attribute`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationResult {
+    /// Updates that changed the graph.
+    pub applied: u64,
+    /// No-op updates (edge already present / already absent / attribute
+    /// unchanged) — valid, but skipped.
+    pub ignored: u64,
+    /// The dataset's version after the batch (unchanged when every
+    /// update was a no-op).
+    pub version: u64,
+    /// Vertices whose coreness changed in some maintained band.
+    pub core_updates: u64,
+    /// Cached component sets proven still valid and revalidated in
+    /// place.
+    pub repairs: u64,
+    /// Cached component sets the batch could have changed, dropped.
+    pub invalidations: u64,
+    /// Server-side wall clock for the whole batch.
+    pub elapsed_ms: u64,
+    /// Server-assigned trace id from the `mutated` frame.
     pub trace: String,
 }
 
@@ -254,6 +280,95 @@ impl Client {
             } if fid == id => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
+    }
+
+    /// Waits for the `mutated` ack to a mutation batch.
+    fn collect_mutation(&mut self, id: &str) -> Result<MutationResult, ClientError> {
+        match self.read_frame()? {
+            Frame::Mutated {
+                id: fid,
+                trace,
+                applied,
+                ignored,
+                version,
+                core_updates,
+                repairs,
+                invalidations,
+                elapsed_ms,
+            } if fid == id => Ok(MutationResult {
+                applied,
+                ignored,
+                version,
+                core_updates,
+                repairs,
+                invalidations,
+                elapsed_ms,
+                trace,
+            }),
+            Frame::Error {
+                id: fid,
+                code,
+                message,
+                ..
+            } if fid == id => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Inserts a batch of edges into a resident dataset. The whole batch
+    /// is validated before any edge is applied; edges already present
+    /// count as `ignored`.
+    pub fn add_edges(
+        &mut self,
+        dataset: &str,
+        scale: f64,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Result<MutationResult, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::AddEdges {
+            id: id.clone(),
+            dataset: dataset.to_string(),
+            scale,
+            edges,
+        })?;
+        self.collect_mutation(&id)
+    }
+
+    /// Removes a batch of edges from a resident dataset; edges already
+    /// absent count as `ignored`.
+    pub fn remove_edges(
+        &mut self,
+        dataset: &str,
+        scale: f64,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Result<MutationResult, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::RemoveEdges {
+            id: id.clone(),
+            dataset: dataset.to_string(),
+            scale,
+            edges,
+        })?;
+        self.collect_mutation(&id)
+    }
+
+    /// Replaces vertex attributes on a resident dataset. Every update
+    /// must match the dataset's attribute family (points / keywords /
+    /// vectors of the right dimension).
+    pub fn set_attributes(
+        &mut self,
+        dataset: &str,
+        scale: f64,
+        updates: Vec<(VertexId, AttributeValue)>,
+    ) -> Result<MutationResult, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::SetAttributes {
+            id: id.clone(),
+            dataset: dataset.to_string(),
+            scale,
+            updates,
+        })?;
+        self.collect_mutation(&id)
     }
 
     /// Liveness probe.

@@ -54,10 +54,14 @@ pub mod obs;
 pub mod protocol;
 pub mod server;
 pub(crate) mod session;
+pub(crate) mod sync;
 
-pub use cache::{CacheKey, CacheStats, ComponentCache, DEFAULT_SHARDS};
-pub use client::{Client, ClientError, QueryResult};
-pub use datasets::{dataset_key, DatasetRegistry, HostedDataset};
+pub use cache::{CacheKey, CacheStats, ComponentCache, LookupOutcome, DEFAULT_SHARDS};
+pub use client::{Client, ClientError, MutationResult, QueryResult};
+pub use datasets::{
+    dataset_key, AttributeValue, DatasetRegistry, DatasetView, GraphUpdate, HostedDataset,
+    MutationDelta, MutationOutcome,
+};
 pub use kr_obs::{HistogramSnapshot, MetricsSnapshot, TraceSink, HIST_BUCKETS};
 pub use obs::ServerMetrics;
 pub use protocol::{

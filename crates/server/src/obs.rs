@@ -43,6 +43,16 @@ pub struct ServerMetrics {
     /// error). Distinct from `query_errors`: the server was healthy, the
     /// client hung up.
     pub client_aborts: Arc<Counter>,
+    /// Mutation batches accepted (`add_edge` / `remove_edge` /
+    /// `set_attribute`). Counted separately from `server.queries` so the
+    /// query-accounting identity (latency samples + aborts + rejections
+    /// + errors = queries) is undisturbed by write traffic.
+    pub mutations: Arc<Counter>,
+    /// Mutation batches that ended in an error frame (bad scale, unknown
+    /// dataset, rejected batch).
+    pub mutation_errors: Arc<Counter>,
+    /// Individual updates that changed a dataset (batch `applied` sums).
+    pub updates_applied: Arc<Counter>,
     /// Queries currently executing.
     pub active_queries: Arc<Gauge>,
     /// End-to-end latency of successfully answered queries, µs.
@@ -72,6 +82,9 @@ impl ServerMetrics {
             busy_rejections: registry.counter("server.busy_rejections"),
             admission_rejections: registry.counter("server.admission_rejections"),
             client_aborts: registry.counter("server.client_aborts"),
+            mutations: registry.counter("server.mutations"),
+            mutation_errors: registry.counter("server.mutation_errors"),
+            updates_applied: registry.counter("server.updates_applied"),
             active_queries: registry.gauge("server.active_queries"),
             query_latency_us: registry.histogram("server.query_latency_us"),
             preprocess_us: registry.histogram("server.preprocess_us"),

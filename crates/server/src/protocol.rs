@@ -30,6 +30,7 @@
 //! trace), so v1 stays backward compatible.
 
 use crate::cache::CacheStats;
+use crate::datasets::AttributeValue;
 use crate::json::{self, Json, JsonError};
 use kr_graph::VertexId;
 use kr_obs::{HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
@@ -44,6 +45,9 @@ pub const PROTOCOL_VERSION: u64 = 1;
 pub const REQUEST_CMDS: &[&str] = &[
     "enumerate",
     "maximum",
+    "add_edge",
+    "remove_edge",
+    "set_attribute",
     "stats",
     "metrics",
     "ping",
@@ -58,6 +62,7 @@ pub const FRAME_KINDS: &[&str] = &[
     "busy",
     "core",
     "done",
+    "mutated",
     "stats",
     "metrics",
     "pong",
@@ -153,6 +158,42 @@ pub enum Request {
         id: String,
         /// Query parameters.
         spec: QuerySpec,
+    },
+    /// Insert a batch of edges into a resident dataset (answered by one
+    /// `mutated` frame; the whole batch applies atomically or not at
+    /// all).
+    AddEdges {
+        /// Correlation id.
+        id: String,
+        /// Dataset preset / registered file name.
+        dataset: String,
+        /// Dataset scale factor (same resolution rules as a query's).
+        scale: f64,
+        /// Edges to insert, as `[u, v]` vertex-id pairs.
+        edges: Vec<(VertexId, VertexId)>,
+    },
+    /// Remove a batch of edges from a resident dataset.
+    RemoveEdges {
+        /// Correlation id.
+        id: String,
+        /// Dataset preset / registered file name.
+        dataset: String,
+        /// Dataset scale factor (same resolution rules as a query's).
+        scale: f64,
+        /// Edges to remove, as `[u, v]` vertex-id pairs.
+        edges: Vec<(VertexId, VertexId)>,
+    },
+    /// Replace attribute values for a batch of vertices.
+    SetAttributes {
+        /// Correlation id.
+        id: String,
+        /// Dataset preset / registered file name.
+        dataset: String,
+        /// Dataset scale factor (same resolution rules as a query's).
+        scale: f64,
+        /// `(vertex, replacement value)` pairs; the value family must
+        /// match the dataset's attribute table.
+        updates: Vec<(VertexId, AttributeValue)>,
     },
     /// Component-cache statistics.
     Stats {
@@ -250,6 +291,31 @@ pub enum Frame {
         elapsed_ms: u64,
         /// Search nodes visited.
         nodes: u64,
+    },
+    /// Acknowledges one mutation batch (`add_edge` / `remove_edge` /
+    /// `set_attribute`): what was applied and what the invalidate-and-
+    /// repair pass did to the component cache.
+    Mutated {
+        /// Correlation id.
+        id: String,
+        /// Server-assigned trace id ("" = untraced / older server).
+        trace: String,
+        /// Updates that changed the dataset.
+        applied: u64,
+        /// No-op updates (duplicate insert, absent removal, identical
+        /// attribute value).
+        ignored: u64,
+        /// Dataset version after the batch.
+        version: u64,
+        /// `(vertex, layer)` core numbers the incremental maintenance
+        /// repaired in the decomposition index.
+        core_updates: u64,
+        /// Cached component sets proven still valid and kept.
+        repairs: u64,
+        /// Cached component sets dropped (next query rebuilds them).
+        invalidations: u64,
+        /// Server-side wall clock for the batch.
+        elapsed_ms: u64,
     },
     /// Cache statistics snapshot.
     Stats {
@@ -522,6 +588,158 @@ fn metrics_from_json(v: &Json) -> Result<MetricsSnapshot, ProtoError> {
     Ok(snap)
 }
 
+fn edges_to_json(edges: &[(VertexId, VertexId)]) -> Json {
+    Json::Arr(
+        edges
+            .iter()
+            .map(|&(u, v)| Json::Arr(vec![json::n(u as f64), json::n(v as f64)]))
+            .collect(),
+    )
+}
+
+fn attr_update_to_json(vertex: VertexId, value: &AttributeValue) -> Json {
+    let mut fields = vec![("vertex", json::n(vertex as f64))];
+    match value {
+        AttributeValue::Point(x, y) => {
+            fields.push(("point", Json::Arr(vec![json::n(*x), json::n(*y)])));
+        }
+        AttributeValue::Keywords(list) => {
+            fields.push((
+                "keywords",
+                Json::Arr(
+                    list.iter()
+                        .map(|&(k, w)| Json::Arr(vec![json::n(k as f64), json::n(w)]))
+                        .collect(),
+                ),
+            ));
+        }
+        AttributeValue::Vector(vec) => {
+            fields.push((
+                "vector",
+                Json::Arr(vec.iter().map(|&x| json::n(x)).collect()),
+            ));
+        }
+    }
+    json::obj(fields)
+}
+
+fn vertex_from_json(x: &Json) -> Result<VertexId, ProtoError> {
+    x.as_u64()
+        .filter(|&x| x <= VertexId::MAX as u64)
+        .map(|x| x as VertexId)
+        .ok_or_else(|| malformed("vertex ids must be non-negative integers"))
+}
+
+fn scale_from_json(v: &Json) -> Result<f64, ProtoError> {
+    match v.get("scale") {
+        None => Ok(DEFAULT_SCALE),
+        Some(s) => s
+            .as_f64()
+            .filter(|s| s.is_finite() && *s > 0.0 && *s <= 100.0)
+            .ok_or_else(|| malformed("'scale' must be in (0, 100]")),
+    }
+}
+
+/// Decodes the `(dataset, scale)` target shared by all mutation
+/// requests.
+fn mutation_target(v: &Json) -> Result<(String, f64), ProtoError> {
+    let dataset = v
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("missing string field 'dataset'"))?
+        .to_string();
+    Ok((dataset, scale_from_json(v)?))
+}
+
+fn edges_from_json(v: &Json) -> Result<Vec<(VertexId, VertexId)>, ProtoError> {
+    let arr = v
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| malformed("missing array field 'edges'"))?;
+    if arr.is_empty() {
+        return Err(malformed("'edges' must be a non-empty array"));
+    }
+    arr.iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| malformed("'edges' must hold [u, v] pairs"))?;
+            Ok((vertex_from_json(&pair[0])?, vertex_from_json(&pair[1])?))
+        })
+        .collect()
+}
+
+fn attr_updates_from_json(v: &Json) -> Result<Vec<(VertexId, AttributeValue)>, ProtoError> {
+    let arr = v
+        .get("updates")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| malformed("missing array field 'updates'"))?;
+    if arr.is_empty() {
+        return Err(malformed("'updates' must be a non-empty array"));
+    }
+    arr.iter()
+        .map(|up| {
+            let vertex = vertex_from_json(
+                up.get("vertex")
+                    .ok_or_else(|| malformed("update missing integer field 'vertex'"))?,
+            )?;
+            let value = match (up.get("point"), up.get("keywords"), up.get("vector")) {
+                (Some(p), None, None) => {
+                    let p = p
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| malformed("'point' must be an [x, y] pair"))?;
+                    let coord = |x: &Json| {
+                        x.as_f64()
+                            .ok_or_else(|| malformed("'point' coordinates must be numbers"))
+                    };
+                    AttributeValue::Point(coord(&p[0])?, coord(&p[1])?)
+                }
+                (None, Some(kw), None) => {
+                    let list = kw
+                        .as_arr()
+                        .ok_or_else(|| malformed("'keywords' must be an array"))?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                                malformed("'keywords' must hold [id, weight] pairs")
+                            })?;
+                            let id = pair[0]
+                                .as_u64()
+                                .filter(|&k| k <= u32::MAX as u64)
+                                .ok_or_else(|| malformed("keyword ids must be u32 integers"))?;
+                            let w = pair[1]
+                                .as_f64()
+                                .ok_or_else(|| malformed("keyword weights must be numbers"))?;
+                            Ok((id as u32, w))
+                        })
+                        .collect::<Result<Vec<_>, ProtoError>>()?;
+                    AttributeValue::Keywords(list)
+                }
+                (None, None, Some(vec)) => {
+                    let vals = vec
+                        .as_arr()
+                        .ok_or_else(|| malformed("'vector' must be an array"))?
+                        .iter()
+                        .map(|x| {
+                            x.as_f64()
+                                .ok_or_else(|| malformed("'vector' components must be numbers"))
+                        })
+                        .collect::<Result<Vec<_>, ProtoError>>()?;
+                    AttributeValue::Vector(vals)
+                }
+                _ => {
+                    return Err(malformed(
+                        "update must carry exactly one of 'point', 'keywords', 'vector'",
+                    ))
+                }
+            };
+            Ok((vertex, value))
+        })
+        .collect()
+}
+
 fn spec_to_fields(spec: &QuerySpec, fields: &mut Vec<(&str, Json)>) {
     fields.push(("dataset", json::s(&spec.dataset)));
     fields.push(("scale", json::n(spec.scale)));
@@ -553,13 +771,7 @@ fn spec_from_json(v: &Json) -> Result<QuerySpec, ProtoError> {
         .and_then(Json::as_f64)
         .filter(|r| r.is_finite() && *r >= 0.0)
         .ok_or_else(|| malformed("'r' must be a finite number >= 0"))?;
-    let scale = match v.get("scale") {
-        None => DEFAULT_SCALE,
-        Some(s) => s
-            .as_f64()
-            .filter(|s| s.is_finite() && *s > 0.0 && *s <= 100.0)
-            .ok_or_else(|| malformed("'scale' must be in (0, 100]"))?,
-    };
+    let scale = scale_from_json(v)?;
     let algo = match v.get("algo") {
         None => Algo::Adv,
         Some(a) => a
@@ -611,6 +823,50 @@ impl Request {
                 fields.push(("id", json::s(id)));
                 spec_to_fields(spec, &mut fields);
             }
+            Request::AddEdges {
+                id,
+                dataset,
+                scale,
+                edges,
+            } => {
+                fields.push(("cmd", json::s("add_edge")));
+                fields.push(("id", json::s(id)));
+                fields.push(("dataset", json::s(dataset)));
+                fields.push(("scale", json::n(*scale)));
+                fields.push(("edges", edges_to_json(edges)));
+            }
+            Request::RemoveEdges {
+                id,
+                dataset,
+                scale,
+                edges,
+            } => {
+                fields.push(("cmd", json::s("remove_edge")));
+                fields.push(("id", json::s(id)));
+                fields.push(("dataset", json::s(dataset)));
+                fields.push(("scale", json::n(*scale)));
+                fields.push(("edges", edges_to_json(edges)));
+            }
+            Request::SetAttributes {
+                id,
+                dataset,
+                scale,
+                updates,
+            } => {
+                fields.push(("cmd", json::s("set_attribute")));
+                fields.push(("id", json::s(id)));
+                fields.push(("dataset", json::s(dataset)));
+                fields.push(("scale", json::n(*scale)));
+                fields.push((
+                    "updates",
+                    Json::Arr(
+                        updates
+                            .iter()
+                            .map(|(v, value)| attr_update_to_json(*v, value))
+                            .collect(),
+                    ),
+                ));
+            }
             Request::Stats { id } => {
                 fields.push(("cmd", json::s("stats")));
                 fields.push(("id", json::s(id)));
@@ -645,6 +901,33 @@ impl Request {
                 id,
                 spec: spec_from_json(&v)?,
             }),
+            Some("add_edge") => {
+                let (dataset, scale) = mutation_target(&v)?;
+                Ok(Request::AddEdges {
+                    id,
+                    dataset,
+                    scale,
+                    edges: edges_from_json(&v)?,
+                })
+            }
+            Some("remove_edge") => {
+                let (dataset, scale) = mutation_target(&v)?;
+                Ok(Request::RemoveEdges {
+                    id,
+                    dataset,
+                    scale,
+                    edges: edges_from_json(&v)?,
+                })
+            }
+            Some("set_attribute") => {
+                let (dataset, scale) = mutation_target(&v)?;
+                Ok(Request::SetAttributes {
+                    id,
+                    dataset,
+                    scale,
+                    updates: attr_updates_from_json(&v)?,
+                })
+            }
             Some("stats") => Ok(Request::Stats { id }),
             Some("metrics") => Ok(Request::Metrics { id }),
             Some("ping") => Ok(Request::Ping { id }),
@@ -706,6 +989,28 @@ impl Frame {
                 fields.push(("elapsed_ms", json::n(*elapsed_ms as f64)));
                 fields.push(("nodes", json::n(*nodes as f64)));
             }
+            Frame::Mutated {
+                id,
+                trace,
+                applied,
+                ignored,
+                version,
+                core_updates,
+                repairs,
+                invalidations,
+                elapsed_ms,
+            } => {
+                fields.push(("frame", json::s("mutated")));
+                fields.push(("id", json::s(id)));
+                push_trace(trace, &mut fields);
+                fields.push(("applied", json::n(*applied as f64)));
+                fields.push(("ignored", json::n(*ignored as f64)));
+                fields.push(("version", json::n(*version as f64)));
+                fields.push(("core_updates", json::n(*core_updates as f64)));
+                fields.push(("repairs", json::n(*repairs as f64)));
+                fields.push(("invalidations", json::n(*invalidations as f64)));
+                fields.push(("elapsed_ms", json::n(*elapsed_ms as f64)));
+            }
             Frame::Stats { id, trace, stats } => {
                 fields.push(("frame", json::s("stats")));
                 fields.push(("id", json::s(id)));
@@ -719,6 +1024,8 @@ impl Frame {
                 fields.push(("oracle_evals", json::n(stats.oracle_evals as f64)));
                 fields.push(("index_hits", json::n(stats.index_hits as f64)));
                 fields.push(("residual_vertices", json::n(stats.residual_vertices as f64)));
+                fields.push(("repairs", json::n(stats.repairs as f64)));
+                fields.push(("invalidations", json::n(stats.invalidations as f64)));
             }
             Frame::Metrics {
                 id,
@@ -820,6 +1127,17 @@ impl Frame {
                 elapsed_ms: req_u64("elapsed_ms")?,
                 nodes: req_u64("nodes")?,
             }),
+            Some("mutated") => Ok(Frame::Mutated {
+                id,
+                trace,
+                applied: req_u64("applied")?,
+                ignored: req_u64("ignored")?,
+                version: req_u64("version")?,
+                core_updates: req_u64("core_updates")?,
+                repairs: req_u64("repairs")?,
+                invalidations: req_u64("invalidations")?,
+                elapsed_ms: req_u64("elapsed_ms")?,
+            }),
             Some("stats") => Ok(Frame::Stats {
                 id,
                 trace,
@@ -839,6 +1157,9 @@ impl Frame {
                         .get("residual_vertices")
                         .and_then(Json::as_u64)
                         .unwrap_or(0),
+                    // Absent on frames from pre-PR10 servers: default 0.
+                    repairs: v.get("repairs").and_then(Json::as_u64).unwrap_or(0),
+                    invalidations: v.get("invalidations").and_then(Json::as_u64).unwrap_or(0),
                 },
             }),
             Some("metrics") => Ok(Frame::Metrics {
@@ -894,6 +1215,28 @@ mod tests {
             Request::Metrics { id: "m".into() },
             Request::Ping { id: String::new() },
             Request::Shutdown { id: "bye".into() },
+            Request::AddEdges {
+                id: "u1".into(),
+                dataset: "gowalla-like".into(),
+                scale: 0.25,
+                edges: vec![(0, 7), (3, 12)],
+            },
+            Request::RemoveEdges {
+                id: "u2".into(),
+                dataset: "dblp-like".into(),
+                scale: 1.0,
+                edges: vec![(5, 6)],
+            },
+            Request::SetAttributes {
+                id: "u3".into(),
+                dataset: "gowalla-like".into(),
+                scale: 0.25,
+                updates: vec![
+                    (4, AttributeValue::Point(1.5, -2.0)),
+                    (9, AttributeValue::Keywords(vec![(3, 1.0), (8, 0.5)])),
+                    (2, AttributeValue::Vector(vec![0.0, 1.0, 2.5])),
+                ],
+            },
         ];
         for req in reqs {
             let line = req.to_line();
@@ -941,7 +1284,20 @@ mod tests {
                     oracle_evals: 12345,
                     index_hits: 2,
                     residual_vertices: 678,
+                    repairs: 3,
+                    invalidations: 1,
                 },
+            },
+            Frame::Mutated {
+                id: "u1".into(),
+                trace: "00f1a2b3c4d5e6f7".into(),
+                applied: 2,
+                ignored: 1,
+                version: 7,
+                core_updates: 5,
+                repairs: 3,
+                invalidations: 1,
+                elapsed_ms: 4,
             },
             Frame::Metrics {
                 id: "m".into(),
@@ -1010,6 +1366,24 @@ mod tests {
             Request::Metrics { id: "i".into() },
             Request::Ping { id: "i".into() },
             Request::Shutdown { id: "i".into() },
+            Request::AddEdges {
+                id: "i".into(),
+                dataset: "d".into(),
+                scale: 1.0,
+                edges: vec![(0, 1)],
+            },
+            Request::RemoveEdges {
+                id: "i".into(),
+                dataset: "d".into(),
+                scale: 1.0,
+                edges: vec![(0, 1)],
+            },
+            Request::SetAttributes {
+                id: "i".into(),
+                dataset: "d".into(),
+                scale: 1.0,
+                updates: vec![(0, AttributeValue::Point(0.0, 0.0))],
+            },
         ];
         assert_eq!(reqs.len(), REQUEST_CMDS.len());
         for req in &reqs {
@@ -1050,6 +1424,17 @@ mod tests {
                 id: "i".into(),
                 trace: String::new(),
                 stats: CacheStats::default(),
+            },
+            Frame::Mutated {
+                id: "i".into(),
+                trace: String::new(),
+                applied: 0,
+                ignored: 0,
+                version: 0,
+                core_updates: 0,
+                repairs: 0,
+                invalidations: 0,
+                elapsed_ms: 0,
             },
             Frame::Metrics {
                 id: "i".into(),
@@ -1120,6 +1505,8 @@ mod tests {
                         assert_eq!(stats.index_hits, 0, "PR 6 field");
                         assert_eq!(stats.residual_vertices, 0, "PR 6 field");
                         assert_eq!(trace, "", "PR 7 field");
+                        assert_eq!(stats.repairs, 0, "PR 10 field");
+                        assert_eq!(stats.invalidations, 0, "PR 10 field");
                     }
                     other => panic!("wrong frame {other:?}"),
                 },

@@ -13,6 +13,7 @@ use crate::datasets::DatasetRegistry;
 use crate::obs::ServerMetrics;
 use crate::protocol::Frame;
 use crate::session;
+use crate::sync::lock;
 use kr_obs::{Field, TraceSink};
 use std::collections::HashMap;
 use std::io::Write;
@@ -148,7 +149,7 @@ impl ServerState {
             }
             Some(limit) => limit.max(1),
         };
-        let mut book = self.admission.lock().expect("admission lock");
+        let mut book = lock(&self.admission);
         let in_flight = book.entry(dataset_key.to_string()).or_insert(0);
         if *in_flight >= limit {
             return Err(limit);
@@ -183,7 +184,7 @@ pub(crate) struct AdmissionGuard {
 impl Drop for AdmissionGuard {
     fn drop(&mut self) {
         if let Some(key) = &self.key {
-            let mut book = self.state.admission.lock().expect("admission lock");
+            let mut book = lock(&self.state.admission);
             if let Some(in_flight) = book.get_mut(key) {
                 *in_flight = in_flight.saturating_sub(1);
                 if *in_flight == 0 {

@@ -25,17 +25,20 @@
 //! preprocessing histograms, request/rejection counters, the in-flight
 //! gauge), which a `metrics` request returns over the wire.
 
-use crate::cache::{r_band, CacheKey};
+use crate::cache::{r_band, CacheKey, R_BAND_WIDTH};
+use crate::datasets::{GraphUpdate, HostedDataset, MutationOutcome};
 use crate::json::Json;
 use crate::protocol::{
     Algo, CacheOutcome, ErrorCode, Frame, ProtoError, QuerySpec, Request, PROTOCOL_VERSION,
 };
 use crate::server::{ServerState, SessionPermit};
+use crate::sync::lock;
 use kr_core::{
     enumerate_maximal_prepared, enumerate_maximal_prepared_on, find_maximum_prepared,
-    find_maximum_prepared_on, AlgoConfig, CancelFlag, CoreHook, KrCore,
+    find_maximum_prepared_on, AlgoConfig, CancelFlag, CoreHook, KrCore, LocalComponent,
 };
 use kr_obs::{next_trace_id, Field, PhaseTimer};
+use kr_similarity::{SimilarityOracle, TableOracle};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -55,7 +58,9 @@ type SharedWriter = Arc<Mutex<TcpStream>>;
 fn write_frame(writer: &SharedWriter, frame: &Frame) -> std::io::Result<()> {
     let mut line = frame.to_line();
     line.push('\n');
-    let mut stream = writer.lock().expect("writer lock");
+    // Poison-tolerant: a panicking query thread must not wedge every
+    // later frame write on this connection (see `crate::sync`).
+    let mut stream = lock(writer);
     stream.write_all(line.as_bytes())
 }
 
@@ -92,7 +97,7 @@ struct AbortProbe {
 
 impl AbortProbe {
     fn new(writer: &SharedWriter) -> Option<AbortProbe> {
-        let stream = writer.lock().ok()?.try_clone().ok()?;
+        let stream = lock(writer).try_clone().ok()?;
         Some(AbortProbe { stream })
     }
 
@@ -259,6 +264,9 @@ fn handle_line(line: &str, writer: &SharedWriter, state: &Arc<ServerState>) -> s
             Request::Shutdown { id } => ("shutdown", id),
             Request::Enumerate { id, .. } => ("enumerate", id),
             Request::Maximum { id, .. } => ("maximum", id),
+            Request::AddEdges { id, .. } => ("add_edge", id),
+            Request::RemoveEdges { id, .. } => ("remove_edge", id),
+            Request::SetAttributes { id, .. } => ("set_attribute", id),
         };
         state.trace.event(
             &trace,
@@ -294,6 +302,42 @@ fn handle_line(line: &str, writer: &SharedWriter, state: &Arc<ServerState>) -> s
         }
         Request::Maximum { id, spec } => {
             run_query(QueryKind::Maximum, id, trace, spec, writer, state)
+        }
+        Request::AddEdges {
+            id,
+            dataset,
+            scale,
+            edges,
+        } => {
+            let updates = edges
+                .into_iter()
+                .map(|(u, v)| GraphUpdate::AddEdge(u, v))
+                .collect();
+            run_mutation(id, trace, dataset, scale, updates, writer, state)
+        }
+        Request::RemoveEdges {
+            id,
+            dataset,
+            scale,
+            edges,
+        } => {
+            let updates = edges
+                .into_iter()
+                .map(|(u, v)| GraphUpdate::RemoveEdge(u, v))
+                .collect();
+            run_mutation(id, trace, dataset, scale, updates, writer, state)
+        }
+        Request::SetAttributes {
+            id,
+            dataset,
+            scale,
+            updates,
+        } => {
+            let updates = updates
+                .into_iter()
+                .map(|(w, value)| GraphUpdate::SetAttribute(w, value))
+                .collect();
+            run_mutation(id, trace, dataset, scale, updates, writer, state)
         }
     }
 }
@@ -359,7 +403,7 @@ fn run_query(
     };
     // Per-dataset admission control: the guard holds this query's
     // in-flight slot until the query resolves (any exit path).
-    let _admission = match state.try_admit(&dataset.key) {
+    let _admission = match state.try_admit(dataset.key()) {
         Ok(guard) => guard,
         Err(limit) => {
             metrics.admission_rejections.inc();
@@ -388,10 +432,14 @@ fn run_query(
 
     let t0 = Instant::now();
     let key = CacheKey {
-        dataset: dataset.key.clone(),
+        dataset: dataset.key().to_string(),
         k: spec.k,
         r_band: r_band(spec.r),
     };
+    // The version pins which graph state a cache entry answers for: a
+    // mutation bumps it, so a post-mutation query can never be served a
+    // component set the cache-repair pass has not revalidated.
+    let version = dataset.version();
     // One worker pool for the whole query: a cache miss preprocesses on
     // it and the parallel engine then runs its subtask phase on the same
     // pool (`threads == 1` stays pool-free on the sequential engine).
@@ -409,7 +457,7 @@ fn run_query(
     let preprocess_ms = std::cell::Cell::new(None::<u64>);
     let residual = std::cell::Cell::new(None::<u64>);
     let lookup = PhaseTimer::start(sink, &trace, "cache_lookup");
-    let (comps, hit) = state.cache.get_or_build(&key, || {
+    let (comps, outcome) = state.cache.get_or_build(&key, version, || {
         // Resolve the query to a candidate vertex set through the
         // dataset's (k,r)-core decomposition index before the timer
         // starts: the index is built once per dataset (or loaded from
@@ -432,15 +480,22 @@ fn run_query(
         preprocess_ms.set(Some(dur_us / 1_000));
         comps
     });
+    let hit = outcome.hit;
     lookup.finish_with(&[("outcome", Field::from(if hit { "hit" } else { "miss" }))]);
-    if let Some(ms) = preprocess_ms.get() {
-        // Attribute this miss's cost to the stats frame so operators see
-        // cold-query preprocessing time and candidate-index leverage.
-        let evals = comps.iter().map(|c| c.oracle_evals).sum();
-        state.cache.record_preprocess(ms, evals);
-    }
-    if let Some(vertices) = residual.get() {
-        state.cache.record_index(vertices);
+    // Attribute the miss's cost to the stats frame so operators see
+    // cold-query preprocessing time and candidate-index leverage — but
+    // only when this query's build is the one the cache kept. Two
+    // clients racing a cold key both run the build; counting both would
+    // double-bill `preprocess_ms` / `oracle_evals` for one resident
+    // entry.
+    if outcome.won {
+        if let Some(ms) = preprocess_ms.get() {
+            let evals = comps.iter().map(|c| c.oracle_evals).sum();
+            state.cache.record_preprocess(ms, evals);
+        }
+        if let Some(vertices) = residual.get() {
+            state.cache.record_index(vertices);
+        }
     }
     let cache = if hit {
         CacheOutcome::Hit
@@ -691,4 +746,203 @@ fn run_query(
     // the abort/rejection counters account for every query accepted.
     metrics.query_latency_us.record_duration(elapsed);
     Ok(())
+}
+
+/// Handles one mutation batch: validate-and-apply on the dataset, then
+/// an invalidate-and-repair pass over that dataset's cached component
+/// sets, then one `mutated` ack. Mutations count in `server.mutations`
+/// (never `server.queries` — the query-accounting identity must not see
+/// write traffic).
+fn run_mutation(
+    id: String,
+    trace: String,
+    dataset_name: String,
+    scale: f64,
+    updates: Vec<GraphUpdate>,
+    writer: &SharedWriter,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()> {
+    let metrics = &state.metrics;
+    let sink = &state.trace;
+    metrics.mutations.inc();
+    let t0 = Instant::now();
+    if scale > state.config.max_scale && !state.datasets.is_file_backed(&dataset_name) {
+        metrics.mutation_errors.inc();
+        return write_frame(
+            writer,
+            &Frame::Error {
+                id,
+                trace,
+                code: ErrorCode::BadRequest,
+                message: format!(
+                    "scale {} exceeds this server's max_scale {}",
+                    scale, state.config.max_scale
+                ),
+            },
+        );
+    }
+    let dataset = match state.datasets.get(&dataset_name, scale) {
+        Ok(ds) => ds,
+        Err(message) => {
+            metrics.mutation_errors.inc();
+            return write_frame(
+                writer,
+                &Frame::Error {
+                    id,
+                    trace,
+                    code: ErrorCode::UnknownDataset,
+                    message,
+                },
+            );
+        }
+    };
+    let apply = PhaseTimer::start(sink, &trace, "mutate_apply");
+    let outcome = match dataset.apply_batch(&updates) {
+        Ok(outcome) => outcome,
+        Err(message) => {
+            apply.finish_with(&[("rejected", Field::B(true))]);
+            metrics.mutation_errors.inc();
+            return write_frame(
+                writer,
+                &Frame::Error {
+                    id,
+                    trace,
+                    code: ErrorCode::BadRequest,
+                    message,
+                },
+            );
+        }
+    };
+    apply.finish_with(&[
+        ("applied", Field::U(outcome.applied)),
+        ("ignored", Field::U(outcome.ignored)),
+        ("core_updates", Field::U(outcome.core_updates)),
+    ]);
+    metrics.updates_applied.add(outcome.applied);
+
+    let (repairs, invalidations) = if outcome.delta.is_empty() {
+        // Nothing changed: the version did not move and every cached
+        // entry is still exact.
+        (0, 0)
+    } else {
+        let repair = PhaseTimer::start(sink, &trace, "cache_repair");
+        let counts = repair_cache(state, &dataset, &outcome);
+        repair.finish_with(&[
+            ("repairs", Field::U(counts.0)),
+            ("invalidations", Field::U(counts.1)),
+        ]);
+        counts
+    };
+
+    let elapsed_ms = t0.elapsed().as_millis() as u64;
+    if sink.enabled() {
+        sink.event(
+            &trace,
+            "mutation",
+            &[
+                ("dataset", Field::S(dataset_name)),
+                ("applied", Field::U(outcome.applied)),
+                ("ignored", Field::U(outcome.ignored)),
+                ("version", Field::U(outcome.version)),
+                ("core_updates", Field::U(outcome.core_updates)),
+                ("repairs", Field::U(repairs)),
+                ("invalidations", Field::U(invalidations)),
+                ("elapsed_ms", Field::U(elapsed_ms)),
+            ],
+        );
+    }
+    write_frame(
+        writer,
+        &Frame::Mutated {
+            id,
+            trace,
+            applied: outcome.applied,
+            ignored: outcome.ignored,
+            version: outcome.version,
+            core_updates: outcome.core_updates,
+            repairs,
+            invalidations,
+            elapsed_ms,
+        },
+    )
+}
+
+/// The invalidate-and-repair pass: walks the dataset's cached component
+/// sets and, for each, decides whether the batch's effective deltas
+/// could have changed that `(k, r)` entry's preprocessing output. Proven-
+/// unaffected entries are *repaired* — revalidated in place at the new
+/// version, keeping their preprocessing investment — and everything else
+/// is invalidated (dropped; the next query recomputes). Returns
+/// `(repairs, invalidations)`.
+fn repair_cache(
+    state: &Arc<ServerState>,
+    dataset: &HostedDataset,
+    outcome: &MutationOutcome,
+) -> (u64, u64) {
+    let view = dataset.view();
+    let delta = &outcome.delta;
+    state
+        .cache
+        .repair_after_mutation(dataset.key(), outcome.version, |key, comps| {
+            // Attribute changes move similarities on every incident pair
+            // at once; classifying them per-entry would need the old
+            // table. Conservative: invalidate.
+            if !delta.attr_changed.is_empty() {
+                return false;
+            }
+            let index = match &view.index {
+                Some(ix) => ix,
+                // No index yet means no query ever touched this dataset
+                // version chain in a way we can reason about cheaply.
+                None => return false,
+            };
+            let r = key.r_band as f64 * R_BAND_WIDTH;
+            let threshold = dataset.threshold(r);
+            let oracle =
+                TableOracle::from_shared(view.attributes.clone(), dataset.metric(), threshold);
+            // Vertices resident in this entry's preprocessed components.
+            let in_comps = |w: kr_graph::VertexId| -> bool {
+                comps
+                    .iter()
+                    .any(|c: &LocalComponent| c.local_to_global.contains(&w))
+            };
+            // A removed edge cannot change the entry when it was never
+            // part of the entry's k-core subgraph: either the pair is
+            // dissimilar at this r (the preprocess filter drops it) or an
+            // endpoint sits outside every cached component (the unique
+            // maximal k-core of the filtered subgraph is intact without
+            // it).
+            for &(u, v) in &delta.removed {
+                if !oracle.is_similar(u, v) {
+                    continue;
+                }
+                if !in_comps(u) || !in_comps(v) {
+                    continue;
+                }
+                return false;
+            }
+            // An inserted edge cannot change the entry when it never
+            // enters the candidate-induced similar subgraph: the pair is
+            // dissimilar at this r, or — provided no vertex's band
+            // coreness moved anywhere (`core_updates == 0`, so candidate
+            // sets are exactly what they were) — an endpoint is not an
+            // index candidate at this `(k, r)`.
+            if !delta.inserted.is_empty() {
+                let candidates = if outcome.core_updates == 0 {
+                    Some(index.candidates(key.k, threshold).vertices)
+                } else {
+                    None
+                };
+                for &(u, v) in &delta.inserted {
+                    if !oracle.is_similar(u, v) {
+                        continue;
+                    }
+                    match &candidates {
+                        Some(cand) if !cand.contains(&u) || !cand.contains(&v) => continue,
+                        _ => return false,
+                    }
+                }
+            }
+            true
+        })
 }

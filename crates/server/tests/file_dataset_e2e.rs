@@ -162,11 +162,10 @@ fn file_dataset_caches_under_its_dataset_key_and_ignores_scale() {
         k: K,
         r_band: r_band(R),
     };
-    let (_, hit) = handle
-        .state()
-        .cache
-        .get_or_build(&key, || panic!("file-backed entry must already be cached"));
-    assert!(hit, "cache entry must live under {:?}", key.dataset);
+    let (_, out) = handle.state().cache.get_or_build(&key, 0, || {
+        panic!("file-backed entry must already be cached")
+    });
+    assert!(out.hit, "cache entry must live under {:?}", key.dataset);
 
     // A different requested scale maps to the same dataset and the same
     // cache entry: hit, identical results — even a scale beyond the

@@ -1,0 +1,254 @@
+//! Property harness for incremental maintenance: on random update
+//! streams (edge inserts, edge removals, attribute rewrites — batched),
+//! the incrementally-maintained state must stay *indistinguishable* from
+//! a from-scratch rebuild after every batch, in both threshold
+//! directions (Euclidean max-distance and weighted-Jaccard
+//! min-similarity):
+//!
+//! * the classic coreness array maintained by
+//!   [`kr_graph::coreness_after_insert`] / [`coreness_after_remove`]
+//!   equals a fresh [`core_decomposition`];
+//! * the maintained [`DecompositionIndex`] equals
+//!   [`DecompositionIndex::build`] on the mutated graph (same bands) —
+//!   full structural equality, which covers every band's coreness array;
+//! * enumerate and maximum answered through the maintained index's
+//!   candidate sets are vertex-set-identical to the plain from-scratch
+//!   engine run.
+
+use kr_core::{
+    enumerate_maximal, enumerate_maximal_prepared, find_maximum, find_maximum_prepared, AlgoConfig,
+    DecompositionIndex, ProblemInstance,
+};
+use kr_graph::{
+    core_decomposition, coreness_after_insert, coreness_after_remove, AdjacencyList, Graph,
+    VertexId,
+};
+use kr_server::{AttributeValue, GraphUpdate, HostedDataset};
+use kr_similarity::{AttributeTable, Metric, TableOracle, Threshold};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const N: usize = 18;
+
+/// One raw update, vertex choices still unreduced (the strategy draws
+/// wide and the applier folds into range so shrinking stays effective).
+#[derive(Debug, Clone)]
+enum RawUpdate {
+    Add(u32, u32),
+    Remove(u32, u32),
+    /// Attribute rewrite: vertex plus two freely-interpretable scalars
+    /// (a point for distance instances, keyword weights for similarity
+    /// ones).
+    Attr(u32, f64, f64),
+}
+
+fn raw_update() -> impl Strategy<Value = RawUpdate> {
+    prop_oneof![
+        (0u32..1000, 0u32..1000).prop_map(|(u, v)| RawUpdate::Add(u, v)),
+        (0u32..1000, 0u32..1000).prop_map(|(u, v)| RawUpdate::Remove(u, v)),
+        (0u32..1000, 0.0f64..10.0, 0.0f64..10.0).prop_map(|(w, a, b)| RawUpdate::Attr(w, a, b)),
+    ]
+}
+
+/// A stream of update batches.
+fn batches() -> impl Strategy<Value = Vec<Vec<RawUpdate>>> {
+    vec(vec(raw_update(), 1..5), 1..5)
+}
+
+fn fold(v: u32) -> VertexId {
+    v % N as u32
+}
+
+/// Maps a raw update into a valid, family-matched [`GraphUpdate`]
+/// (self-loops fold to a fixed distinct pair).
+fn materialize(raw: &RawUpdate, distance: bool) -> GraphUpdate {
+    let edge = |u: u32, v: u32| -> (VertexId, VertexId) {
+        let (u, v) = (fold(u), fold(v));
+        if u == v {
+            (u, (u + 1) % N as u32)
+        } else {
+            (u, v)
+        }
+    };
+    match *raw {
+        RawUpdate::Add(u, v) => {
+            let (u, v) = edge(u, v);
+            GraphUpdate::AddEdge(u, v)
+        }
+        RawUpdate::Remove(u, v) => {
+            let (u, v) = edge(u, v);
+            GraphUpdate::RemoveEdge(u, v)
+        }
+        RawUpdate::Attr(w, a, b) => {
+            let value = if distance {
+                AttributeValue::Point(a, b)
+            } else {
+                AttributeValue::Keywords(vec![(a as u32 % 8, 1.0), (b as u32 % 8, 0.5)])
+            };
+            GraphUpdate::SetAttribute(fold(w), value)
+        }
+    }
+}
+
+/// Deterministic seed instance: a ring plus chords gives coreness
+/// structure worth maintaining; attributes spread over a small space so
+/// mid-range thresholds split pairs both ways.
+fn seed_instance(distance: bool) -> (Graph, AttributeTable, Metric) {
+    let mut edges: Vec<(VertexId, VertexId)> =
+        (0..N as u32).map(|u| (u, (u + 1) % N as u32)).collect();
+    for u in 0..N as u32 {
+        edges.push((u, (u + 3) % N as u32));
+        if u % 2 == 0 {
+            edges.push((u, (u + 7) % N as u32));
+        }
+    }
+    let graph = Graph::from_edges(N, &edges);
+    if distance {
+        let pts = (0..N)
+            .map(|i| (((i * 7) % 10) as f64 * 0.9, ((i * 3) % 10) as f64 * 0.9))
+            .collect();
+        (graph, AttributeTable::points(pts), Metric::Euclidean)
+    } else {
+        let lists = (0..N)
+            .map(|i| vec![((i % 8) as u32, 1.0), (((i / 2) % 8) as u32, 1.0)])
+            .collect();
+        (
+            graph,
+            AttributeTable::keywords(lists),
+            Metric::WeightedJaccard,
+        )
+    }
+}
+
+fn neutral(distance: bool) -> Threshold {
+    if distance {
+        Threshold::MaxDistance(f64::MAX)
+    } else {
+        Threshold::MinSimilarity(0.0)
+    }
+}
+
+fn query_threshold(distance: bool, r: f64) -> Threshold {
+    if distance {
+        Threshold::MaxDistance(r)
+    } else {
+        Threshold::MinSimilarity(r)
+    }
+}
+
+fn sorted_cores(cores: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+    let mut cores: Vec<Vec<VertexId>> = cores
+        .into_iter()
+        .map(|mut c| {
+            c.sort_unstable();
+            c
+        })
+        .collect();
+    cores.sort();
+    cores
+}
+
+/// The whole equivalence check for one family; `rs` are the query
+/// thresholds exercised after every batch.
+fn check_stream(distance: bool, raw_batches: &[Vec<RawUpdate>], rs: &[f64]) {
+    let (graph, attrs, metric) = seed_instance(distance);
+    let ds = HostedDataset::new("prop@1".into(), graph.clone(), attrs, metric);
+    // Build the index up front so every batch maintains rather than
+    // rebuilds it.
+    let _ = ds.decomposition();
+
+    // The classic-coreness shadow: maintained array + mutable adjacency.
+    let mut adj = AdjacencyList::from_graph(&graph);
+    let mut core = core_decomposition(&graph).core;
+
+    for raw_batch in raw_batches {
+        let updates: Vec<GraphUpdate> =
+            raw_batch.iter().map(|r| materialize(r, distance)).collect();
+
+        // Shadow the structural edge updates through the maintenance
+        // primitives (attribute updates cannot move structural coreness).
+        for up in &updates {
+            match *up {
+                GraphUpdate::AddEdge(u, v) => {
+                    if adj.insert_edge(u, v) {
+                        coreness_after_insert(&mut core, &adj, u, v);
+                    }
+                }
+                GraphUpdate::RemoveEdge(u, v) => {
+                    if adj.remove_edge(u, v) {
+                        coreness_after_remove(&mut core, &adj, u, v);
+                    }
+                }
+                GraphUpdate::SetAttribute(..) => {}
+            }
+        }
+
+        ds.apply_batch(&updates).expect("valid batch");
+        let view = ds.view();
+
+        // 1. Maintained coreness array == from-scratch decomposition.
+        let fresh = core_decomposition(&view.graph);
+        assert_eq!(core, fresh.core, "maintained coreness diverged");
+
+        // 2. Maintained index == from-scratch build on the same bands.
+        let maintained = ds.decomposition();
+        let oracle = TableOracle::from_shared(view.attributes.clone(), metric, neutral(distance));
+        let rebuilt = DecompositionIndex::build(&view.graph, &oracle, maintained.bands());
+        assert_eq!(*maintained, rebuilt, "maintained index diverged");
+
+        // 3. Queries through the maintained index's candidates match the
+        //    plain from-scratch engine, for enumerate and maximum.
+        for &r in rs {
+            for k in [2u32, 3] {
+                let threshold = query_threshold(distance, r);
+                let problem = ProblemInstance::from_oracle(
+                    (*view.graph).clone(),
+                    oracle.with_threshold(threshold),
+                    k,
+                );
+                let cand = maintained.candidates(k, threshold);
+                let comps = problem.preprocess_with_candidates(&cand.vertices);
+
+                let inc = enumerate_maximal_prepared(&comps, &AlgoConfig::adv_enum());
+                let scratch = enumerate_maximal(&problem, &AlgoConfig::adv_enum());
+                assert_eq!(
+                    sorted_cores(inc.cores.into_iter().map(|c| c.vertices).collect()),
+                    sorted_cores(scratch.cores.into_iter().map(|c| c.vertices).collect()),
+                    "enumerate diverged at k={k} r={r}"
+                );
+
+                let inc = find_maximum_prepared(&comps, &AlgoConfig::adv_max());
+                let scratch = find_maximum(&problem, &AlgoConfig::adv_max());
+                assert_eq!(
+                    inc.core.map(|c| {
+                        let mut v = c.vertices;
+                        v.sort_unstable();
+                        v
+                    }),
+                    scratch.core.map(|c| {
+                        let mut v = c.vertices;
+                        v.sort_unstable();
+                        v
+                    }),
+                    "maximum diverged at k={k} r={r}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Distance direction: Euclidean points under `MaxDistance`.
+    #[test]
+    fn incremental_equals_scratch_max_distance(stream in batches()) {
+        check_stream(true, &stream, &[2.5, 6.0]);
+    }
+
+    /// Similarity direction: weighted Jaccard under `MinSimilarity`.
+    #[test]
+    fn incremental_equals_scratch_min_similarity(stream in batches()) {
+        check_stream(false, &stream, &[0.15, 0.4]);
+    }
+}

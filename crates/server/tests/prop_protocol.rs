@@ -3,7 +3,7 @@
 //! non-ASCII characters (the codec must keep one message = one line).
 
 use kr_server::protocol::{Algo, CacheOutcome, ErrorCode, Frame, QuerySpec, Request};
-use kr_server::{CacheStats, HistogramSnapshot, MetricsSnapshot};
+use kr_server::{AttributeValue, CacheStats, HistogramSnapshot, MetricsSnapshot};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -63,6 +63,22 @@ fn query_spec() -> impl Strategy<Value = QuerySpec> {
         )
 }
 
+fn edge_list() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    vec((0u32..5_000_000, 0u32..5_000_000), 1..8)
+}
+
+fn attribute_value() -> impl Strategy<Value = AttributeValue> {
+    prop_oneof![
+        (-1.0e6f64..1.0e6, -1.0e6f64..1.0e6).prop_map(|(x, y)| AttributeValue::Point(x, y)),
+        vec((0u32..1_000_000, 0.0f64..1.0e6), 0..6).prop_map(AttributeValue::Keywords),
+        vec(-1.0e6f64..1.0e6, 0..6).prop_map(AttributeValue::Vector),
+    ]
+}
+
+fn mutation_target() -> impl Strategy<Value = (String, String, f64)> {
+    (wire_string(), wire_string(), 0.001f64..10.0)
+}
+
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
         (wire_string(), query_spec()).prop_map(|(id, spec)| Request::Enumerate { id, spec }),
@@ -71,6 +87,34 @@ fn request() -> impl Strategy<Value = Request> {
         wire_string().prop_map(|id| Request::Metrics { id }),
         wire_string().prop_map(|id| Request::Ping { id }),
         wire_string().prop_map(|id| Request::Shutdown { id }),
+        (mutation_target(), edge_list()).prop_map(|((id, dataset, scale), edges)| {
+            Request::AddEdges {
+                id,
+                dataset,
+                scale,
+                edges,
+            }
+        }),
+        (mutation_target(), edge_list()).prop_map(|((id, dataset, scale), edges)| {
+            Request::RemoveEdges {
+                id,
+                dataset,
+                scale,
+                edges,
+            }
+        }),
+        (
+            mutation_target(),
+            vec((0u32..5_000_000, attribute_value()), 1..6)
+        )
+            .prop_map(|((id, dataset, scale), updates)| {
+                Request::SetAttributes {
+                    id,
+                    dataset,
+                    scale,
+                    updates,
+                }
+            }),
     ]
 }
 
@@ -162,6 +206,7 @@ fn frame() -> impl Strategy<Value = Frame> {
             0u64..u32::MAX as u64,
             (0u64..1_000_000, 0u64..u32::MAX as u64),
             (0u64..1_000_000, 0u64..u32::MAX as u64),
+            (0u64..1_000_000, 0u64..1_000_000),
         )
             .prop_map(
                 |(
@@ -171,6 +216,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                     resident_bytes,
                     (preprocess_ms, oracle_evals),
                     (index_hits, residual_vertices),
+                    (repairs, invalidations),
                 )| Frame::Stats {
                     id,
                     trace,
@@ -184,7 +230,35 @@ fn frame() -> impl Strategy<Value = Frame> {
                         oracle_evals,
                         index_hits,
                         residual_vertices,
+                        repairs,
+                        invalidations,
                     },
+                },
+            ),
+        (
+            (wire_string(), trace_id()),
+            (0u64..1_000_000, 0u64..1_000_000),
+            (0u64..1_000_000, 0u64..1_000_000),
+            (0u64..1_000_000, 0u64..1_000_000),
+            0u64..1_000_000,
+        )
+            .prop_map(
+                |(
+                    (id, trace),
+                    (applied, ignored),
+                    (version, core_updates),
+                    (repairs, invalidations),
+                    elapsed_ms,
+                )| Frame::Mutated {
+                    id,
+                    trace,
+                    applied,
+                    ignored,
+                    version,
+                    core_updates,
+                    repairs,
+                    invalidations,
+                    elapsed_ms,
                 },
             ),
         (wire_string(), trace_id(), metrics_snapshot()).prop_map(|(id, trace, snapshot)| {

@@ -77,6 +77,16 @@ impl AttributeTable {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Short variant name, for mismatch diagnostics ("keywords",
+    /// "points", "vectors").
+    pub fn family_name(&self) -> &'static str {
+        match self {
+            AttributeTable::Keywords(_) => "keywords",
+            AttributeTable::Points(_) => "points",
+            AttributeTable::Vectors(_) => "vectors",
+        }
+    }
 }
 
 #[cfg(test)]

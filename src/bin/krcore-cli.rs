@@ -13,6 +13,10 @@
 //! krcore-cli query  --addr 127.0.0.1:7878 <enum|max> --dataset gowalla-like --k 3 --r 8 \
 //!                   [--scale 0.25] [--algo adv|basic] [--threads N] [--out FILE]
 //! krcore-cli query  --addr 127.0.0.1:7878 <stats|metrics|ping|shutdown>
+//! krcore-cli query  --addr 127.0.0.1:7878 <add-edges|remove-edges> --dataset NAME \
+//!                   [--scale S] --edge U,V [--edge U,V]...
+//! krcore-cli query  --addr 127.0.0.1:7878 set-point --dataset NAME [--scale S] \
+//!                   --vertex W --point X,Y
 //! ```
 //!
 //! * `--points FILE` selects Euclidean distance (`--r` is a max distance);
@@ -40,6 +44,12 @@
 //!   (overflow gets a `busy` frame; `0` = unlimited) and
 //!   `--max-queries-per-dataset N` caps in-flight queries per dataset
 //!   (see `docs/OPERATIONS.md`);
+//! * `query add-edges` / `remove-edges` / `set-point` are the write half
+//!   of the client: batched graph mutations applied atomically server-side
+//!   (the whole batch is rejected on any invalid update), answered with a
+//!   `mutated` frame whose counters print as TAB rows — `applied`,
+//!   `ignored`, `version`, `core_updates`, and the cache `repairs` /
+//!   `invalidations` the batch triggered;
 //! * `query` is the matching client: cores stream to stdout as they
 //!   arrive, diagnostics (cache hit/miss, timing, the server-assigned
 //!   trace id) to stderr; `query metrics` prints the server's metrics
@@ -86,7 +96,11 @@ fn usage() -> ! {
          [--max-queries-per-dataset N]\n\
          \x20      krcore-cli query --addr HOST:PORT <enum|max|stats|metrics|ping|shutdown> \
          [--dataset NAME --k K --r R] [--scale S] [--algo adv|basic] [--threads N] \
-         [--time-limit-ms MS] [--node-limit N] [--out FILE]"
+         [--time-limit-ms MS] [--node-limit N] [--out FILE]\n\
+         \x20      krcore-cli query --addr HOST:PORT <add-edges|remove-edges> --dataset NAME \
+         [--scale S] --edge U,V [--edge U,V]...\n\
+         \x20      krcore-cli query --addr HOST:PORT set-point --dataset NAME [--scale S] \
+         --vertex W --point X,Y"
     );
     exit(2);
 }
@@ -517,6 +531,9 @@ fn cmd_query() {
     let mut time_limit_ms: Option<u64> = None;
     let mut node_limit: Option<u64> = None;
     let mut out: Option<String> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut vertex: Option<u32> = None;
+    let mut point: Option<(f64, f64)> = None;
     let mut it = std::env::args().skip(2);
     while let Some(arg) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
@@ -537,7 +554,27 @@ fn cmd_query() {
             "--time-limit-ms" => time_limit_ms = Some(val().parse().unwrap_or_else(|_| usage())),
             "--node-limit" => node_limit = Some(val().parse().unwrap_or_else(|_| usage())),
             "--out" => out = Some(val()),
-            "enum" | "max" | "stats" | "metrics" | "ping" | "shutdown" if action.is_none() => {
+            "--edge" => {
+                let spec = val();
+                let (u, v) = spec.split_once(',').unwrap_or_else(|| usage());
+                edges.push((
+                    u.parse().unwrap_or_else(|_| usage()),
+                    v.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--vertex" => vertex = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--point" => {
+                let spec = val();
+                let (x, y) = spec.split_once(',').unwrap_or_else(|| usage());
+                point = Some((
+                    x.parse().unwrap_or_else(|_| usage()),
+                    y.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "enum" | "max" | "stats" | "metrics" | "ping" | "shutdown" | "add-edges"
+            | "remove-edges" | "set-point"
+                if action.is_none() =>
+            {
                 action = Some(arg)
             }
             _ => usage(),
@@ -576,6 +613,8 @@ fn cmd_query() {
             println!("oracle_evals\t{}", stats.oracle_evals);
             println!("index_hits\t{}", stats.index_hits);
             println!("residual_vertices\t{}", stats.residual_vertices);
+            println!("repairs\t{}", stats.repairs);
+            println!("invalidations\t{}", stats.invalidations);
         }
         "metrics" => {
             // Flat TAB-separated rows so scripts can `awk -F'\t'` them.
@@ -593,6 +632,48 @@ fn cmd_query() {
                 println!("{name}.p90\t{}", h.quantile(0.9));
                 println!("{name}.p99\t{}", h.quantile(0.99));
             }
+        }
+        cmd @ ("add-edges" | "remove-edges" | "set-point") => {
+            let dataset = dataset.unwrap_or_else(|| usage());
+            let scale = scale.unwrap_or(1.0);
+            let res = match cmd {
+                "add-edges" | "remove-edges" => {
+                    if edges.is_empty() {
+                        usage();
+                    }
+                    if cmd == "add-edges" {
+                        client.add_edges(&dataset, scale, edges)
+                    } else {
+                        client.remove_edges(&dataset, scale, edges)
+                    }
+                }
+                _ => {
+                    let w = vertex.unwrap_or_else(|| usage());
+                    let (x, y) = point.unwrap_or_else(|| usage());
+                    client.set_attributes(
+                        &dataset,
+                        scale,
+                        vec![(w, krcore::server::AttributeValue::Point(x, y))],
+                    )
+                }
+            }
+            .unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "mutation applied in {} ms server-side{}",
+                res.elapsed_ms,
+                if res.trace.is_empty() {
+                    String::new()
+                } else {
+                    format!(" | trace {}", res.trace)
+                },
+            );
+            // Same TAB rows as `stats`, so scripts scrape both alike.
+            println!("applied\t{}", res.applied);
+            println!("ignored\t{}", res.ignored);
+            println!("version\t{}", res.version);
+            println!("core_updates\t{}", res.core_updates);
+            println!("repairs\t{}", res.repairs);
+            println!("invalidations\t{}", res.invalidations);
         }
         cmd @ ("enum" | "max") => {
             let dataset = dataset.unwrap_or_else(|| usage());
